@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"websyn"
+	"websyn/internal/eval"
+)
+
+// ablationPoints are the operating points contrasting the two measures: the
+// paper motivates IPC as "strength" and ICR as "exclusiveness" (Figure 1);
+// this ablation shows what each filters on its own.
+var ablationPoints = []struct {
+	name string
+	ipc  int
+	icr  float64
+}{
+	{"none (candidates)", 1, 0},
+	{"IPC only (β=4)", 4, 0},
+	{"ICR only (γ=0.1)", 1, 0.1},
+	{"both (β=4, γ=0.1)", 4, 0.1},
+}
+
+// runAblation contrasts IPC-only, ICR-only and combined selection on both
+// data sets, with a per-label breakdown of what survives.
+func runAblation(x *websyn.Experiments) (string, error) {
+	var b strings.Builder
+	b.WriteString("Ablation — measure contribution (what survives each filter)\n")
+	for _, sim := range x.Simulations() {
+		if sim == nil {
+			continue
+		}
+		results, err := sim.MineAll(websyn.MinerConfig{IPC: 1, ICR: 0})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\n  dataset %s\n", sim.Options.Dataset)
+		b.WriteString("  operating point     syns   prec   wprec  coverage  syn/hyper/hypo/rel/noise\n")
+		b.WriteString("  ------------------  -----  -----  -----  --------  ------------------------\n")
+		for _, pt := range ablationPoints {
+			o, err := eval.OutputFromResults(sim.Model, results, pt.name, pt.ipc, pt.icr)
+			if err != nil {
+				return "", err
+			}
+			p := eval.Precision(sim.Model, sim.Log, o)
+			cov := eval.CoverageIncrease(sim.Model, sim.Log, o)
+			bd := eval.LabelBreakdown(sim.Model, o)
+			fmt.Fprintf(&b, "  %-18s  %5d  %4.1f%%  %4.1f%%  %7.1f%%  %d/%d/%d/%d/%d\n",
+				pt.name, o.TotalSynonyms(), p.Precision*100, p.WeightedPrecision*100,
+				cov*100, bd[0], bd[1], bd[2], bd[3], bd[4])
+		}
+	}
+	return b.String(), nil
+}
+
+// kSweepValues are the surrogate cutoffs contrasted by the k ablation.
+var kSweepValues = []int{3, 5, 10, 15, 20}
+
+// runKSweep varies the top-k surrogate cutoff on the movie data set: small
+// k starves candidate generation, large k admits loosely related pages into
+// GA(u) and dilutes both measures.
+func runKSweep(seed uint64, impressions int) (string, error) {
+	sim, err := websyn.NewSimulation(websyn.Options{
+		Dataset: websyn.Movies, Seed: seed, Impressions: impressions,
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Ablation — surrogate cutoff k (movies, β=4, γ=0.1)\n\n")
+	b.WriteString("   k   syns   prec   wprec  coverage\n")
+	b.WriteString("  --  -----  -----  -----  --------\n")
+	for _, k := range kSweepValues {
+		sd, err := sim.SearchDataK(k)
+		if err != nil {
+			return "", err
+		}
+		m, err := sim.NewMinerWith(sd, websyn.MinerConfig{IPC: 1, ICR: 0})
+		if err != nil {
+			return "", err
+		}
+		results := m.MineAll(sim.Catalog.Canonicals())
+		o, err := eval.OutputFromResults(sim.Model, results, fmt.Sprintf("k=%d", k), 4, 0.1)
+		if err != nil {
+			return "", err
+		}
+		p := eval.Precision(sim.Model, sim.Log, o)
+		cov := eval.CoverageIncrease(sim.Model, sim.Log, o)
+		fmt.Fprintf(&b, "  %2d  %5d  %4.1f%%  %4.1f%%  %7.1f%%\n",
+			k, o.TotalSynonyms(), p.Precision*100, p.WeightedPrecision*100, cov*100)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,209 @@
+// Command experiments regenerates the paper's evaluation: Figure 2 (IPC
+// sweep), Figure 3 (ICR sweep for IPC 2/4/6) and Table I (hits and
+// expansion for Us / Wikipedia / Walk(0.8) on both data sets).
+//
+// Usage:
+//
+//	experiments [-fig2] [-fig3] [-table1] [-ablation] [-ksweep] [-seed N]
+//
+// With no experiment flags, everything runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"websyn"
+	"websyn/internal/eval"
+)
+
+func main() {
+	var (
+		fig2     = flag.Bool("fig2", false, "run Figure 2 (IPC sweep, movies)")
+		fig3     = flag.Bool("fig3", false, "run Figure 3 (ICR sweep, movies)")
+		table1   = flag.Bool("table1", false, "run Table I (both data sets)")
+		ablation = flag.Bool("ablation", false, "run the measure ablation")
+		ksweep   = flag.Bool("ksweep", false, "run the surrogate-k ablation")
+		volsweep = flag.Bool("volsweep", false, "run the log-volume ablation")
+		software = flag.Bool("software", false, "run the D3 software generality check")
+		seed     = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+		impr     = flag.Int("impressions", 0, "impressions per data set (0 = default)")
+		outDir   = flag.String("o", "", "also write reports and TSV series to this directory")
+	)
+	flag.Parse()
+	all := !*fig2 && !*fig3 && !*table1 && !*ablation && !*ksweep && !*volsweep && !*software
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	start := time.Now()
+	fmt.Println("building movie simulation (D1)...")
+	movies, err := websyn.NewSimulation(websyn.Options{
+		Dataset: websyn.Movies, Seed: *seed, Impressions: *impr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cameras *websyn.Simulation
+	if all || *table1 || *ablation {
+		fmt.Println("building camera simulation (D2)...")
+		cameras, err = websyn.NewSimulation(websyn.Options{
+			Dataset: websyn.Cameras, Seed: *seed, Impressions: *impr,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("simulations ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	x := websyn.NewExperiments(movies, cameras)
+
+	if all || *fig2 {
+		points, err := x.Figure2()
+		if err != nil {
+			log.Fatal(err)
+		}
+		report := eval.RenderFigure2(points)
+		fmt.Print(report)
+		fmt.Println()
+		if *outDir != "" {
+			save(*outDir, "figure2.txt", report)
+			save(*outDir, "figure2.tsv", fig2TSV(points))
+		}
+	}
+	if all || *fig3 {
+		points, err := x.Figure3()
+		if err != nil {
+			log.Fatal(err)
+		}
+		report := eval.RenderFigure3(points)
+		fmt.Print(report)
+		fmt.Println()
+		if *outDir != "" {
+			save(*outDir, "figure3.txt", report)
+			save(*outDir, "figure3.tsv", fig3TSV(points))
+		}
+	}
+	if all || *table1 {
+		rows, err := x.Table1(websyn.DefaultTable1Config())
+		if err != nil {
+			log.Fatal(err)
+		}
+		report := eval.RenderTable1(rows)
+		report += precisionCIs(x)
+		fmt.Print(report)
+		fmt.Println()
+		if *outDir != "" {
+			save(*outDir, "table1.txt", report)
+		}
+	}
+	if all || *ablation {
+		report, err := runAblation(x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(report)
+		fmt.Println()
+		if *outDir != "" {
+			save(*outDir, "ablation.txt", report)
+		}
+	}
+	if all || *ksweep {
+		report, err := runKSweep(*seed, *impr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(report)
+		fmt.Println()
+		if *outDir != "" {
+			save(*outDir, "ksweep.txt", report)
+		}
+	}
+	if all || *volsweep {
+		report, err := runVolSweep(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(report)
+		fmt.Println()
+		if *outDir != "" {
+			save(*outDir, "volsweep.txt", report)
+		}
+	}
+	if all || *software {
+		report, err := runSoftware(*seed, *impr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(report)
+		fmt.Println()
+		if *outDir != "" {
+			save(*outDir, "software.txt", report)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "total runtime %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// precisionCIs appends entity-level bootstrap confidence intervals for the
+// Us rows — variability the paper's point estimates leave unquantified.
+func precisionCIs(x *websyn.Experiments) string {
+	var b strings.Builder
+	b.WriteString("\n  Us precision, entity-level bootstrap (1000 resamples):\n")
+	for _, sim := range x.Simulations() {
+		if sim == nil {
+			continue
+		}
+		results, err := sim.MineAll(websyn.MinerConfig{IPC: 1, ICR: 0})
+		if err != nil {
+			log.Fatal(err)
+		}
+		o, err := eval.OutputFromResults(sim.Model, results, "us", 4, 0.1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plain, weighted, err := eval.BootstrapPrecision(sim.Model, sim.Log, o, 1000, 0.95, 17)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(&b, "    %-8s plain %s   weighted %s\n",
+			sim.Options.Dataset, plain, weighted)
+	}
+	return b.String()
+}
+
+// save writes one report file, exiting on failure.
+func save(dir, name, content string) {
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		log.Fatalf("writing %s: %v", path, err)
+	}
+}
+
+// fig2TSV renders the Figure 2 series as plottable TSV.
+func fig2TSV(points []websyn.Fig2Point) string {
+	var b strings.Builder
+	b.WriteString("beta\tsyns\tcoverage\tprecision\tweighted\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%d\t%d\t%.4f\t%.4f\t%.4f\n",
+			p.Beta, p.Syns, p.Coverage, p.Precision, p.Weighted)
+	}
+	return b.String()
+}
+
+// fig3TSV renders the Figure 3 series as plottable TSV.
+func fig3TSV(points []websyn.Fig3Point) string {
+	var b strings.Builder
+	b.WriteString("beta\tgamma\tsyns\tcoverage\tprecision\tweighted\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%d\t%.2f\t%d\t%.4f\t%.4f\t%.4f\n",
+			p.Beta, p.Gamma, p.Syns, p.Coverage, p.Precision, p.Weighted)
+	}
+	return b.String()
+}

@@ -1,0 +1,152 @@
+// Command loggen materializes the simulation's two data sets to disk:
+// Search Data A, Click Data L, and the impressions sidecar, in TSV or the
+// compact binary format. cmd/syngen and external tools can then run from
+// files without rebuilding the simulation.
+//
+// Usage:
+//
+//	loggen [-dataset movies|cameras] [-seed N] [-impressions N]
+//	       [-format tsv|bin] [-dir out/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"websyn"
+	"websyn/internal/clicklog"
+	"websyn/internal/logio"
+	"websyn/internal/search"
+)
+
+func main() {
+	var (
+		dataset     = flag.String("dataset", "movies", "data set: movies or cameras")
+		seed        = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+		impressions = flag.Int("impressions", 0, "simulated impressions (0 = default)")
+		format      = flag.String("format", "tsv", "output format: tsv or bin")
+		dir         = flag.String("dir", "logs", "output directory")
+	)
+	flag.Parse()
+
+	var ds websyn.Dataset
+	switch strings.ToLower(*dataset) {
+	case "movies", "d1":
+		ds = websyn.Movies
+	case "cameras", "d2":
+		ds = websyn.Cameras
+	default:
+		log.Fatalf("unknown dataset %q", *dataset)
+	}
+
+	sim, err := websyn.NewSimulation(websyn.Options{
+		Dataset: ds, Seed: *seed, Impressions: *impressions,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	ext := ".tsv"
+	if *format == "bin" {
+		ext = ".bin"
+	}
+	searchPath := filepath.Join(*dir, "search"+ext)
+	clicksPath := filepath.Join(*dir, "clicks"+ext)
+	imprPath := filepath.Join(*dir, "impressions.tsv")
+
+	if err := writeFile(searchPath, func(f *os.File) error {
+		tuples := sim.Search.Tuples()
+		if *format == "bin" {
+			return logio.WriteSearchBinary(f, tuples)
+		}
+		return logio.WriteSearchTSV(f, tuples)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeFile(clicksPath, func(f *os.File) error {
+		clicks := sim.Log.Flatten()
+		if *format == "bin" {
+			return logio.WriteClicksBinary(f, clicks)
+		}
+		return logio.WriteClicksTSV(f, clicks)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeFile(imprPath, func(f *os.File) error {
+		return logio.WriteImpressionsTSV(f, sim.Log)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("wrote %s (%d tuples), %s (%d clicks), %s (%d queries)\n",
+		searchPath, len(sim.Search.Tuples()),
+		clicksPath, len(sim.Log.Flatten()),
+		imprPath, len(sim.Log.Queries()))
+
+	// Round-trip sanity check so a corrupted write fails loudly here, not
+	// in a downstream consumer.
+	if err := verify(searchPath, clicksPath, *format, sim); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("round-trip verification OK")
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func verify(searchPath, clicksPath, format string, sim *websyn.Simulation) error {
+	sf, err := os.Open(searchPath)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	var tuples []search.Tuple
+	if format == "bin" {
+		tuples, err = logio.ReadSearchBinary(sf)
+	} else {
+		tuples, err = logio.ReadSearchTSV(sf)
+	}
+	if err != nil {
+		return err
+	}
+	if len(tuples) != len(sim.Search.Tuples()) {
+		return fmt.Errorf("search round trip lost tuples: %d != %d",
+			len(tuples), len(sim.Search.Tuples()))
+	}
+
+	cf, err := os.Open(clicksPath)
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	var clicks []clicklog.Click
+	if format == "bin" {
+		clicks, err = logio.ReadClicksBinary(cf)
+	} else {
+		clicks, err = logio.ReadClicksTSV(cf)
+	}
+	if err != nil {
+		return err
+	}
+	if len(clicks) != len(sim.Log.Flatten()) {
+		return fmt.Errorf("clicks round trip lost tuples: %d != %d",
+			len(clicks), len(sim.Log.Flatten()))
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+// Command matchd serves the mined synonym dictionary over HTTP: the online
+// half of the paper's scenario, where an incoming Web query like
+// "indy 4 near san fran" must be fuzzily matched to structured data.
+//
+// Endpoints:
+//
+//	GET /match?q=<query>   — segment the query against the dictionary
+//	GET /synonyms?u=<name> — list the mined synonyms of a canonical string
+//	GET /healthz           — liveness
+//
+// Usage:
+//
+//	matchd [-addr :8080] [-dataset movies|cameras] [-ipc 4] [-icr 0.1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"websyn"
+	"websyn/internal/textnorm"
+)
+
+// server bundles the immutable matching state.
+type server struct {
+	sim   *websyn.Simulation
+	dict  *websyn.MatchDictionary
+	fuzzy *websyn.FuzzyIndex
+	syns  map[string][]string // canonical norm -> mined synonyms
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dataset = flag.String("dataset", "movies", "data set: movies or cameras")
+		ipc     = flag.Int("ipc", 4, "IPC threshold β")
+		icr     = flag.Float64("icr", 0.1, "ICR threshold γ")
+		seed    = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+	)
+	flag.Parse()
+
+	var ds websyn.Dataset
+	switch strings.ToLower(*dataset) {
+	case "movies", "d1":
+		ds = websyn.Movies
+	case "cameras", "d2":
+		ds = websyn.Cameras
+	default:
+		log.Fatalf("unknown dataset %q", *dataset)
+	}
+
+	start := time.Now()
+	log.Printf("building %v simulation and mining dictionary...", ds)
+	sim, err := websyn.NewSimulation(websyn.Options{Dataset: ds, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := sim.MineAll(websyn.MinerConfig{IPC: *ipc, ICR: *icr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &server{
+		sim:  sim,
+		dict: sim.BuildDictionary(results),
+		syns: make(map[string][]string, len(results)),
+	}
+	s.fuzzy = s.dict.NewFuzzyIndex(0.55)
+	for _, r := range results {
+		s.syns[r.Norm] = r.Synonyms
+	}
+	log.Printf("dictionary ready: %d entries in %v", s.dict.Len(), time.Since(start).Round(time.Millisecond))
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /match", s.handleMatch)
+	mux.HandleFunc("GET /fuzzy", s.handleFuzzy)
+	mux.HandleFunc("GET /synonyms", s.handleSynonyms)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	log.Printf("listening on %s", *addr)
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      mux,
+		ReadTimeout:  5 * time.Second,
+		WriteTimeout: 10 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+// matchResponse is the JSON shape of /match.
+type matchResponse struct {
+	Query     string        `json:"query"`
+	Matches   []matchedSpan `json:"matches"`
+	Remainder string        `json:"remainder"`
+}
+
+type matchedSpan struct {
+	Canonical string  `json:"canonical"`
+	EntityID  int     `json:"entity_id"`
+	Span      string  `json:"span"`
+	Score     float64 `json:"score"`
+	Source    string  `json:"source"`
+	Corrected bool    `json:"corrected,omitempty"`
+}
+
+func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	seg := s.dict.Segment(q)
+	resp := matchResponse{Query: seg.Query, Remainder: seg.Remainder}
+	for _, m := range seg.Matches {
+		ent := s.sim.Catalog.ByID(m.EntityID)
+		if ent == nil {
+			continue
+		}
+		resp.Matches = append(resp.Matches, matchedSpan{
+			Canonical: ent.Canonical,
+			EntityID:  m.EntityID,
+			Span:      m.Text,
+			Score:     m.Score,
+			Source:    m.Source,
+			Corrected: m.Corrected,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// fuzzyResponse is the JSON shape of /fuzzy.
+type fuzzyResponse struct {
+	Query string     `json:"query"`
+	Hits  []fuzzyHit `json:"hits"`
+}
+
+type fuzzyHit struct {
+	Text       string  `json:"text"`
+	Similarity float64 `json:"similarity"`
+	Canonical  string  `json:"canonical"`
+	EntityID   int     `json:"entity_id"`
+}
+
+func (s *server) handleFuzzy(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	resp := fuzzyResponse{Query: q}
+	for _, h := range s.fuzzy.Lookup(q, 5) {
+		if len(h.Entries) == 0 {
+			continue
+		}
+		ent := s.sim.Catalog.ByID(h.Entries[0].EntityID)
+		if ent == nil {
+			continue
+		}
+		resp.Hits = append(resp.Hits, fuzzyHit{
+			Text:       h.Text,
+			Similarity: h.Similarity,
+			Canonical:  ent.Canonical,
+			EntityID:   ent.ID,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// synonymsResponse is the JSON shape of /synonyms.
+type synonymsResponse struct {
+	Input    string   `json:"input"`
+	Synonyms []string `json:"synonyms"`
+}
+
+func (s *server) handleSynonyms(w http.ResponseWriter, r *http.Request) {
+	u := r.URL.Query().Get("u")
+	if u == "" {
+		http.Error(w, "missing u parameter", http.StatusBadRequest)
+		return
+	}
+	ent := s.sim.Catalog.ByNorm(textnorm.Normalize(u))
+	if ent == nil {
+		http.Error(w, "unknown canonical string", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, synonymsResponse{Input: ent.Canonical, Synonyms: s.syns[ent.Norm()]})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}

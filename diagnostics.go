@@ -1,0 +1,82 @@
+package websyn
+
+import (
+	"fmt"
+	"strings"
+
+	"websyn/internal/clickgraph"
+	"websyn/internal/stats"
+)
+
+// SimStats summarizes a built simulation: the sanity numbers one checks
+// before trusting any experiment run on it.
+type SimStats struct {
+	Dataset  string
+	Entities int
+	Pages    int
+
+	Impressions int
+	Clicks      int
+	CTR         float64 // clicks per impression
+
+	DistinctQueries int
+	ClickedQueries  int
+	GraphPages      int
+	GraphEdges      int
+
+	// QueryVolumeGini measures the skew of the query-frequency
+	// distribution (Zipf-shaped logs sit around 0.7-0.95).
+	QueryVolumeGini float64
+	// ClicksPerQuery summarizes per-query click totals.
+	ClicksPerQuery stats.Summary
+	// PagesPerQuery summarizes |GL(q)| — the click fan-out the miner's
+	// IPC measure depends on.
+	PagesPerQuery stats.Summary
+}
+
+// Stats computes the simulation summary.
+func (s *Simulation) Stats() SimStats {
+	g := clickgraph.Build(s.Log)
+	gs := g.ComputeStats()
+
+	out := SimStats{
+		Dataset:         s.Options.Dataset.String(),
+		Entities:        s.Catalog.Len(),
+		Pages:           s.Corpus.Len(),
+		Impressions:     s.Log.TotalImpressions(),
+		Clicks:          s.Log.TotalClicks(),
+		DistinctQueries: len(s.Log.Queries()),
+		ClickedQueries:  gs.Queries,
+		GraphPages:      gs.Pages,
+		GraphEdges:      gs.Edges,
+	}
+	if out.Impressions > 0 {
+		out.CTR = float64(out.Clicks) / float64(out.Impressions)
+	}
+	volumes := make([]float64, 0, out.DistinctQueries)
+	for _, q := range s.Log.Queries() {
+		volumes = append(volumes, float64(s.Log.Impressions(q)))
+	}
+	out.QueryVolumeGini = stats.Gini(volumes)
+	for qn := 0; qn < g.NumQueries(); qn++ {
+		out.ClicksPerQuery.AddInt(g.QueryClicks(qn))
+		out.PagesPerQuery.AddInt(len(g.PagesOf(qn)))
+	}
+	return out
+}
+
+// String renders the summary as a small report.
+func (st SimStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s simulation\n", st.Dataset)
+	fmt.Fprintf(&b, "  entities          %d\n", st.Entities)
+	fmt.Fprintf(&b, "  pages             %d\n", st.Pages)
+	fmt.Fprintf(&b, "  impressions       %d\n", st.Impressions)
+	fmt.Fprintf(&b, "  clicks            %d (CTR %.2f)\n", st.Clicks, st.CTR)
+	fmt.Fprintf(&b, "  distinct queries  %d (%d with clicks)\n", st.DistinctQueries, st.ClickedQueries)
+	fmt.Fprintf(&b, "  click graph       %d pages, %d edges\n", st.GraphPages, st.GraphEdges)
+	fmt.Fprintf(&b, "  query volume gini %.2f\n", st.QueryVolumeGini)
+	fmt.Fprintf(&b, "  clicks/query      %s\n", st.ClicksPerQuery.String())
+	fmt.Fprintf(&b, "  pages/query       %s\n", st.PagesPerQuery.String())
+	return b.String()
+}

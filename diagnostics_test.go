@@ -1,0 +1,43 @@
+package websyn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimStats(t *testing.T) {
+	sim := movies(t)
+	st := sim.Stats()
+	if st.Dataset != "Movies" {
+		t.Fatalf("dataset %q", st.Dataset)
+	}
+	if st.Entities != 100 || st.Pages != sim.Corpus.Len() {
+		t.Fatal("entity/page counts wrong")
+	}
+	if st.Impressions != sim.Log.TotalImpressions() || st.Clicks != sim.Log.TotalClicks() {
+		t.Fatal("log totals wrong")
+	}
+	if st.CTR <= 0.2 || st.CTR > 2 {
+		t.Fatalf("CTR %.3f implausible", st.CTR)
+	}
+	if st.ClickedQueries > st.DistinctQueries {
+		t.Fatal("more clicked queries than issued queries")
+	}
+	// The query volume distribution must be heavily skewed (Zipf log).
+	if st.QueryVolumeGini < 0.5 {
+		t.Fatalf("query volume gini %.2f — log not Zipf-shaped", st.QueryVolumeGini)
+	}
+	if st.PagesPerQuery.Mean() <= 1 {
+		t.Fatalf("pages/query mean %.2f — click fan-out collapsed", st.PagesPerQuery.Mean())
+	}
+}
+
+func TestSimStatsString(t *testing.T) {
+	st := movies(t).Stats()
+	s := st.String()
+	for _, want := range []string{"Movies simulation", "entities", "click graph", "gini"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("stats report missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package websyn_test
+
+import (
+	"fmt"
+	"log"
+
+	"websyn"
+)
+
+// Example demonstrates the three-call happy path: build the simulation,
+// mine a canonical string, inspect the synonyms.
+func Example() {
+	sim, err := websyn.NewSimulation(websyn.Options{Dataset: websyn.Movies})
+	if err != nil {
+		log.Fatal(err)
+	}
+	miner, err := sim.NewMiner(websyn.DefaultMinerConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := miner.Mine("Madagascar: Escape 2 Africa")
+	found := false
+	for _, s := range r.Synonyms {
+		if s == "madagascar 2" {
+			found = true
+		}
+	}
+	fmt.Println("mined madagascar 2:", found)
+	// Output:
+	// mined madagascar 2: true
+}
+
+// ExampleSimulation_BuildDictionary shows the downstream application:
+// fuzzy-matching a free-text query to structured data via the mined
+// dictionary.
+func ExampleSimulation_BuildDictionary() {
+	sim, err := websyn.NewSimulation(websyn.Options{Dataset: websyn.Movies})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := sim.MineAll(websyn.DefaultMinerConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dict := sim.BuildDictionary(results)
+
+	seg := dict.Segment("indy 4 near san fran")
+	m := seg.Matches[0]
+	fmt.Println("matched:", sim.Catalog.ByID(m.EntityID).Canonical)
+	fmt.Println("span:", m.Text)
+	fmt.Println("remainder:", seg.Remainder)
+	// Output:
+	// matched: Indiana Jones and the Kingdom of the Crystal Skull
+	// span: indy 4
+	// remainder: near san fran
+}
+
+// ExampleMiner_Mine shows the per-candidate evidence record (IPC of Eq. 3,
+// ICR of Eq. 4) that candidate selection thresholds.
+func ExampleMiner_Mine() {
+	sim, err := websyn.NewSimulation(websyn.Options{Dataset: websyn.Movies})
+	if err != nil {
+		log.Fatal(err)
+	}
+	miner, err := sim.NewMiner(websyn.MinerConfig{IPC: 4, ICR: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := miner.Mine("The Dark Knight")
+	ev, ok := r.EvidenceFor("dark knight")
+	fmt.Println("candidate found:", ok)
+	fmt.Println("IPC at least 8:", ev.IPC >= 8)
+	fmt.Println("ICR above 0.5:", ev.ICR > 0.5)
+	fmt.Println("accepted:", ev.Accepted)
+	// Output:
+	// candidate found: true
+	// IPC at least 8: true
+	// ICR above 0.5: true
+	// accepted: true
+}

@@ -1,0 +1,74 @@
+// Matchserver: compile the mined synonyms into the fuzzy-match dictionary
+// and run the paper's motivating queries through it — "Indy 4 near San
+// Fran" resolving to the full movie title with "near san fran" left over
+// for downstream interpretation. (cmd/matchd serves the same dictionary
+// over HTTP.)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"websyn"
+)
+
+func main() {
+	sim, err := websyn.NewSimulation(websyn.Options{
+		Dataset:     websyn.Movies,
+		Impressions: 60000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := sim.MineAll(websyn.DefaultMinerConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dict := sim.BuildDictionary(results)
+	fmt.Printf("dictionary: %d (string, entity) pairs\n\n", dict.Len())
+
+	queries := []string{
+		"Indy 4 near San Fran",
+		"indiana jones 4 showtimes",
+		"dark knight tickets tonight",
+		"watch madagascar 2 online",
+		"twilght reviews",        // typo: corrected to twilight
+		"quantum of solace imdb", // canonical match
+		"best pizza in town",     // no entity at all
+	}
+	for _, q := range queries {
+		seg := dict.Segment(q)
+		fmt.Printf("query: %q\n", q)
+		if len(seg.Matches) == 0 {
+			fmt.Println("  -> no entity match")
+		}
+		for _, m := range seg.Matches {
+			ent := sim.Catalog.ByID(m.EntityID)
+			note := ""
+			if m.Corrected {
+				note = " (typo-corrected)"
+			}
+			fmt.Printf("  -> %q matches %q [score %.2f, %s]%s\n",
+				m.Text, ent.Canonical, m.Score, m.Source, note)
+		}
+		if seg.Remainder != "" {
+			fmt.Printf("  remainder: %q\n", seg.Remainder)
+		}
+		fmt.Println()
+	}
+
+	// Whole-string fuzzy lookup: queries that are globally close to a
+	// dictionary string but do not tokenize onto it.
+	fuzzy := dict.NewFuzzyIndex(0.55)
+	fmt.Printf("fuzzy index over %d dictionary strings:\n", fuzzy.Len())
+	for _, q := range []string{"madagascar2", "darkknight", "quantom of solace"} {
+		hits := fuzzy.Lookup(q, 1)
+		if len(hits) == 0 {
+			fmt.Printf("  %q -> no fuzzy hit\n", q)
+			continue
+		}
+		ent := sim.Catalog.ByID(hits[0].Entries[0].EntityID)
+		fmt.Printf("  %q -> %q (sim %.2f) -> %q\n",
+			q, hits[0].Text, hits[0].Similarity, ent.Canonical)
+	}
+}

@@ -1,0 +1,53 @@
+// Quickstart: build the movie simulation, mine synonyms for one movie, and
+// print the evidence — the paper's pipeline in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"websyn"
+)
+
+func main() {
+	// Build the full substrate for D1 (catalog, ground truth, Web corpus,
+	// search engine, query/click logs). Smaller Impressions keep the
+	// quickstart snappy; drop the option for experiment-scale logs.
+	sim, err := websyn.NewSimulation(websyn.Options{
+		Dataset:     websyn.Movies,
+		Impressions: 40000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's miner at its chosen operating point: IPC >= 4, ICR >= 0.1.
+	miner, err := sim.NewMiner(websyn.DefaultMinerConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	input := "Indiana Jones and the Kingdom of the Crystal Skull"
+	result := miner.Mine(input)
+
+	fmt.Printf("input:      %s\n", input)
+	fmt.Printf("surrogates: %d pages (GA)\n", len(result.Surrogates))
+	fmt.Printf("candidates: %d queries clicked a surrogate\n\n", len(result.Evidence))
+	fmt.Println("accepted synonyms (IPC = intersecting page count, ICR = intersecting click ratio):")
+	for _, ev := range result.Evidence {
+		if !ev.Accepted {
+			continue
+		}
+		fmt.Printf("  %-30s IPC=%2d  ICR=%.2f\n", ev.Candidate, ev.IPC, ev.ICR)
+	}
+
+	fmt.Println("\nstrongest rejected candidates (why the thresholds exist):")
+	shown := 0
+	for _, ev := range result.Evidence {
+		if ev.Accepted || shown >= 5 {
+			continue
+		}
+		fmt.Printf("  %-30s IPC=%2d  ICR=%.2f\n", ev.Candidate, ev.IPC, ev.ICR)
+		shown++
+	}
+}

@@ -1,0 +1,115 @@
+package websyn
+
+import (
+	"fmt"
+
+	"websyn/internal/eval"
+)
+
+// Experiments drives the paper's evaluation section against one or two
+// built simulations. The zero value is unusable; use NewExperiments.
+type Experiments struct {
+	movies  *Simulation
+	cameras *Simulation
+}
+
+// NewExperiments wraps pre-built simulations. Either argument may be nil
+// when only the other data set is exercised.
+func NewExperiments(movies, cameras *Simulation) *Experiments {
+	return &Experiments{movies: movies, cameras: cameras}
+}
+
+// Simulations returns the wrapped simulations (movies first); entries may
+// be nil.
+func (x *Experiments) Simulations() []*Simulation {
+	return []*Simulation{x.movies, x.cameras}
+}
+
+// Figure2Betas are the IPC thresholds of the paper's Figure 2, left to
+// right on the curve (10 down to 2).
+func Figure2Betas() []int { return []int{10, 9, 8, 7, 6, 5, 4, 3, 2} }
+
+// Figure3Betas are the IPC thresholds of Figure 3's three series.
+func Figure3Betas() []int { return []int{2, 4, 6} }
+
+// Figure3Gammas are the ICR thresholds of Figure 3, left to right
+// (0.9 down to 0.01).
+func Figure3Gammas() []float64 {
+	return []float64{0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.05, 0.01}
+}
+
+// Figure2 regenerates Figure 2: the IPC sweep on the movie data set.
+func (x *Experiments) Figure2() ([]Fig2Point, error) {
+	if x.movies == nil {
+		return nil, fmt.Errorf("websyn: Figure 2 needs the movie simulation")
+	}
+	results, err := x.movies.MineAll(MinerConfig{IPC: 1, ICR: 0})
+	if err != nil {
+		return nil, err
+	}
+	return eval.Figure2(x.movies.Model, x.movies.Log, results, Figure2Betas())
+}
+
+// Figure3 regenerates Figure 3: the ICR sweep for IPC 2, 4, 6 on movies.
+func (x *Experiments) Figure3() ([]Fig3Point, error) {
+	if x.movies == nil {
+		return nil, fmt.Errorf("websyn: Figure 3 needs the movie simulation")
+	}
+	results, err := x.movies.MineAll(MinerConfig{IPC: 1, ICR: 0})
+	if err != nil {
+		return nil, err
+	}
+	return eval.Figure3(x.movies.Model, x.movies.Log, results, Figure3Betas(), Figure3Gammas())
+}
+
+// Table1Config pins the operating points of Table I: the paper's chosen
+// thresholds for "Us" and the default walk.
+type Table1Config struct {
+	UsIPC  int
+	UsICR  float64
+	Walker WalkerConfig
+}
+
+// DefaultTable1Config returns the paper's Table I settings: Us at IPC 4 /
+// ICR 0.1, Walk at self-transition 0.8.
+func DefaultTable1Config() Table1Config {
+	return Table1Config{UsIPC: 4, UsICR: 0.1, Walker: DefaultWalkerConfig()}
+}
+
+// Table1 regenerates Table I over whichever simulations are present
+// (movies rows first, then cameras).
+func (x *Experiments) Table1(cfg Table1Config) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, sim := range []*Simulation{x.movies, x.cameras} {
+		if sim == nil {
+			continue
+		}
+		results, err := sim.MineAll(MinerConfig{IPC: 1, ICR: 0})
+		if err != nil {
+			return nil, err
+		}
+		wikiB, err := sim.NewWiki()
+		if err != nil {
+			return nil, err
+		}
+		walker, err := sim.NewWalker(cfg.Walker)
+		if err != nil {
+			return nil, err
+		}
+		r, err := eval.Table1(eval.Table1Systems{
+			Dataset:   sim.Options.Dataset.String(),
+			Model:     sim.Model,
+			Log:       sim.Log,
+			UsResults: results,
+			UsIPC:     cfg.UsIPC,
+			UsICR:     cfg.UsICR,
+			Wiki:      wikiB,
+			Walker:    walker,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}

@@ -1,0 +1,158 @@
+package websyn
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"websyn/internal/clicklog"
+	"websyn/internal/core"
+	"websyn/internal/logio"
+	"websyn/internal/search"
+)
+
+// File-based pipeline: the miner can run from Search Data and Click Data
+// materialized by cmd/loggen (or any external producer emitting the same
+// formats), without rebuilding the simulation. This mirrors the paper's
+// offline deployment, which consumed log extracts rather than live APIs.
+
+// Relation-classification re-exports (the Figure 1 taxonomy extension).
+type (
+	// Relation is the inferred candidate relation (synonym / hypernym /
+	// hyponym / related).
+	Relation = core.Relation
+	// Classified is one relation-classified candidate.
+	Classified = core.Classified
+	// ClassifyConfig tunes relation classification.
+	ClassifyConfig = core.ClassifyConfig
+)
+
+// Relation constants re-exported for callers of Miner.Classify.
+const (
+	RelSynonym  = core.RelSynonym
+	RelHypernym = core.RelHypernym
+	RelHyponym  = core.RelHyponym
+	RelRelated  = core.RelRelated
+)
+
+// DefaultClassifyConfig re-exports the classification defaults.
+func DefaultClassifyConfig() ClassifyConfig { return core.DefaultClassifyConfig() }
+
+// LoadSearchData reads Search Data A from a .tsv or .bin file produced by
+// cmd/loggen and rebuilds the surrogate mapping with cutoff k.
+func LoadSearchData(path string, k int) (*SearchData, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("websyn: opening search data: %w", err)
+	}
+	defer f.Close()
+	var tuples []search.Tuple
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".bin":
+		tuples, err = logio.ReadSearchBinary(f)
+	case ".tsv", ".txt":
+		tuples, err = logio.ReadSearchTSV(f)
+	default:
+		return nil, fmt.Errorf("websyn: unknown search data extension %q", ext)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("websyn: reading %s: %w", path, err)
+	}
+	return search.NewDataFromTuples(tuples, k)
+}
+
+// LoadClickLog reads Click Data L from a .tsv or .bin file, with an
+// optional impressions sidecar (pass "" to skip; weighted metrics then see
+// zero frequencies).
+func LoadClickLog(clicksPath, impressionsPath string) (*ClickLog, error) {
+	f, err := os.Open(clicksPath)
+	if err != nil {
+		return nil, fmt.Errorf("websyn: opening click data: %w", err)
+	}
+	defer f.Close()
+	var clicks []clicklog.Click
+	switch ext := strings.ToLower(filepath.Ext(clicksPath)); ext {
+	case ".bin":
+		clicks, err = logio.ReadClicksBinary(f)
+	case ".tsv", ".txt":
+		clicks, err = logio.ReadClicksTSV(f)
+	default:
+		return nil, fmt.Errorf("websyn: unknown click data extension %q", ext)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("websyn: reading %s: %w", clicksPath, err)
+	}
+
+	var impressions map[string]int
+	if impressionsPath != "" {
+		imf, err := os.Open(impressionsPath)
+		if err != nil {
+			return nil, fmt.Errorf("websyn: opening impressions: %w", err)
+		}
+		defer imf.Close()
+		impressions, err = logio.ReadImpressionsTSV(imf)
+		if err != nil {
+			return nil, fmt.Errorf("websyn: reading %s: %w", impressionsPath, err)
+		}
+	}
+	return clicklog.FromClicks(clicks, impressions), nil
+}
+
+// NewMinerFromFiles wires a miner directly over on-disk data sets.
+func NewMinerFromFiles(searchPath, clicksPath, impressionsPath string, k int, cfg MinerConfig) (*Miner, error) {
+	sd, err := LoadSearchData(searchPath, k)
+	if err != nil {
+		return nil, err
+	}
+	log, err := LoadClickLog(clicksPath, impressionsPath)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewMiner(sd, log, cfg)
+}
+
+// SaveSearchData writes the simulation's Search Data to path (.tsv or
+// .bin, by extension).
+func (s *Simulation) SaveSearchData(path string) error {
+	return writeByExt(path, func(f *os.File, bin bool) error {
+		if bin {
+			return logio.WriteSearchBinary(f, s.Search.Tuples())
+		}
+		return logio.WriteSearchTSV(f, s.Search.Tuples())
+	})
+}
+
+// SaveClickLog writes the simulation's Click Data to clicksPath and the
+// impressions sidecar to impressionsPath ("" skips the sidecar).
+func (s *Simulation) SaveClickLog(clicksPath, impressionsPath string) error {
+	err := writeByExt(clicksPath, func(f *os.File, bin bool) error {
+		if bin {
+			return logio.WriteClicksBinary(f, s.Log.Flatten())
+		}
+		return logio.WriteClicksTSV(f, s.Log.Flatten())
+	})
+	if err != nil {
+		return err
+	}
+	if impressionsPath == "" {
+		return nil
+	}
+	return writeByExt(impressionsPath, func(f *os.File, _ bool) error {
+		return logio.WriteImpressionsTSV(f, s.Log)
+	})
+}
+
+// writeByExt creates path and dispatches on its extension (.bin = binary).
+func writeByExt(path string, write func(f *os.File, bin bool) error) error {
+	bin := strings.ToLower(filepath.Ext(path)) == ".bin"
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("websyn: creating %s: %w", path, err)
+	}
+	if err := write(f, bin); err != nil {
+		f.Close()
+		return fmt.Errorf("websyn: writing %s: %w", path, err)
+	}
+	return f.Close()
+}

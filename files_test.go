@@ -1,0 +1,141 @@
+package websyn
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// copyFile duplicates src at dst for extension-handling tests.
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// TestFileBasedMiningEquivalence is the integration test of the file
+// pipeline: a miner rebuilt from serialized data sets must produce exactly
+// the same synonyms as the in-memory miner, in both formats.
+func TestFileBasedMiningEquivalence(t *testing.T) {
+	sim, err := NewSimulation(Options{Dataset: Movies, Impressions: 20000, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := sim.NewMiner(DefaultMinerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := sim.Catalog.Canonicals()[:20]
+	want := mem.MineAll(inputs)
+
+	dir := t.TempDir()
+	for _, ext := range []string{".tsv", ".bin"} {
+		searchPath := filepath.Join(dir, "search"+ext)
+		clicksPath := filepath.Join(dir, "clicks"+ext)
+		imprPath := filepath.Join(dir, "impressions.tsv")
+		if err := sim.SaveSearchData(searchPath); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.SaveClickLog(clicksPath, imprPath); err != nil {
+			t.Fatal(err)
+		}
+		fileMiner, err := NewMinerFromFiles(searchPath, clicksPath, imprPath,
+			sim.Search.K(), DefaultMinerConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fileMiner.MineAll(inputs)
+		for i := range want {
+			if !reflect.DeepEqual(want[i].Synonyms, got[i].Synonyms) {
+				t.Fatalf("%s: synonyms differ for %q:\n  mem:  %v\n  file: %v",
+					ext, inputs[i], want[i].Synonyms, got[i].Synonyms)
+			}
+			if len(want[i].Evidence) != len(got[i].Evidence) {
+				t.Fatalf("%s: evidence counts differ for %q", ext, inputs[i])
+			}
+		}
+	}
+}
+
+func TestLoadSearchDataErrors(t *testing.T) {
+	if _, err := LoadSearchData("/nonexistent/file.tsv", 10); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadClickLogErrors(t *testing.T) {
+	if _, err := LoadClickLog("/nonexistent/clicks.tsv", ""); err == nil {
+		t.Fatal("missing clicks file accepted")
+	}
+}
+
+func TestUnknownExtensionRejected(t *testing.T) {
+	dir := t.TempDir()
+	sim, err := NewSimulation(Options{Dataset: Movies, Impressions: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "search.tsv")
+	if err := sim.SaveSearchData(p); err != nil {
+		t.Fatal(err)
+	}
+	// Loading with a wrong extension must fail cleanly.
+	weird := filepath.Join(dir, "search.dat")
+	if err := copyFile(p, weird); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSearchData(weird, 10); err == nil {
+		t.Fatal("unknown extension accepted")
+	}
+	if _, err := LoadClickLog(weird, ""); err == nil {
+		t.Fatal("unknown click extension accepted")
+	}
+}
+
+func TestClassifyFacade(t *testing.T) {
+	sim := movies(t)
+	m, err := sim.NewMiner(DefaultMinerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Classify("Indiana Jones and the Kingdom of the Crystal Skull", DefaultClassifyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no classified candidates")
+	}
+	byRel := map[Relation][]string{}
+	byCand := map[string]Relation{}
+	for _, c := range out {
+		byRel[c.Relation] = append(byRel[c.Relation], c.Candidate)
+		byCand[c.Candidate] = c.Relation
+	}
+	if len(byRel[RelSynonym]) == 0 {
+		t.Fatal("no candidates classified as synonyms")
+	}
+	// Refinement queries concentrate their clicks on deep pages outside
+	// GA(u): they must never classify as synonyms (the clean separation;
+	// franchise hypernyms vs informal synonyms is genuinely ambiguous in
+	// log geometry and is not asserted here).
+	for cand, rel := range byCand {
+		for _, suffix := range []string{" trailer", " showtimes", " dvd"} {
+			if len(cand) > len(suffix) && cand[len(cand)-len(suffix):] == suffix && rel == RelSynonym {
+				t.Errorf("refinement %q classified as synonym", cand)
+			}
+		}
+	}
+}

@@ -1,0 +1,497 @@
+// Package alias implements the ground-truth alias model of the simulation:
+// for every entity it generates the set of strings users employ to refer to
+// it, each labeled with its semantic relation to the entity (synonym,
+// hypernym, hyponym, related) and weighted by its share of the entity's
+// query volume.
+//
+// The model plays the two roles the paper's proprietary assets played:
+//
+//  1. It drives the simulated user population (which queries get issued,
+//     how often) — standing in for Bing's 2008 query stream.
+//  2. It is the labeling oracle for evaluation — standing in for the human
+//     judges who scored mined synonyms as true/false.
+//
+// The miner itself (internal/core) never touches this package: it sees only
+// the Search Data and Click Data the simulator derives from it, preserving
+// the paper's separation between method and ground truth.
+package alias
+
+import (
+	"fmt"
+	"sort"
+
+	"websyn/internal/entity"
+	"websyn/internal/textnorm"
+)
+
+// Label classifies the relation between a query string and an entity,
+// following the paper's Definitions 1-3 plus the two non-equivalent classes
+// its Figure 1 discusses.
+type Label int
+
+const (
+	// Synonym: the string refers to exactly this entity (Def. 1).
+	Synonym Label = iota
+	// Hypernym: the string refers to a strict superset — franchise names,
+	// brands, product lines (Def. 2).
+	Hypernym
+	// Hyponym: the string narrows the entity to a sub-intent — query
+	// refinements such as "<name> trailer" or "<name> manual" (Def. 3's
+	// narrower-concept case as it manifests in query logs).
+	Hyponym
+	// Related: correlated but not equivalent — actor names, generic
+	// category queries ("digital camera"), the paper's "Harrison Ford"
+	// example.
+	Related
+	// Noise: background Web queries with no relation to the domain.
+	Noise
+)
+
+// String returns a short lower-case label name.
+func (l Label) String() string {
+	switch l {
+	case Synonym:
+		return "synonym"
+	case Hypernym:
+		return "hypernym"
+	case Hyponym:
+		return "hyponym"
+	case Related:
+		return "related"
+	case Noise:
+		return "noise"
+	default:
+		return fmt.Sprintf("label(%d)", int(l))
+	}
+}
+
+// precedence orders labels for deduplication: when one string is generated
+// twice for the same entity, the stronger relation wins.
+func (l Label) precedence() int {
+	switch l {
+	case Synonym:
+		return 0
+	case Hypernym:
+		return 1
+	case Hyponym:
+		return 2
+	case Related:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// Alias is one generated string for one entity.
+type Alias struct {
+	// Text is the normalized query string.
+	Text string
+	// Label is the relation of Text to the owning entity.
+	Label Label
+	// Weight is the share of the entity's query volume carried by this
+	// string. Within an entity the weights of all aliases sum to 1.
+	Weight float64
+}
+
+// Entry is one string of the query universe with its volume and intent.
+// Entries are what the user simulator samples from.
+type Entry struct {
+	// Text is the normalized query string.
+	Text string
+	// Volume is the absolute expected share of the whole log (all entries'
+	// volumes sum to 1).
+	Volume float64
+	// Label classifies the string relative to EntityID (or the domain for
+	// global strings).
+	Label Label
+	// EntityID is the entity this string is about, or -1 for global strings
+	// (related category queries, noise).
+	EntityID int
+	// Scope carries the breadth key for Hypernym entries — the franchise or
+	// brand whose whole page neighbourhood the user is willing to click.
+	Scope string
+}
+
+// Params tunes the alias model. Zero value is not useful; use
+// MovieParams/CameraParams.
+type Params struct {
+	// CanonicalShare is the fraction of an entity's query volume issued as
+	// its full canonical string. Low values starve the random-walk baseline
+	// of start nodes (its documented failure mode on cameras).
+	CanonicalShare float64
+	// SynonymShare is the fraction carried by informal true synonyms
+	// (excluding the canonical string).
+	SynonymShare float64
+	// HypernymShare, HyponymShare, RelatedShare are the fractions carried
+	// by the non-equivalent classes. The five shares must sum to 1.
+	HypernymShare float64
+	HyponymShare  float64
+	RelatedShare  float64
+
+	// DomainVolume is the share of the total log occupied by this domain's
+	// entity-driven queries; the rest is global noise.
+	DomainVolume float64
+	// NoiseVolume is the share of the total log occupied by background Web
+	// queries.
+	NoiseVolume float64
+}
+
+// MovieParams are the defaults for the D1 movie domain. Movie titles double
+// as everyday phrases, so the canonical string itself carries substantial
+// volume — which is why the random-walk baseline achieves a 100% hit ratio
+// on movies (Table I).
+func MovieParams() Params {
+	return Params{
+		CanonicalShare: 0.30,
+		SynonymShare:   0.38,
+		HypernymShare:  0.12,
+		HyponymShare:   0.20,
+		RelatedShare:   0,
+		DomainVolume:   0.70,
+		NoiseVolume:    0.30,
+	}
+}
+
+// CameraParams are the defaults for the D2 camera domain. Canonical feed
+// strings ("Sony Cyber-shot DSC-W120") are rarely typed verbatim, so the
+// canonical share is small — which starves the random-walk baseline on the
+// tail (Table I's 54% hit ratio).
+func CameraParams() Params {
+	return Params{
+		CanonicalShare: 0.012,
+		SynonymShare:   0.628,
+		HypernymShare:  0.16,
+		HyponymShare:   0.20,
+		RelatedShare:   0,
+		DomainVolume:   0.70,
+		NoiseVolume:    0.30,
+	}
+}
+
+// check validates that the shares form a distribution.
+func (p Params) check() error {
+	sum := p.CanonicalShare + p.SynonymShare + p.HypernymShare + p.HyponymShare + p.RelatedShare
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("alias: per-entity shares sum to %v, want 1", sum)
+	}
+	if p.DomainVolume <= 0 || p.NoiseVolume < 0 {
+		return fmt.Errorf("alias: invalid volume split %v/%v", p.DomainVolume, p.NoiseVolume)
+	}
+	return nil
+}
+
+// Model is the assembled alias universe for one catalog.
+type Model struct {
+	catalog   *entity.Catalog
+	params    Params
+	perEntity [][]Alias         // entity ID -> its aliases (all labels)
+	synonyms  []map[string]bool // entity ID -> set of true synonym strings
+	entries   []Entry           // the full sampled universe, volumes sum to 1
+	labelOf   map[string]map[int]Label
+}
+
+// Catalog returns the underlying entity catalog.
+func (m *Model) Catalog() *entity.Catalog { return m.catalog }
+
+// Params returns the parameters the model was built with.
+func (m *Model) Params() Params { return m.params }
+
+// Entries returns the query universe in deterministic order. Volumes sum
+// to 1. Callers must not mutate the slice.
+func (m *Model) Entries() []Entry { return m.entries }
+
+// AliasesOf returns all aliases generated for the entity, strongest label
+// first. Callers must not mutate the slice.
+func (m *Model) AliasesOf(id int) []Alias {
+	if id < 0 || id >= len(m.perEntity) {
+		return nil
+	}
+	return m.perEntity[id]
+}
+
+// SynonymsOf returns the normalized true-synonym strings of the entity,
+// excluding the canonical string itself, sorted for determinism.
+func (m *Model) SynonymsOf(id int) []string {
+	if id < 0 || id >= len(m.synonyms) {
+		return nil
+	}
+	canon := m.catalog.ByID(id).Norm()
+	out := make([]string, 0, len(m.synonyms[id]))
+	for s := range m.synonyms[id] {
+		if s != canon {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsSynonym reports whether text (normalized) is a true synonym of the
+// entity — the oracle judgment used for precision.
+func (m *Model) IsSynonym(id int, text string) bool {
+	if id < 0 || id >= len(m.synonyms) {
+		return false
+	}
+	return m.synonyms[id][text]
+}
+
+// LabelFor returns the ground-truth label of text relative to the entity.
+// Unknown strings are Noise with ok=false.
+func (m *Model) LabelFor(id int, text string) (Label, bool) {
+	if em, found := m.labelOf[text]; found {
+		if l, ok := em[id]; ok {
+			return l, true
+		}
+		// The string exists in the universe but belongs to other entities:
+		// from this entity's perspective it is merely related.
+		return Related, true
+	}
+	return Noise, false
+}
+
+// Build assembles the alias model for the catalog with the given parameters.
+func Build(cat *entity.Catalog, p Params) (*Model, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		catalog:   cat,
+		params:    p,
+		perEntity: make([][]Alias, cat.Len()),
+		synonyms:  make([]map[string]bool, cat.Len()),
+		labelOf:   make(map[string]map[int]Label),
+	}
+	var globals []Entry
+	var err error
+	switch cat.Kind() {
+	case entity.Movie:
+		globals, err = m.buildMovies()
+	case entity.Camera:
+		globals, err = m.buildCameras()
+	case entity.Software:
+		globals, err = m.buildSoftware()
+	default:
+		err = fmt.Errorf("alias: unsupported catalog kind %v", cat.Kind())
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.demoteAmbiguousSynonyms()
+	m.assemble(globals)
+	return m, nil
+}
+
+// addAlias registers one generated alias for an entity, deduplicating by
+// normalized text with label precedence (Synonym wins over Hypernym, etc.)
+// and summing weights of duplicates.
+func (m *Model) addAlias(id int, text string, label Label, weight float64) {
+	norm := textnorm.Normalize(text)
+	if norm == "" || weight <= 0 {
+		return
+	}
+	for i, a := range m.perEntity[id] {
+		if a.Text == norm {
+			m.perEntity[id][i].Weight += weight
+			if label.precedence() < a.Label.precedence() {
+				m.perEntity[id][i].Label = label
+			}
+			return
+		}
+	}
+	m.perEntity[id] = append(m.perEntity[id], Alias{Text: norm, Label: label, Weight: weight})
+}
+
+// demoteAmbiguousSynonyms applies the set-semantics of Definition 1: a
+// string generated as a Synonym for two or more entities actually maps to a
+// multi-entity set, so it is a synonym of neither ("A450" when both Canon
+// and Fujifilm ship an A450). Such strings are demoted to Hypernym.
+func (m *Model) demoteAmbiguousSynonyms() {
+	owner := make(map[string][]int)
+	for id, aliases := range m.perEntity {
+		for _, a := range aliases {
+			if a.Label == Synonym {
+				owner[a.Text] = append(owner[a.Text], id)
+			}
+		}
+	}
+	for text, ids := range owner {
+		if len(ids) < 2 {
+			continue
+		}
+		for _, id := range ids {
+			// The canonical string itself is guaranteed unique by the
+			// catalog, so it can never be demoted here.
+			for i, a := range m.perEntity[id] {
+				if a.Text == text {
+					m.perEntity[id][i].Label = Hypernym
+				}
+			}
+		}
+	}
+}
+
+// normalizeEntityWeights rescales each entity's alias weights so each label
+// class carries exactly its configured share, then records synonym sets.
+func (m *Model) normalizeEntityWeights() {
+	p := m.params
+	classShares := map[Label]float64{
+		Synonym: p.SynonymShare, Hypernym: p.HypernymShare,
+		Hyponym: p.HyponymShare, Related: p.RelatedShare,
+	}
+	for id, aliases := range m.perEntity {
+		canon := m.catalog.ByID(id).Norm()
+		classTotal := map[Label]float64{}
+		for _, a := range aliases {
+			if a.Text == canon {
+				continue // canonical share handled separately
+			}
+			classTotal[a.Label] += a.Weight
+		}
+		// Classes with no generated strings (per-entity Related is always
+		// empty — related strings are global; standalone movies have no
+		// franchise hypernym) forfeit their share, which is redistributed
+		// proportionally over the present classes. The canonical share is
+		// held exactly at CanonicalShare: the rarity of verbatim canonical
+		// queries is the lever behind the random-walk baseline's hit
+		// ratio, so it must not absorb leftovers.
+		presentShare := 0.0
+		for _, label := range []Label{Synonym, Hypernym, Hyponym, Related} {
+			if classTotal[label] > 0 {
+				presentShare += classShares[label]
+			}
+		}
+		scale := 1.0
+		if presentShare > 0 {
+			scale = (1 - p.CanonicalShare) / presentShare
+		}
+		shareFor := func(a Alias) float64 {
+			if a.Text == canon {
+				return p.CanonicalShare
+			}
+			if classTotal[a.Label] == 0 {
+				return 0
+			}
+			return classShares[a.Label] * scale * a.Weight / classTotal[a.Label]
+		}
+		newAliases := make([]Alias, 0, len(aliases))
+		assigned := 0.0
+		for _, a := range aliases {
+			w := shareFor(a)
+			assigned += w
+			newAliases = append(newAliases, Alias{Text: a.Text, Label: a.Label, Weight: w})
+		}
+		// Degenerate case: an entity with no informal strings at all puts
+		// everything on the canonical.
+		if leftover := 1 - assigned; leftover > 1e-9 {
+			for i := range newAliases {
+				if newAliases[i].Text == canon {
+					newAliases[i].Weight += leftover
+					break
+				}
+			}
+		}
+		sort.Slice(newAliases, func(i, j int) bool {
+			if newAliases[i].Label != newAliases[j].Label {
+				return newAliases[i].Label.precedence() < newAliases[j].Label.precedence()
+			}
+			return newAliases[i].Text < newAliases[j].Text
+		})
+		m.perEntity[id] = newAliases
+
+		syn := make(map[string]bool)
+		syn[canon] = true
+		for _, a := range newAliases {
+			if a.Label == Synonym {
+				syn[a.Text] = true
+			}
+		}
+		m.synonyms[id] = syn
+	}
+}
+
+// assemble flattens per-entity aliases plus global entries into the final
+// volume-normalized universe and label index.
+func (m *Model) assemble(globals []Entry) {
+	m.normalizeEntityWeights()
+	p := m.params
+
+	var entries []Entry
+	for id, aliases := range m.perEntity {
+		e := m.catalog.ByID(id)
+		scope := scopeOf(e)
+		for _, a := range aliases {
+			if a.Weight <= 0 {
+				continue
+			}
+			entries = append(entries, Entry{
+				Text:     a.Text,
+				Volume:   p.DomainVolume * e.Weight * a.Weight,
+				Label:    a.Label,
+				EntityID: id,
+				Scope:    scope,
+			})
+		}
+	}
+	// Globals (related category queries and noise) come with volumes
+	// expressed relative to their own class; rescale noise to NoiseVolume.
+	noiseTotal := 0.0
+	for _, g := range globals {
+		if g.Label == Noise {
+			noiseTotal += g.Volume
+		}
+	}
+	for _, g := range globals {
+		if g.Label == Noise && noiseTotal > 0 {
+			g.Volume = p.NoiseVolume * g.Volume / noiseTotal
+		}
+		entries = append(entries, g)
+	}
+	// Normalize everything to sum exactly 1.
+	total := 0.0
+	for _, e := range entries {
+		total += e.Volume
+	}
+	if total > 0 {
+		for i := range entries {
+			entries[i].Volume /= total
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].EntityID != entries[j].EntityID {
+			return entries[i].EntityID < entries[j].EntityID
+		}
+		return entries[i].Text < entries[j].Text
+	})
+	m.entries = entries
+
+	for _, e := range entries {
+		if m.labelOf[e.Text] == nil {
+			m.labelOf[e.Text] = make(map[int]Label)
+		}
+		if e.EntityID >= 0 {
+			prev, ok := m.labelOf[e.Text][e.EntityID]
+			if !ok || e.Label.precedence() < prev.precedence() {
+				m.labelOf[e.Text][e.EntityID] = e.Label
+			}
+		}
+	}
+}
+
+// scopeOf derives the breadth key used by hypernym intents.
+func scopeOf(e *entity.Entity) string {
+	switch e.Kind {
+	case entity.Movie:
+		if e.Franchise != "" {
+			return textnorm.Normalize(e.Franchise)
+		}
+		return ""
+	case entity.Camera:
+		return textnorm.Normalize(e.Brand)
+	case entity.Software:
+		if e.Franchise != "" {
+			return textnorm.Normalize(e.Franchise)
+		}
+		return textnorm.Normalize(e.Brand)
+	}
+	return ""
+}

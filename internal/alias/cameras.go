@@ -1,0 +1,244 @@
+package alias
+
+import (
+	"sort"
+	"strings"
+
+	"websyn/internal/entity"
+	"websyn/internal/textnorm"
+)
+
+// Relative in-class weights for camera alias generation.
+const (
+	wCamModelOnly  = 9.0
+	wCamLineModel  = 8.0
+	wCamBrandModel = 7.0
+	wCamNickname   = 8.0
+	wCamConcat     = 2.0
+	wCamSuffixDrop = 3.0
+	wCamBrandTypo  = 1.0
+
+	wCamBrandHyper = 8.0
+	wCamLineHyper  = 4.0
+	wCamCatHyper   = 2.0
+
+	wCamRefinement = 1.0
+)
+
+// cameraRefinements are the hyponym suffixes of the camera domain.
+var cameraRefinements = []struct {
+	suffix string
+	weight float64
+}{
+	{"review", 3.0},
+	{"price", 2.5},
+	{"manual", 1.6},
+	{"battery", 1.4},
+	{"charger", 1.0},
+	{"accessories", 0.8},
+	{"memory card", 0.6},
+}
+
+// cameraCategoryQueries are domain-level Related strings: high-volume
+// generic queries whose clicks touch many camera pages without referring to
+// any one entity.
+var cameraCategoryQueries = []struct {
+	text   string
+	volume float64
+}{
+	{"digital camera", 5.0},
+	{"digital camera reviews", 3.0},
+	{"best digital camera", 2.5},
+	{"dslr camera", 2.5},
+	{"compact digital camera", 1.5},
+	{"camera shop", 1.2},
+	{"10 megapixel camera", 1.0},
+	{"camera comparison", 0.8},
+	{"point and shoot camera", 0.8},
+	{"slr lenses", 0.7},
+	{"camera sale", 0.6},
+	{"best camera 2008", 0.6},
+}
+
+// RefinementSuffixes returns every refinement suffix either domain
+// generates, longest first, so callers can greedily match the suffix of a
+// hyponym query ("memory card" before "card").
+func RefinementSuffixes() []string {
+	var out []string
+	for _, r := range movieRefinements {
+		out = append(out, r.suffix)
+	}
+	for _, r := range cameraRefinements {
+		out = append(out, r.suffix)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// commonBrandTypos maps brand tokens to their classic misspellings.
+var commonBrandTypos = map[string]string{
+	"canon":     "cannon",
+	"fujifilm":  "fuji film",
+	"panasonic": "panasonnic",
+	"olympus":   "olimpus",
+}
+
+// buildCameras generates aliases for every camera and the camera-domain
+// global entries (category queries).
+func (m *Model) buildCameras() ([]Entry, error) {
+	for _, e := range m.catalog.All() {
+		m.buildOneCamera(e)
+	}
+
+	var globals []Entry
+	catTotal := 0.0
+	for _, c := range cameraCategoryQueries {
+		catTotal += c.volume
+	}
+	for _, c := range cameraCategoryQueries {
+		globals = append(globals, Entry{
+			Text:     textnorm.Normalize(c.text),
+			Volume:   m.params.DomainVolume * 0.06 * c.volume / catTotal,
+			Label:    Related,
+			EntityID: -1,
+			Scope:    "category",
+		})
+	}
+	globals = append(globals, noiseEntries()...)
+	return globals, nil
+}
+
+// buildOneCamera applies the generation rules to a single camera.
+func (m *Model) buildOneCamera(e *entity.Entity) {
+	id := e.ID
+	canon := e.Norm()
+	brand := textnorm.Normalize(e.Brand)
+	line := textnorm.Normalize(e.Line)
+	model := textnorm.Normalize(e.Model)
+
+	m.addAlias(id, canon, Synonym, 1)
+
+	// Model-only: "350d", "dsc w120". Bare-number models ("780" for the
+	// Olympus Stylus 780) are skipped: a number alone is hopelessly
+	// ambiguous as a query, and the demotion pass would not catch clashes
+	// with strings outside the catalog.
+	coreModel := stripSeriesPrefix(model)
+	if !isBareNumber(model) {
+		m.addAlias(id, model, Synonym, wCamModelOnly)
+	}
+	if coreModel != model && !isBareNumber(coreModel) {
+		m.addAlias(id, coreModel, Synonym, wCamModelOnly/2)
+	}
+
+	// Line+model and brand+model: "eos 350d", "canon 350d".
+	if line != "" {
+		m.addAlias(id, line+" "+model, Synonym, wCamLineModel)
+	}
+	m.addAlias(id, brand+" "+model, Synonym, wCamBrandModel)
+	if coreModel != model {
+		m.addAlias(id, brand+" "+coreModel, Synonym, wCamBrandModel/2)
+	}
+
+	// Codified market nicknames ("digital rebel xt") and brand-qualified
+	// variants ("canon digital rebel xt").
+	for _, n := range e.Nicknames {
+		m.addAlias(id, n, Synonym, wCamNickname)
+		m.addAlias(id, brand+" "+n, Synonym, wCamNickname/2)
+	}
+
+	// Concatenated model variant: "eos350d" — users often omit the space
+	// inside model codes.
+	concat := strings.ReplaceAll(model, " ", "")
+	if line != "" && !isBareNumber(model) {
+		m.addAlias(id, line+" "+concat, Synonym, wCamConcat)
+	}
+
+	// Suffix drop: "canon powershot a590" for "A590 IS".
+	if dropped, ok := dropModelSuffix(model); ok {
+		if line != "" {
+			m.addAlias(id, brand+" "+line+" "+dropped, Synonym, wCamSuffixDrop)
+		} else {
+			m.addAlias(id, brand+" "+dropped, Synonym, wCamSuffixDrop)
+		}
+	}
+
+	// Brand typo on the highest-volume brandful alias.
+	if typo, ok := commonBrandTypos[brand]; ok && e.PopRank < 200 {
+		m.addAlias(id, typo+" "+model, Synonym, wCamBrandTypo)
+	}
+
+	// Qualifier and no-space variants of the primary informal name:
+	// "eos 350d camera", "eos350d".
+	primary := primaryCameraName(e)
+	m.addAlias(id, primary+" camera", Synonym, wCamConcat)
+	if nospace := strings.ReplaceAll(primary, " ", ""); nospace != primary && len(nospace) <= 14 {
+		m.addAlias(id, nospace, Synonym, wCamConcat/2)
+	}
+
+	// Hypernyms: brand, brand+line, brand+category.
+	m.addAlias(id, brand, Hypernym, wCamBrandHyper)
+	if line != "" {
+		m.addAlias(id, brand+" "+line, Hypernym, wCamLineHyper)
+		m.addAlias(id, line, Hypernym, wCamLineHyper/2)
+	}
+	m.addAlias(id, brand+" digital camera", Hypernym, wCamCatHyper)
+
+	// Hyponyms: refinements over the primary informal name.
+	for _, r := range cameraRefinements {
+		m.addAlias(id, primary+" "+r.suffix, Hyponym, wCamRefinement*r.weight)
+	}
+}
+
+// primaryCameraName is the highest-volume informal name: nickname if any,
+// else line+model, else brand+model.
+func primaryCameraName(e *entity.Entity) string {
+	if len(e.Nicknames) > 0 {
+		return textnorm.Normalize(e.Nicknames[0])
+	}
+	model := textnorm.Normalize(e.Model)
+	if line := textnorm.Normalize(e.Line); line != "" {
+		return line + " " + model
+	}
+	return textnorm.Normalize(e.Brand) + " " + model
+}
+
+// stripSeriesPrefix removes marketing prefixes from model codes:
+// "dsc w120" -> "w120", "dmc fz18" -> "fz18", "ex z75" -> "z75".
+func stripSeriesPrefix(model string) string {
+	for _, prefix := range []string{"dsc ", "dmc ", "ex ", "vpc ", "dslr "} {
+		if rest, ok := strings.CutPrefix(model, prefix); ok && rest != "" {
+			return rest
+		}
+	}
+	return model
+}
+
+// dropModelSuffix removes trailing feature designators ("IS", "SW", "UZ",
+// "HD", "fd") from a normalized model code. The second result reports
+// whether anything was dropped.
+func dropModelSuffix(model string) (string, bool) {
+	for _, suffix := range []string{" is", " sw", " uz", " hd", " fd", " ops", " tw"} {
+		if rest, ok := strings.CutSuffix(model, suffix); ok && rest != "" {
+			return rest, true
+		}
+	}
+	return model, false
+}
+
+// isBareNumber reports whether the normalized model is digits only.
+func isBareNumber(model string) bool {
+	if model == "" {
+		return false
+	}
+	for _, r := range model {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}

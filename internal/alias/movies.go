@@ -1,0 +1,315 @@
+package alias
+
+import (
+	"sort"
+	"strings"
+
+	"websyn/internal/entity"
+	"websyn/internal/textnorm"
+)
+
+// Relative in-class weights for movie alias generation. Only ratios within
+// a label class matter (normalizeEntityWeights rescales classes to the
+// configured shares).
+const (
+	wMovieArticleDrop  = 10.0
+	wMovieNickname     = 8.0
+	wMovieFranchiseNum = 7.0
+	wMovieSubtitle     = 4.0
+	wMovieAcronym      = 1.5
+	wMovieQualifier    = 2.0
+	wMovieTypo         = 0.8
+
+	wMovieFranchiseHyper = 8.0
+	wMovieSeriesHyper    = 2.0
+
+	wMovieRefinement = 1.0
+	wMovieActor      = 1.0
+)
+
+// movieRefinements are the query-suffix intents that turn an alias into a
+// hyponym (narrower query). Ordered by rough real-world volume.
+var movieRefinements = []struct {
+	suffix string
+	weight float64
+}{
+	{"trailer", 3.0},
+	{"showtimes", 2.5},
+	{"review", 1.5},
+	{"cast", 1.2},
+	{"dvd", 1.0},
+	{"soundtrack", 0.8},
+}
+
+// movieActors maps actor names to the normalized titles of their 2008
+// movies in the catalog. Actor queries are the canonical Related example in
+// the paper ("Harrison Ford" for Indiana Jones): correlated clicks, not
+// synonyms.
+var movieActors = map[string][]string{
+	"christian bale":       {"the dark knight"},
+	"heath ledger":         {"the dark knight"},
+	"robert downey jr":     {"iron man", "tropic thunder"},
+	"harrison ford":        {"indiana jones and the kingdom of the crystal skull"},
+	"shia labeouf":         {"indiana jones and the kingdom of the crystal skull", "eagle eye"},
+	"will smith":           {"hancock", "seven pounds"},
+	"jack black":           {"kung fu panda", "tropic thunder"},
+	"angelina jolie":       {"wanted", "changeling", "kung fu panda"},
+	"kristen stewart":      {"twilight"},
+	"robert pattinson":     {"twilight"},
+	"ben stiller":          {"madagascar escape 2 africa", "tropic thunder"},
+	"daniel craig":         {"quantum of solace"},
+	"jim carrey":           {"dr seuss horton hears a who", "yes man"},
+	"sarah jessica parker": {"sex and the city"},
+	"clint eastwood":       {"gran torino", "changeling"},
+	"meryl streep":         {"mamma mia"},
+	"jennifer aniston":     {"marley me"},
+	"owen wilson":          {"marley me", "drillbit taylor"},
+	"edward norton":        {"the incredible hulk"},
+	"james mcavoy":         {"wanted"},
+	"steve carell":         {"get smart"},
+	"brad pitt":            {"the curious case of benjamin button", "burn after reading"},
+	"brendan fraser":       {"the mummy tomb of the dragon emperor", "journey to the center of the earth"},
+	"robert de niro":       {"righteous kill"},
+	"al pacino":            {"righteous kill"},
+	"adam sandler":         {"bedtime stories", "you don t mess with the zohan"},
+	"tom cruise":           {"valkyrie", "tropic thunder"},
+	"will ferrell":         {"step brothers", "semi pro"},
+	"keanu reeves":         {"the day the earth stood still", "street kings"},
+	"katherine heigl":      {"27 dresses"},
+	"hayden christensen":   {"jumper"},
+	"seth rogen":           {"pineapple express", "kung fu panda", "zack and miri make a porno"},
+	"james franco":         {"pineapple express"},
+	"ron perlman":          {"hellboy ii the golden army"},
+	"mark wahlberg":        {"the happening", "max payne"},
+	"zac efron":            {"high school musical 3 senior year"},
+	"tina fey":             {"baby mama"},
+	"amy poehler":          {"baby mama"},
+	"jason segel":          {"forgetting sarah marshall"},
+	"kevin spacey":         {"21"},
+	"richard gere":         {"nights in rodanthe"},
+	"george clooney":       {"burn after reading", "leatherheads"},
+	"cameron diaz":         {"what happens in vegas"},
+	"ashton kutcher":       {"what happens in vegas"},
+	"leonardo dicaprio":    {"body of lies"},
+	"russell crowe":        {"body of lies"},
+	"anna faris":           {"the house bunny"},
+	"ryan reynolds":        {"definitely maybe"},
+	"patrick dempsey":      {"made of honor"},
+	"sylvester stallone":   {"rambo"},
+	"mike myers":           {"the love guru"},
+	"jackie chan":          {"the forbidden kingdom", "kung fu panda"},
+	"jet li":               {"the forbidden kingdom", "the mummy tomb of the dragon emperor"},
+	"nicolas cage":         {"bangkok dangerous"},
+	"samuel l jackson":     {"lakeview terrace"},
+	"jason statham":        {"the bank job", "transporter 3"},
+	"matthew mcconaughey":  {"fools gold"},
+	"kate hudson":          {"fools gold"},
+	"vince vaughn":         {"four christmases"},
+	"reese witherspoon":    {"four christmases"},
+	"ricky gervais":        {"ghost town"},
+	"kevin costner":        {"swing vote"},
+	"keira knightley":      {"the duchess"},
+	"viggo mortensen":      {"appaloosa"},
+	"ed harris":            {"appaloosa"},
+	"david duchovny":       {"the x files i want to believe"},
+	"paul rudd":            {"role models"},
+	"dev patel":            {"slumdog millionaire"},
+	"michael cera":         {"nick and norah s infinite playlist"},
+	"frank langella":       {"the day the earth stood still"},
+	"dakota fanning":       {"the spiderwick chronicles"},
+	"dennis quaid":         {"vantage point"},
+	"cate blanchett":       {"indiana jones and the kingdom of the crystal skull", "the curious case of benjamin button"},
+}
+
+// ActorMovies returns the normalized catalog titles the actor appears in,
+// or nil for unknown actors. The corpus builder uses it to put filmography
+// mentions on actor pages.
+func ActorMovies(actor string) []string {
+	return movieActors[actor]
+}
+
+// Actors returns all actor names in sorted order.
+func Actors() []string {
+	out := make([]string, 0, len(movieActors))
+	for a := range movieActors {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// buildMovies generates aliases for every movie and the movie-domain global
+// entries (actor queries). It returns the globals; entity aliases are
+// accumulated in place.
+func (m *Model) buildMovies() ([]Entry, error) {
+	for _, e := range m.catalog.All() {
+		m.buildOneMovie(e)
+	}
+
+	var globals []Entry
+	// Actor queries: global Related strings. Volume proportional to the
+	// summed popularity of the actor's movies.
+	for actor, titles := range movieActors {
+		vol := 0.0
+		for _, title := range titles {
+			if ent := m.catalog.ByNorm(title); ent != nil {
+				vol += ent.Weight
+			}
+		}
+		if vol == 0 {
+			continue
+		}
+		globals = append(globals, Entry{
+			Text:     textnorm.Normalize(actor),
+			Volume:   m.params.DomainVolume * 0.05 * vol,
+			Label:    Related,
+			EntityID: -1,
+			Scope:    "actor:" + textnorm.Normalize(actor),
+		})
+	}
+	globals = append(globals, noiseEntries()...)
+	return globals, nil
+}
+
+// buildOneMovie applies the generation rules to a single movie.
+func (m *Model) buildOneMovie(e *entity.Entity) {
+	id := e.ID
+	canon := e.Norm()
+
+	// The canonical string itself always exists as a query (Synonym by
+	// definition); its class weight is handled separately via
+	// CanonicalShare.
+	m.addAlias(id, canon, Synonym, 1)
+
+	// Article drop: "the dark knight" -> "dark knight".
+	base := canon
+	if rest, ok := strings.CutPrefix(canon, "the "); ok && rest != "" {
+		m.addAlias(id, rest, Synonym, wMovieArticleDrop)
+		base = rest
+	}
+
+	// Ampersand spelling: tokenization drops "&" entirely, so "Marley & Me"
+	// normalizes to "marley me" while users type "marley and me" — a real
+	// lexical gap the truth must cover.
+	if strings.Contains(e.Canonical, "&") {
+		withAnd := strings.ReplaceAll(e.Canonical, "&", " and ")
+		m.addAlias(id, withAnd, Synonym, wMovieArticleDrop)
+	}
+
+	// Stopword-dropped compression of long titles: "chronicles narnia
+	// prince caspian". Only titles long enough for users to bother.
+	if sig := textnorm.SignificantTokens(e.Canonical); len(sig) >= 3 {
+		compressed := strings.Join(sig, " ")
+		if compressed != canon && compressed != base {
+			m.addAlias(id, compressed, Synonym, wMovieAcronym)
+		}
+	}
+
+	// Codified nicknames from the catalog.
+	for _, n := range e.Nicknames {
+		m.addAlias(id, n, Synonym, wMovieNickname)
+	}
+
+	franchise := textnorm.Normalize(e.Franchise)
+
+	// Franchise + sequel-number variants: "madagascar 2", "madagascar ii",
+	// "madagascar two".
+	if franchise != "" && e.Sequel > 0 {
+		forms := textnorm.NumeralForms(e.Sequel)
+		for i, f := range forms {
+			w := wMovieFranchiseNum / float64(i+1) // digits most common
+			m.addAlias(id, franchise+" "+f, Synonym, w)
+		}
+	}
+
+	// Subtitle alone: "prince caspian"; and franchise+subtitle-tail for
+	// colon titles: "narnia prince caspian".
+	if e.Subtitle != "" {
+		sub := textnorm.Normalize(e.Subtitle)
+		if sub != canon && sub != franchise {
+			m.addAlias(id, sub, Synonym, wMovieSubtitle)
+		}
+		if franchise != "" {
+			short := shortFranchise(franchise)
+			if short != "" && short != franchise {
+				m.addAlias(id, short+" "+sub, Synonym, wMovieSubtitle/2)
+			}
+		}
+	}
+
+	// Acronym for popular multi-word titles: "tdk" style. Only the head of
+	// the popularity curve earns an acronym in real logs.
+	if e.PopRank < 20 {
+		ac := textnorm.Acronym(e.Canonical)
+		if len(ac) >= 3 && len(ac) <= 6 && ac != canon {
+			m.addAlias(id, ac, Synonym, wMovieAcronym)
+		}
+	}
+
+	// Qualifier forms on the article-dropped base: "hancock movie",
+	// "hancock 2008".
+	if !strings.HasSuffix(base, " movie") {
+		m.addAlias(id, base+" movie", Synonym, wMovieQualifier)
+	}
+	if !strings.HasSuffix(base, "2008") {
+		m.addAlias(id, base+" 2008", Synonym, wMovieQualifier/2)
+	}
+	m.addAlias(id, base+" film", Synonym, wMovieQualifier/3)
+
+	// A single-character-drop typo of the base form, for popular movies
+	// only (typo volume is popularity-driven).
+	if e.PopRank < 30 {
+		if typo := dropMiddleRune(base); typo != "" {
+			m.addAlias(id, typo, Synonym, wMovieTypo)
+		}
+	}
+
+	// Hypernyms: the franchise name covers sibling movies beyond this one.
+	if franchise != "" && franchise != canon {
+		m.addAlias(id, franchise, Hypernym, wMovieFranchiseHyper)
+		m.addAlias(id, franchise+" movies", Hypernym, wMovieSeriesHyper)
+		m.addAlias(id, franchise+" series", Hypernym, wMovieSeriesHyper/2)
+	}
+
+	// Hyponyms: query refinements over the informal base. For franchise
+	// sequels the refinement base is the franchise+number form ("indiana
+	// jones 4 trailer") — users refine with the short name, not the full
+	// title.
+	refineBase := base
+	if franchise != "" && e.Sequel > 0 {
+		refineBase = franchise + " " + textnorm.NumeralForms(e.Sequel)[0]
+	}
+	for _, r := range movieRefinements {
+		m.addAlias(id, refineBase+" "+r.suffix, Hyponym, wMovieRefinement*r.weight)
+	}
+}
+
+// shortFranchise shortens multi-word franchise names to their distinctive
+// head token ("chronicles of narnia" -> "narnia").
+func shortFranchise(franchise string) string {
+	toks := textnorm.SignificantTokens(franchise)
+	if len(toks) == 0 {
+		return ""
+	}
+	return toks[len(toks)-1]
+}
+
+// dropMiddleRune produces a deterministic single-deletion typo of s,
+// removing a rune near the middle of its longest token. Returns "" when s
+// is too short to typo plausibly.
+func dropMiddleRune(s string) string {
+	toks := strings.Fields(s)
+	longest := -1
+	for i, t := range toks {
+		if longest == -1 || len(t) > len(toks[longest]) {
+			longest = i
+		}
+	}
+	if longest == -1 || len(toks[longest]) < 5 {
+		return ""
+	}
+	t := []rune(toks[longest])
+	mid := len(t) / 2
+	toks[longest] = string(t[:mid]) + string(t[mid+1:])
+	return strings.Join(toks, " ")
+}

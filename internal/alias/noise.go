@@ -1,0 +1,127 @@
+package alias
+
+import "websyn/internal/textnorm"
+
+// noiseQueries model the background Web traffic surrounding the domain in a
+// real search log: navigational and informational queries with no relation
+// to the entity catalog. Their clicks land on noise pages — except for the
+// small accidental-click rate the click model applies, which is what
+// produces the IPC=1 candidate haze that the paper's β threshold exists to
+// remove (Figure 2's precision drop from β=10 to β=2).
+//
+// Volumes are relative; the universe assembly rescales the class to
+// Params.NoiseVolume.
+var noiseQueries = []struct {
+	text   string
+	volume float64
+}{
+	{"youtube", 10.0},
+	{"facebook", 9.0},
+	{"myspace", 7.5},
+	{"yahoo mail", 6.5},
+	{"google maps", 5.5},
+	{"ebay", 5.0},
+	{"craigslist", 4.8},
+	{"weather", 4.5},
+	{"amazon", 4.2},
+	{"wikipedia", 4.0},
+	{"hotmail", 3.8},
+	{"news", 3.5},
+	{"lyrics", 3.2},
+	{"games", 3.0},
+	{"dictionary", 2.8},
+	{"white pages", 2.6},
+	{"maps", 2.5},
+	{"horoscope", 2.3},
+	{"recipes", 2.2},
+	{"cnn news", 2.1},
+	{"sports scores", 2.0},
+	{"nba scores", 1.9},
+	{"nfl schedule", 1.9},
+	{"stock quotes", 1.8},
+	{"cheap flights", 1.8},
+	{"hotels", 1.7},
+	{"used cars", 1.7},
+	{"real estate listings", 1.6},
+	{"jobs", 1.6},
+	{"online banking", 1.5},
+	{"tax forms", 1.5},
+	{"zip codes", 1.4},
+	{"area codes", 1.4},
+	{"calorie counter", 1.3},
+	{"bmi calculator", 1.3},
+	{"currency converter", 1.2},
+	{"translation", 1.2},
+	{"free music downloads", 1.2},
+	{"ringtones", 1.1},
+	{"wallpapers", 1.1},
+	{"screensavers", 1.0},
+	{"solitaire", 1.0},
+	{"sudoku", 1.0},
+	{"crossword puzzles", 0.9},
+	{"coloring pages", 0.9},
+	{"baby names", 0.9},
+	{"wedding ideas", 0.8},
+	{"birthday wishes", 0.8},
+	{"love quotes", 0.8},
+	{"funny jokes", 0.8},
+	{"science fair projects", 0.7},
+	{"book reports", 0.7},
+	{"periodic table", 0.7},
+	{"world map", 0.7},
+	{"us presidents", 0.6},
+	{"state capitals", 0.6},
+	{"metric conversion", 0.6},
+	{"printable calendar", 0.6},
+	{"resume templates", 0.6},
+	{"cover letter examples", 0.5},
+	{"interview questions", 0.5},
+	{"student loans", 0.5},
+	{"credit report", 0.5},
+	{"mortgage calculator", 0.5},
+	{"car insurance quotes", 0.5},
+	{"cell phone plans", 0.4},
+	{"laptop deals", 0.4},
+	{"mp3 players", 0.4},
+	{"flat screen tv", 0.4},
+	{"video game cheats", 0.4},
+	{"guitar tabs", 0.4},
+	{"piano sheet music", 0.3},
+	{"knitting patterns", 0.3},
+	{"gardening tips", 0.3},
+	{"home remedies", 0.3},
+	{"dog breeds", 0.3},
+	{"cat names", 0.3},
+	{"fish tanks", 0.2},
+	{"bird watching", 0.2},
+	{"camping gear", 0.2},
+}
+
+// noiseEntries converts the noise table into universe entries (volumes
+// still relative; rescaled during assembly).
+func noiseEntries() []Entry {
+	out := make([]Entry, 0, len(noiseQueries))
+	for _, n := range noiseQueries {
+		out = append(out, Entry{
+			Text:     textnorm.Normalize(n.text),
+			Volume:   n.volume,
+			Label:    Noise,
+			EntityID: -1,
+			Scope:    "noise",
+		})
+	}
+	return out
+}
+
+// NoiseQueryCount reports how many distinct noise strings the model injects
+// (exported for corpus sizing and tests).
+func NoiseQueryCount() int { return len(noiseQueries) }
+
+// NoiseTexts returns the normalized noise query strings in table order.
+func NoiseTexts() []string {
+	out := make([]string, len(noiseQueries))
+	for i, n := range noiseQueries {
+		out[i] = textnorm.Normalize(n.text)
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package alias
+
+import (
+	"strings"
+
+	"websyn/internal/entity"
+	"websyn/internal/textnorm"
+)
+
+// Relative in-class weights for software alias generation.
+const (
+	wSoftVendorDrop = 9.0
+	wSoftNickname   = 8.0
+	wSoftProductNum = 7.0
+	wSoftAcronym    = 2.0
+	wSoftConcat     = 2.0
+	wSoftQualifier  = 2.5
+	wSoftTypo       = 0.8
+
+	wSoftProductHyper = 8.0
+	wSoftVendorHyper  = 4.0
+	wSoftCatHyper     = 2.0
+
+	wSoftRefinement = 1.0
+)
+
+// softwareRefinements are the hyponym suffixes of the software domain.
+var softwareRefinements = []struct {
+	suffix string
+	weight float64
+}{
+	{"download", 3.0},
+	{"free download", 2.0},
+	{"update", 1.5},
+	{"review", 1.2},
+	{"trial", 1.0},
+	{"system requirements", 0.8},
+	{"manual", 0.6},
+}
+
+// softwareCategoryQueries are domain-level Related strings.
+var softwareCategoryQueries = []struct {
+	text   string
+	volume float64
+}{
+	{"free software", 4.0},
+	{"software downloads", 3.0},
+	{"pc games", 3.0},
+	{"antivirus software", 2.0},
+	{"best pc games 2008", 1.5},
+	{"operating systems", 1.2},
+	{"photo editing software", 1.0},
+	{"video games", 1.0},
+	{"open source software", 0.8},
+	{"game reviews", 0.8},
+}
+
+// SoftwareParams are the defaults for the D3 extension domain: canonical
+// vendor-qualified names ("Apple Mac OS X 10.5") carry little volume —
+// users type codenames and short forms.
+func SoftwareParams() Params {
+	return Params{
+		CanonicalShare: 0.08,
+		SynonymShare:   0.54,
+		HypernymShare:  0.14,
+		HyponymShare:   0.24,
+		RelatedShare:   0,
+		DomainVolume:   0.70,
+		NoiseVolume:    0.30,
+	}
+}
+
+// buildSoftware generates aliases for every software product and the
+// domain's global entries.
+func (m *Model) buildSoftware() ([]Entry, error) {
+	for _, e := range m.catalog.All() {
+		m.buildOneSoftware(e)
+	}
+	var globals []Entry
+	catTotal := 0.0
+	for _, c := range softwareCategoryQueries {
+		catTotal += c.volume
+	}
+	for _, c := range softwareCategoryQueries {
+		globals = append(globals, Entry{
+			Text:     textnorm.Normalize(c.text),
+			Volume:   m.params.DomainVolume * 0.06 * c.volume / catTotal,
+			Label:    Related,
+			EntityID: -1,
+			Scope:    "category",
+		})
+	}
+	globals = append(globals, noiseEntries()...)
+	return globals, nil
+}
+
+// buildOneSoftware applies the generation rules to a single product.
+func (m *Model) buildOneSoftware(e *entity.Entity) {
+	id := e.ID
+	canon := e.Norm()
+	vendor := textnorm.Normalize(e.Brand)
+	product := textnorm.Normalize(e.Franchise)
+
+	m.addAlias(id, canon, Synonym, 1)
+
+	// Vendor drop: "Microsoft Windows Vista" -> "windows vista". This is
+	// the dominant phenomenon: nobody types the vendor.
+	if rest, ok := strings.CutPrefix(canon, vendor+" "); ok && rest != "" {
+		m.addAlias(id, rest, Synonym, wSoftVendorDrop)
+	}
+
+	// Codenames and market nicknames ("leopard", "cod4", "wotlk").
+	for _, n := range e.Nicknames {
+		m.addAlias(id, n, Synonym, wSoftNickname)
+	}
+
+	// Product + version numeral forms: "civilization 4", "civilization iv".
+	if product != "" && e.Sequel > 0 {
+		for i, f := range textnorm.NumeralForms(e.Sequel) {
+			m.addAlias(id, product+" "+f, Synonym, wSoftProductNum/float64(i+1))
+		}
+	}
+
+	// Acronym for popular multi-word names ("wow", "gta").
+	if e.PopRank < 30 {
+		ac := textnorm.Acronym(e.Franchise)
+		if len(ac) >= 2 && len(ac) <= 5 && ac != product {
+			if e.Sequel > 0 {
+				m.addAlias(id, ac+" "+textnorm.NumeralForms(e.Sequel)[0], Synonym, wSoftAcronym)
+			} else {
+				m.addAlias(id, ac, Synonym, wSoftAcronym)
+			}
+		}
+	}
+
+	// No-space concatenation of the product's informal name ("warcraft3").
+	primary := primarySoftwareName(e)
+	if nospace := strings.ReplaceAll(primary, " ", ""); nospace != primary && len(nospace) <= 14 {
+		m.addAlias(id, nospace, Synonym, wSoftConcat)
+	}
+
+	// Qualifier: "<primary> game" for games-ish products, "<primary>
+	// software" otherwise — approximated by version presence.
+	m.addAlias(id, primary+" full version", Synonym, wSoftQualifier/2)
+
+	// Typo on the primary informal name, popular products only.
+	if e.PopRank < 25 {
+		if typo := dropMiddleRune(primary); typo != "" {
+			m.addAlias(id, typo, Synonym, wSoftTypo)
+		}
+	}
+
+	// Hypernyms: the product line (covers all versions) and the vendor.
+	if product != "" && product != canon {
+		m.addAlias(id, product, Hypernym, wSoftProductHyper)
+	}
+	m.addAlias(id, vendor, Hypernym, wSoftVendorHyper)
+	m.addAlias(id, vendor+" software", Hypernym, wSoftCatHyper)
+
+	// Hyponyms: refinements over the primary informal name.
+	for _, r := range softwareRefinements {
+		m.addAlias(id, primary+" "+r.suffix, Hyponym, wSoftRefinement*r.weight)
+	}
+}
+
+// primarySoftwareName is the highest-volume informal name: first nickname,
+// else the vendor-dropped canonical.
+func primarySoftwareName(e *entity.Entity) string {
+	if len(e.Nicknames) > 0 {
+		return textnorm.Normalize(e.Nicknames[0])
+	}
+	canon := textnorm.Normalize(e.Canonical)
+	vendor := textnorm.Normalize(e.Brand)
+	if rest, ok := strings.CutPrefix(canon, vendor+" "); ok && rest != "" {
+		return rest
+	}
+	return canon
+}

@@ -1,0 +1,143 @@
+package alias
+
+import (
+	"math"
+	"testing"
+
+	"websyn/internal/entity"
+)
+
+func softwareModel(t *testing.T) *Model {
+	t.Helper()
+	cat, err := entity.Software2008()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(cat, SoftwareParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSoftwareCatalogSize(t *testing.T) {
+	m := softwareModel(t)
+	if m.Catalog().Len() != entity.SoftwareCount {
+		t.Fatalf("catalog size %d", m.Catalog().Len())
+	}
+	if m.Catalog().Kind() != entity.Software {
+		t.Fatal("wrong kind")
+	}
+}
+
+func TestLeopardCodename(t *testing.T) {
+	// The paper's own motivating example: "Apple's 'Mac OS X' is also
+	// known as 'Leopard'".
+	m := softwareModel(t)
+	leopard := m.Catalog().ByNorm("apple mac os x 10 5")
+	if leopard == nil {
+		t.Fatal("Mac OS X 10.5 missing")
+	}
+	if !m.IsSynonym(leopard.ID, "leopard") {
+		t.Fatalf("leopard should be a synonym; have %v", m.SynonymsOf(leopard.ID))
+	}
+	// The product line is a hypernym (covers 10.4 and 10.5).
+	if m.IsSynonym(leopard.ID, "mac os x") {
+		t.Fatal("mac os x must not be a synonym of one version")
+	}
+	if l, ok := m.LabelFor(leopard.ID, "mac os x"); !ok || l != Hypernym {
+		t.Fatalf("mac os x labeled %v,%v", l, ok)
+	}
+}
+
+func TestVersionNumeralVariants(t *testing.T) {
+	m := softwareModel(t)
+	gta := m.Catalog().ByNorm("grand theft auto iv")
+	if gta == nil {
+		t.Fatal("GTA IV missing")
+	}
+	for _, want := range []string{"grand theft auto 4", "gta 4", "gta iv"} {
+		if !m.IsSynonym(gta.ID, want) {
+			t.Errorf("%q should be a synonym of GTA IV", want)
+		}
+	}
+}
+
+func TestVendorDropSynonym(t *testing.T) {
+	m := softwareModel(t)
+	vista := m.Catalog().ByNorm("microsoft windows vista")
+	if vista == nil {
+		t.Fatal("Vista missing")
+	}
+	if !m.IsSynonym(vista.ID, "windows vista") {
+		t.Fatal("vendor-dropped form should be a synonym")
+	}
+	if m.IsSynonym(vista.ID, "microsoft") {
+		t.Fatal("vendor must not be a synonym")
+	}
+	if m.IsSynonym(vista.ID, "windows") {
+		t.Fatal("product line must not be a synonym")
+	}
+}
+
+func TestSoftwareRefinementsAreHyponyms(t *testing.T) {
+	m := softwareModel(t)
+	ff := m.Catalog().ByNorm("mozilla firefox 3")
+	if ff == nil {
+		t.Fatal("Firefox 3 missing")
+	}
+	found := false
+	for _, a := range m.AliasesOf(ff.ID) {
+		if a.Label == Hyponym {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no refinement hyponyms generated")
+	}
+}
+
+func TestSoftwareVolumesSumToOne(t *testing.T) {
+	m := softwareModel(t)
+	sum := 0.0
+	for _, e := range m.Entries() {
+		sum += e.Volume
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("volumes sum to %v", sum)
+	}
+}
+
+func TestSoftwareSynonymOwnershipUnique(t *testing.T) {
+	m := softwareModel(t)
+	owners := map[string][]int{}
+	for _, e := range m.Catalog().All() {
+		for s := range m.synonyms[e.ID] {
+			owners[s] = append(owners[s], e.ID)
+		}
+	}
+	for text, ids := range owners {
+		if len(ids) > 1 {
+			t.Fatalf("text %q is a synonym of %d software entities", text, len(ids))
+		}
+	}
+}
+
+func TestCodVersionsShareProductHypernym(t *testing.T) {
+	// Two Call of Duty entries exist; "call of duty" must be a hypernym
+	// of both, a synonym of neither.
+	m := softwareModel(t)
+	cod4 := m.Catalog().ByNorm("call of duty 4 modern warfare")
+	cod5 := m.Catalog().ByNorm("call of duty world at war")
+	if cod4 == nil || cod5 == nil {
+		t.Fatal("CoD entries missing")
+	}
+	for _, e := range []*entity.Entity{cod4, cod5} {
+		if m.IsSynonym(e.ID, "call of duty") {
+			t.Fatalf("call of duty is a synonym of %q", e.Canonical)
+		}
+	}
+	if !m.IsSynonym(cod4.ID, "cod4") || !m.IsSynonym(cod5.ID, "cod5") {
+		t.Fatal("version nicknames missing")
+	}
+}

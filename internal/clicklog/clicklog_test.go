@@ -1,0 +1,343 @@
+package clicklog
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"websyn/internal/alias"
+	"websyn/internal/entity"
+	"websyn/internal/search"
+	"websyn/internal/webcorpus"
+)
+
+func TestLogBasicOps(t *testing.T) {
+	l := NewLog()
+	l.AddImpression("q1")
+	l.AddImpression("q1")
+	l.AddImpression("q2")
+	l.AddClick("q1", 10)
+	l.AddClick("q1", 10)
+	l.AddClick("q1", 20)
+	l.AddClick("q2", 10)
+
+	if l.Impressions("q1") != 2 || l.Impressions("q2") != 1 || l.Impressions("q3") != 0 {
+		t.Fatal("impression counts wrong")
+	}
+	if l.TotalImpressions() != 3 || l.TotalClicks() != 4 {
+		t.Fatal("totals wrong")
+	}
+	if l.TotalClicksFor("q1") != 3 {
+		t.Fatal("TotalClicksFor wrong")
+	}
+	gl := l.ClickedPages("q1")
+	if gl[10] != 2 || gl[20] != 1 {
+		t.Fatalf("GL(q1) = %v", gl)
+	}
+	if l.ClickedPages("q3") != nil {
+		t.Fatal("unknown query should have nil GL")
+	}
+}
+
+func TestLogQueriesSorted(t *testing.T) {
+	l := NewLog()
+	for _, q := range []string{"zebra", "apple", "mango"} {
+		l.AddImpression(q)
+		l.AddClick(q, 1)
+	}
+	want := []string{"apple", "mango", "zebra"}
+	if got := l.Queries(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Queries() = %v", got)
+	}
+	if got := l.ClickedQueries(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ClickedQueries() = %v", got)
+	}
+}
+
+func TestLogMerge(t *testing.T) {
+	a, b := NewLog(), NewLog()
+	a.AddImpression("q")
+	a.AddClick("q", 1)
+	b.AddImpression("q")
+	b.AddClick("q", 1)
+	b.AddClick("q", 2)
+	a.Merge(b)
+	if a.Impressions("q") != 2 || a.TotalClicks() != 3 {
+		t.Fatal("merge totals wrong")
+	}
+	if a.ClickedPages("q")[1] != 2 || a.ClickedPages("q")[2] != 1 {
+		t.Fatal("merge click counts wrong")
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	l := NewLog()
+	l.AddImpression("b")
+	l.AddImpression("a")
+	l.AddClick("b", 5)
+	l.AddClick("a", 3)
+	l.AddClick("a", 3)
+	l.AddClick("a", 1)
+
+	flat := l.Flatten()
+	want := []Click{{"a", 1, 1}, {"a", 3, 2}, {"b", 5, 1}}
+	if !reflect.DeepEqual(flat, want) {
+		t.Fatalf("Flatten() = %v", flat)
+	}
+
+	l2 := FromClicks(flat, map[string]int{"a": 1, "b": 1})
+	if l2.TotalClicks() != l.TotalClicks() {
+		t.Fatal("round trip lost clicks")
+	}
+	if !reflect.DeepEqual(l2.Flatten(), flat) {
+		t.Fatal("round trip not stable")
+	}
+}
+
+func TestSimConfigValidation(t *testing.T) {
+	bad := DefaultSimConfig(1, 100)
+	bad.Impressions = 0
+	if err := bad.check(); err == nil {
+		t.Fatal("zero impressions accepted")
+	}
+	bad = DefaultSimConfig(1, 100)
+	bad.TopK = 0
+	if err := bad.check(); err == nil {
+		t.Fatal("zero TopK accepted")
+	}
+	bad = DefaultSimConfig(1, 100)
+	bad.AttractOwn = 1.5
+	if err := bad.check(); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+}
+
+// buildMovieStack builds the substrate once for the simulation tests.
+var stackOnce sync.Once
+var stackModel *alias.Model
+var stackIndex *search.Index
+
+func movieStack(t *testing.T) (*alias.Model, *search.Index) {
+	t.Helper()
+	stackOnce.Do(func() {
+		cat, err := entity.Movies2008()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stackModel, err = alias.Build(cat, alias.MovieParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus, err := webcorpus.Build(stackModel, webcorpus.DefaultConfig(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stackIndex = search.NewIndex(corpus)
+	})
+	if stackModel == nil || stackIndex == nil {
+		t.Fatal("stack init failed")
+	}
+	return stackModel, stackIndex
+}
+
+func TestSimulateProducesImpressions(t *testing.T) {
+	model, idx := movieStack(t)
+	log, err := Simulate(model, idx, DefaultSimConfig(11, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.TotalImpressions() != 20000 {
+		t.Fatalf("impressions = %d, want 20000", log.TotalImpressions())
+	}
+	if log.TotalClicks() == 0 {
+		t.Fatal("no clicks simulated")
+	}
+	// Click-through rate should be plausible: between 0.2 and 2 clicks per
+	// impression on average.
+	ctr := float64(log.TotalClicks()) / float64(log.TotalImpressions())
+	if ctr < 0.2 || ctr > 2 {
+		t.Fatalf("CTR %.3f implausible", ctr)
+	}
+}
+
+func TestSimulateDeterministicAcrossWorkers(t *testing.T) {
+	model, idx := movieStack(t)
+	cfg1 := DefaultSimConfig(42, 8000)
+	cfg1.Workers = 1
+	cfg4 := DefaultSimConfig(42, 8000)
+	cfg4.Workers = 4
+
+	l1, err := Simulate(model, idx, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l4, err := Simulate(model, idx, cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, f4 := l1.Flatten(), l4.Flatten()
+	if !reflect.DeepEqual(f1, f4) {
+		t.Fatalf("logs differ across worker counts: %d vs %d tuples", len(f1), len(f4))
+	}
+}
+
+func TestSimulateDifferentSeedsDiffer(t *testing.T) {
+	model, idx := movieStack(t)
+	l1, err := Simulate(model, idx, DefaultSimConfig(1, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Simulate(model, idx, DefaultSimConfig(2, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(l1.Flatten(), l2.Flatten()) {
+		t.Fatal("different seeds produced identical logs")
+	}
+}
+
+func TestSynonymClicksConcentrateOnEntity(t *testing.T) {
+	model, idx := movieStack(t)
+	log, err := Simulate(model, idx, DefaultSimConfig(11, 40000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "dark knight" is the top informal synonym of entity 0: the great
+	// majority of its clicks must land on entity 0's pages.
+	gl := log.ClickedPages("dark knight")
+	if len(gl) == 0 {
+		t.Fatal("dark knight never clicked anything")
+	}
+	own, total := 0, 0
+	for pid, n := range gl {
+		total += n
+		if idx.Corpus().ByID(pid).EntityID == 0 {
+			own += n
+		}
+	}
+	if frac := float64(own) / float64(total); frac < 0.8 {
+		t.Fatalf("only %.2f of dark knight clicks on its entity", frac)
+	}
+}
+
+func TestHypernymClicksScatter(t *testing.T) {
+	model, idx := movieStack(t)
+	log, err := Simulate(model, idx, DefaultSimConfig(11, 40000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "indiana jones" (franchise hypernym) must spread clicks over hub and
+	// sibling pages, not only the catalog movie.
+	gl := log.ClickedPages("indiana jones")
+	if len(gl) == 0 {
+		t.Fatal("hypernym never clicked")
+	}
+	indy := model.Catalog().ByNorm("indiana jones and the kingdom of the crystal skull")
+	ownPages, otherPages := 0, 0
+	for pid := range gl {
+		if idx.Corpus().ByID(pid).EntityID == indy.ID {
+			ownPages++
+		} else {
+			otherPages++
+		}
+	}
+	if otherPages == 0 {
+		t.Fatal("hypernym clicks never left the catalog entity — Figure 1(b) geometry broken")
+	}
+}
+
+func TestNoiseQueriesClickNoisePages(t *testing.T) {
+	model, idx := movieStack(t)
+	log, err := Simulate(model, idx, DefaultSimConfig(11, 40000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl := log.ClickedPages("youtube")
+	if len(gl) == 0 {
+		t.Fatal("youtube never clicked")
+	}
+	noise, total := 0, 0
+	for pid, n := range gl {
+		total += n
+		if idx.Corpus().ByID(pid).Type == webcorpus.NoisePage {
+			noise += n
+		}
+	}
+	if frac := float64(noise) / float64(total); frac < 0.7 {
+		t.Fatalf("only %.2f of youtube clicks on noise pages", frac)
+	}
+}
+
+func TestSuffixOf(t *testing.T) {
+	s := &sim{suffixes: alias.RefinementSuffixes()}
+	cases := map[string]string{
+		"indiana jones 4 trailer": "trailer",
+		"350d memory card":        "memory card",
+		"dark knight":             "",
+		"just a price":            "price",
+	}
+	for in, want := range cases {
+		if got := s.suffixOf(in); got != want {
+			t.Errorf("suffixOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPositionBias(t *testing.T) {
+	// The cascade must produce position bias: across popular queries, the
+	// top-ranked result of each query collects more clicks than the
+	// bottom-ranked one.
+	model, idx := movieStack(t)
+	cfg := DefaultSimConfig(11, 40000)
+	cfg.ServeExtra = 0 // deterministic serving so ranks are stable
+	log, err := Simulate(model, idx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topClicks, bottomClicks := 0, 0
+	for _, e := range model.Catalog().All()[:20] {
+		results := idx.Search(e.Norm(), cfg.TopK)
+		if len(results) < cfg.TopK {
+			continue
+		}
+		gl := log.ClickedPages(e.Norm())
+		topClicks += gl[results[0].PageID]
+		bottomClicks += gl[results[cfg.TopK-1].PageID]
+	}
+	if topClicks <= bottomClicks {
+		t.Fatalf("no position bias: top %d vs bottom %d", topClicks, bottomClicks)
+	}
+	// The skew should be substantial (cascade with 0.85 decay gives the
+	// last position roughly a quarter of the first position's exposure).
+	if float64(topClicks) < 2*float64(bottomClicks) {
+		t.Fatalf("position bias too weak: top %d vs bottom %d", topClicks, bottomClicks)
+	}
+}
+
+func TestImpressionConservation(t *testing.T) {
+	model, idx := movieStack(t)
+	log, err := Simulate(model, idx, DefaultSimConfig(3, 12345))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, q := range log.Queries() {
+		sum += log.Impressions(q)
+	}
+	if sum != 12345 || log.TotalImpressions() != 12345 {
+		t.Fatalf("impressions not conserved: %d/%d", sum, log.TotalImpressions())
+	}
+}
+
+func TestServeWithoutJitter(t *testing.T) {
+	model, idx := movieStack(t)
+	cfg := DefaultSimConfig(5, 1000)
+	cfg.ServeExtra = 0
+	log, err := Simulate(model, idx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.TotalImpressions() != 1000 {
+		t.Fatal("impression count wrong without jitter")
+	}
+}

@@ -1,0 +1,161 @@
+// Package clicklog implements Click Data L: the aggregated (query, page,
+// clicks) tuples of paper Section II.B, and the simulated user population
+// that generates them.
+//
+// The simulation stands in for Bing's July-November 2008 click logs. Users
+// are modeled with a position-biased cascade: a user issues a query drawn
+// from the alias universe, scans the ranked results top-down with decaying
+// attention, and clicks pages whose provenance matches the query's intent.
+// The aggregate statistics the miner depends on — informal aliases clicking
+// into their entity's surrogate pages, hypernyms scattering across a
+// franchise's neighbourhood, refinements concentrating on deep pages,
+// background noise occasionally straying anywhere — all emerge from that
+// per-impression behaviour rather than being painted on directly.
+package clicklog
+
+import (
+	"sort"
+)
+
+// Click is one aggregated row of Click Data L: users clicked page PageID
+// Count times after issuing Query. Queries are stored normalized.
+type Click struct {
+	Query  string
+	PageID int
+	Count  int
+}
+
+// Log is the aggregated click log plus the query impression counts needed
+// by the weighted metrics ("synonym frequency in query log").
+type Log struct {
+	clicks      map[string]map[int]int
+	impressions map[string]int
+	totalImpr   int
+	totalClicks int
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log {
+	return &Log{
+		clicks:      make(map[string]map[int]int),
+		impressions: make(map[string]int),
+	}
+}
+
+// AddImpression records that query was issued once.
+func (l *Log) AddImpression(query string) {
+	l.impressions[query]++
+	l.totalImpr++
+}
+
+// AddClick records one click on pageID for query.
+func (l *Log) AddClick(query string, pageID int) {
+	m := l.clicks[query]
+	if m == nil {
+		m = make(map[int]int)
+		l.clicks[query] = m
+	}
+	m[pageID]++
+	l.totalClicks++
+}
+
+// Merge folds other into l (used to combine per-worker shards).
+func (l *Log) Merge(other *Log) {
+	for q, n := range other.impressions {
+		l.impressions[q] += n
+	}
+	l.totalImpr += other.totalImpr
+	for q, pages := range other.clicks {
+		m := l.clicks[q]
+		if m == nil {
+			m = make(map[int]int, len(pages))
+			l.clicks[q] = m
+		}
+		for p, n := range pages {
+			m[p] += n
+		}
+	}
+	l.totalClicks += other.totalClicks
+}
+
+// ClickedPages returns GL(w', P) together with the click counts: the pages
+// clicked at least once for the normalized query (paper Eq. 2). Callers
+// must not mutate the returned map.
+func (l *Log) ClickedPages(query string) map[int]int { return l.clicks[query] }
+
+// TotalClicksFor returns the summed click count of the query over all pages
+// (the denominator of ICR, Eq. 4).
+func (l *Log) TotalClicksFor(query string) int {
+	total := 0
+	for _, n := range l.clicks[query] {
+		total += n
+	}
+	return total
+}
+
+// Impressions returns how many times the query was issued.
+func (l *Log) Impressions(query string) int { return l.impressions[query] }
+
+// TotalImpressions returns the log's impression count.
+func (l *Log) TotalImpressions() int { return l.totalImpr }
+
+// TotalClicks returns the log's click count.
+func (l *Log) TotalClicks() int { return l.totalClicks }
+
+// Queries returns every query with at least one impression, sorted.
+func (l *Log) Queries() []string {
+	out := make([]string, 0, len(l.impressions))
+	for q := range l.impressions {
+		out = append(out, q)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClickedQueries returns every query with at least one click, sorted.
+func (l *Log) ClickedQueries() []string {
+	out := make([]string, 0, len(l.clicks))
+	for q := range l.clicks {
+		out = append(out, q)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Flatten returns the aggregated tuples in deterministic (query, page)
+// order, for serialization.
+func (l *Log) Flatten() []Click {
+	var out []Click
+	for _, q := range l.ClickedQueries() {
+		pages := l.clicks[q]
+		ids := make([]int, 0, len(pages))
+		for p := range pages {
+			ids = append(ids, p)
+		}
+		sort.Ints(ids)
+		for _, p := range ids {
+			out = append(out, Click{Query: q, PageID: p, Count: pages[p]})
+		}
+	}
+	return out
+}
+
+// FromClicks rebuilds a log from serialized tuples and impression counts
+// (impressions may be nil when only click structure is needed).
+func FromClicks(clicks []Click, impressions map[string]int) *Log {
+	l := NewLog()
+	for _, c := range clicks {
+		m := l.clicks[c.Query]
+		if m == nil {
+			m = make(map[int]int)
+			l.clicks[c.Query] = m
+		}
+		m[c.PageID] += c.Count
+		l.totalClicks += c.Count
+	}
+	for q, n := range impressions {
+		l.impressions[q] = n
+		l.totalImpr += n
+	}
+	return l
+}

@@ -1,0 +1,399 @@
+package clicklog
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"websyn/internal/alias"
+	"websyn/internal/entity"
+	"websyn/internal/rng"
+	"websyn/internal/search"
+	"websyn/internal/textnorm"
+	"websyn/internal/webcorpus"
+)
+
+// mathExp is a local alias keeping the hot serve loop readable.
+func mathExp(x float64) float64 { return math.Exp(x) }
+
+// SimConfig tunes the user population simulation.
+type SimConfig struct {
+	// Seed drives all randomness; same seed, same log.
+	Seed uint64
+	// Impressions is the total number of issued queries to simulate.
+	Impressions int
+	// TopK is how many results a user sees per impression.
+	TopK int
+	// ExamineDecay is the probability of scanning one position further when
+	// the current result was not clicked (position bias).
+	ExamineDecay float64
+	// AfterClickContinue is the probability of continuing to scan after a
+	// click (most sessions stop at the first satisfying result).
+	AfterClickContinue float64
+
+	// Attraction probabilities by (intent, page provenance). See attract.
+	AttractOwn     float64 // synonym intent, entity's own page
+	AttractDeep    float64 // refinement intent, matching deep page
+	AttractOwnWeak float64 // refinement intent, other own page
+	AttractHub     float64 // hypernym intent, hub/sibling of the scope
+	AttractMember  float64 // hypernym intent, page of an in-scope entity
+	AttractScope   float64 // synonym intent, hub of the same scope
+	AttractNav     float64 // noise intent, its own destination page
+	AttractStray   float64 // anything else (accidental clicks)
+
+	// ServeExtra and ServeDecay model result churn over a months-long log:
+	// the engine retrieves TopK+ServeExtra candidates per query and each
+	// impression shows TopK of them, sampled without replacement with
+	// weight exp(-ServeDecay * rank). Over many impressions a query's
+	// clicked set GL can therefore cover slightly more than one static
+	// result page, as it does in real logs.
+	ServeExtra int
+	ServeDecay float64
+
+	// Workers bounds the simulation fan-out; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultSimConfig returns the simulation parameters used by the
+// experiments.
+func DefaultSimConfig(seed uint64, impressions int) SimConfig {
+	return SimConfig{
+		Seed:               seed,
+		Impressions:        impressions,
+		TopK:               10,
+		ExamineDecay:       0.85,
+		AfterClickContinue: 0.45,
+		AttractOwn:         0.62,
+		AttractDeep:        0.85,
+		AttractOwnWeak:     0.04,
+		AttractHub:         0.50,
+		AttractMember:      0.22,
+		AttractScope:       0.06,
+		AttractNav:         0.90,
+		AttractStray:       0.008,
+		ServeExtra:         4,
+		ServeDecay:         0.45,
+		Workers:            0,
+	}
+}
+
+// check validates the configuration.
+func (cfg SimConfig) check() error {
+	if cfg.Impressions <= 0 {
+		return fmt.Errorf("clicklog: Impressions must be positive, got %d", cfg.Impressions)
+	}
+	if cfg.TopK <= 0 {
+		return fmt.Errorf("clicklog: TopK must be positive, got %d", cfg.TopK)
+	}
+	for _, p := range []float64{cfg.ExamineDecay, cfg.AfterClickContinue,
+		cfg.AttractOwn, cfg.AttractDeep, cfg.AttractOwnWeak, cfg.AttractHub,
+		cfg.AttractMember, cfg.AttractScope, cfg.AttractNav, cfg.AttractStray} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("clicklog: probability %v outside [0,1]", p)
+		}
+	}
+	return nil
+}
+
+// sim is the immutable shared state of one simulation run.
+type sim struct {
+	cfg     SimConfig
+	model   *alias.Model
+	corpus  *webcorpus.Corpus
+	entries []alias.Entry
+	sampler *rng.Weighted
+	results map[string][]search.Result
+
+	entityScope []string         // entity ID -> franchise/brand scope key
+	actorOf     map[string][]int // "actor:x" -> entity IDs of x's movies
+	suffixes    []string         // refinement suffixes, longest first
+}
+
+// Simulate runs the user population against the index and returns the
+// aggregated click log. The run is deterministic in cfg.Seed and
+// parallelism-invariant: shards use independent split RNG streams and merge
+// by summation.
+func Simulate(model *alias.Model, idx *search.Index, cfg SimConfig) (*Log, error) {
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
+	entries := model.Entries()
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("clicklog: alias universe is empty")
+	}
+	weights := make([]float64, len(entries))
+	for i, e := range entries {
+		weights[i] = e.Volume
+	}
+	sampler, err := rng.NewWeighted(weights)
+	if err != nil {
+		return nil, fmt.Errorf("clicklog: building query sampler: %w", err)
+	}
+
+	s := &sim{
+		cfg:      cfg,
+		model:    model,
+		corpus:   idx.Corpus(),
+		entries:  entries,
+		sampler:  sampler,
+		actorOf:  make(map[string][]int),
+		suffixes: alias.RefinementSuffixes(),
+	}
+	s.entityScope = make([]string, model.Catalog().Len())
+	for _, e := range model.Catalog().All() {
+		s.entityScope[e.ID] = entityScopeKey(e)
+	}
+	for _, actor := range alias.Actors() {
+		for _, title := range alias.ActorMovies(actor) {
+			if ent := model.Catalog().ByNorm(title); ent != nil {
+				s.actorOf["actor:"+actor] = append(s.actorOf["actor:"+actor], ent.ID)
+			}
+		}
+	}
+	s.precomputeResults(idx)
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Impressions {
+		workers = cfg.Impressions
+	}
+	// The shard count is a fixed constant (not the worker count) so that
+	// shard i receives the same split RNG stream on every run: the log is
+	// identical whatever parallelism the host offers.
+	const shards = 64
+	master := rng.New(cfg.Seed)
+	shardSrc := master.SplitN(shards)
+	per := cfg.Impressions / shards
+	extra := cfg.Impressions % shards
+
+	logs := make([]*Log, shards)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < shards; i++ {
+		n := per
+		if i < extra {
+			n++
+		}
+		if n == 0 {
+			logs[i] = NewLog()
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i, n int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			logs[i] = s.runShard(shardSrc[i], n)
+		}(i, n)
+	}
+	wg.Wait()
+
+	merged := NewLog()
+	for _, l := range logs {
+		merged.Merge(l)
+	}
+	return merged, nil
+}
+
+// entityScopeKey mirrors the alias package's scope derivation.
+func entityScopeKey(e *entity.Entity) string {
+	switch e.Kind {
+	case entity.Movie:
+		if e.Franchise != "" {
+			return textnorm.Normalize(e.Franchise)
+		}
+		return ""
+	case entity.Camera:
+		return textnorm.Normalize(e.Brand)
+	case entity.Software:
+		if e.Franchise != "" {
+			return textnorm.Normalize(e.Franchise)
+		}
+		return textnorm.Normalize(e.Brand)
+	}
+	return ""
+}
+
+// precomputeResults runs every distinct universe query against the index
+// once, in parallel.
+func (s *sim) precomputeResults(idx *search.Index) {
+	distinct := make([]string, 0, len(s.entries))
+	seen := make(map[string]bool, len(s.entries))
+	for _, e := range s.entries {
+		if !seen[e.Text] {
+			seen[e.Text] = true
+			distinct = append(distinct, e.Text)
+		}
+	}
+	sort.Strings(distinct)
+	s.results = make(map[string][]search.Result, len(distinct))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (len(distinct) + workers - 1) / workers
+	retrieve := s.cfg.TopK + s.cfg.ServeExtra
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(distinct) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(distinct) {
+			hi = len(distinct)
+		}
+		wg.Add(1)
+		go func(qs []string) {
+			defer wg.Done()
+			local := make(map[string][]search.Result, len(qs))
+			for _, q := range qs {
+				local[q] = idx.Search(q, retrieve)
+			}
+			mu.Lock()
+			for q, r := range local {
+				s.results[q] = r
+			}
+			mu.Unlock()
+		}(distinct[lo:hi])
+	}
+	wg.Wait()
+}
+
+// runShard simulates n impressions on one RNG stream.
+func (s *sim) runShard(src *rng.Source, n int) *Log {
+	log := NewLog()
+	// Scratch buffers reused across impressions.
+	shown := make([]int, 0, s.cfg.TopK)
+	weights := make([]float64, 0, s.cfg.TopK+s.cfg.ServeExtra)
+	for i := 0; i < n; i++ {
+		entry := s.entries[s.sampler.Sample(src)]
+		log.AddImpression(entry.Text)
+		shown = s.serve(src, s.results[entry.Text], shown[:0], &weights)
+		for _, pageID := range shown {
+			page := s.corpus.ByID(pageID)
+			clicked := src.Bool(s.attract(page, entry))
+			if clicked {
+				log.AddClick(entry.Text, page.ID)
+				if !src.Bool(s.cfg.AfterClickContinue) {
+					break
+				}
+			} else if !src.Bool(s.cfg.ExamineDecay) {
+				break
+			}
+		}
+	}
+	return log
+}
+
+// serve materializes one impression's result page: TopK pages sampled
+// without replacement from the retrieved candidates with rank-decayed
+// weights. With ServeExtra = 0 the candidate list is shown verbatim.
+func (s *sim) serve(src *rng.Source, candidates []search.Result, shown []int, scratch *[]float64) []int {
+	if len(candidates) <= s.cfg.TopK || s.cfg.ServeExtra == 0 {
+		for _, r := range candidates {
+			if len(shown) == s.cfg.TopK {
+				break
+			}
+			shown = append(shown, r.PageID)
+		}
+		return shown
+	}
+	w := (*scratch)[:0]
+	for i := range candidates {
+		w = append(w, mathExp(-s.cfg.ServeDecay*float64(i)))
+	}
+	*scratch = w
+	for len(shown) < s.cfg.TopK {
+		total := 0.0
+		for _, x := range w {
+			total += x
+		}
+		pick := src.Float64() * total
+		idx := 0
+		for ; idx < len(w)-1; idx++ {
+			pick -= w[idx]
+			if pick < 0 {
+				break
+			}
+		}
+		shown = append(shown, candidates[idx].PageID)
+		w[idx] = 0
+	}
+	return shown
+}
+
+// attract returns the probability that a user with the entry's intent
+// clicks the page once examined. This is the behavioural core of the
+// simulation: it encodes the Venn-diagram click geometry of the paper's
+// Figure 1 (synonyms concentrate inside the surrogate set, hypernyms
+// scatter over the scope, hyponyms concentrate on deep pages, related
+// queries live elsewhere with occasional strays).
+func (s *sim) attract(p *webcorpus.Page, e alias.Entry) float64 {
+	cfg := &s.cfg
+	switch e.Label {
+	case alias.Synonym:
+		if p.EntityID == e.EntityID {
+			return cfg.AttractOwn
+		}
+		if p.Scope != "" && p.Scope == e.Scope {
+			return cfg.AttractScope
+		}
+	case alias.Hyponym:
+		if p.EntityID == e.EntityID {
+			if p.Type.DeepFor(s.suffixOf(e.Text)) {
+				return cfg.AttractDeep
+			}
+			return cfg.AttractOwnWeak
+		}
+		if p.Scope != "" && p.Scope == e.Scope {
+			return cfg.AttractStray * 2
+		}
+	case alias.Hypernym:
+		if p.Scope != "" && p.Scope == e.Scope {
+			return cfg.AttractHub
+		}
+		if p.EntityID >= 0 && s.entityScope[p.EntityID] == e.Scope && e.Scope != "" {
+			return cfg.AttractMember
+		}
+	case alias.Related:
+		if strings.HasPrefix(e.Scope, "actor:") {
+			if p.Scope == e.Scope {
+				return cfg.AttractNav * 0.9
+			}
+			for _, id := range s.actorOf[e.Scope] {
+				if p.EntityID == id {
+					return cfg.AttractMember * 0.6
+				}
+			}
+		} else if e.Scope == "category" {
+			if p.Type == webcorpus.Portal {
+				return cfg.AttractHub
+			}
+			if p.EntityID >= 0 {
+				return cfg.AttractStray * 3
+			}
+		}
+	case alias.Noise:
+		if p.Scope == "noise:"+e.Text {
+			return cfg.AttractNav
+		}
+		if p.Type == webcorpus.NoisePage {
+			return cfg.AttractStray * 5
+		}
+	}
+	return cfg.AttractStray
+}
+
+// suffixOf returns the refinement suffix of a hyponym query text, or "".
+func (s *sim) suffixOf(text string) string {
+	for _, suf := range s.suffixes {
+		if strings.HasSuffix(text, " "+suf) {
+			return suf
+		}
+	}
+	return ""
+}

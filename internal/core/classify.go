@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"websyn/internal/textnorm"
+)
+
+// Relation classification.
+//
+// The paper defines synonyms, hypernyms and hyponyms (Definitions 1-3) and
+// illustrates with Figure 1 how their click geometry differs, but its
+// selection step only separates synonyms from everything else. This file
+// implements the natural extension the Venn diagrams suggest: classifying
+// each candidate into the full relation taxonomy using *bidirectional*
+// containment measures.
+//
+// For input u and candidate w', let GA(u) be u's surrogates and GL(w'),
+// GL(u) the clicked-page sets. The forward measure is the paper's ICR —
+// how much of w's click mass lands inside u's neighbourhood. The backward
+// measure, BCR, is symmetric: how much of u's own click mass (the clicks
+// of u issued as a query, when available, else u's surrogate visit mass)
+// lands inside GL(w').
+//
+//   - Synonym  (Fig. 1a): both directions contained — high ICR, high BCR.
+//   - Hypernym (Fig. 1b): w' is broader — its clicks scatter (low ICR)
+//     but u's mass falls inside w's neighbourhood (high BCR).
+//   - Hyponym  (Fig. 1c): w' is narrower — w's clicks concentrate in u's
+//     neighbourhood (high ICR) but cover little of it (low BCR).
+//   - Related  (Fig. 1d): neither contained — low ICR, low BCR.
+//
+// The taxonomy is click-geometric, not lexical: a refinement query whose
+// deep pages rank outside GA(u) ("dark knight trailer" clicking trailer
+// sites plus all of u's surrogates) presents a *broader* neighbourhood
+// than u and classifies as Hypernym, even though its intent is narrower.
+// Lexically-narrower-but-click-broader strings are a known ambiguity of
+// log-based taxonomies; callers needing intent-level hyponymy should
+// combine Relation with a token-containment check.
+type Relation int
+
+const (
+	// RelSynonym: mutually contained click neighbourhoods.
+	RelSynonym Relation = iota
+	// RelHypernym: the candidate is broader than the input.
+	RelHypernym
+	// RelHyponym: the candidate is narrower than the input.
+	RelHyponym
+	// RelRelated: overlapping but not contained either way.
+	RelRelated
+)
+
+// String returns the lower-case relation name.
+func (r Relation) String() string {
+	switch r {
+	case RelSynonym:
+		return "synonym"
+	case RelHypernym:
+		return "hypernym"
+	case RelHyponym:
+		return "hyponym"
+	case RelRelated:
+		return "related"
+	default:
+		return fmt.Sprintf("relation(%d)", int(r))
+	}
+}
+
+// ClassifyConfig holds the containment thresholds. A direction counts as
+// "contained" when its measure reaches High; the pair (ICR, BCR) then maps
+// onto the four Figure 1 quadrants. MinIPC gates classification on minimal
+// evidence strength.
+type ClassifyConfig struct {
+	High   float64
+	MinIPC int
+}
+
+// DefaultClassifyConfig mirrors the selection operating point: containment
+// at 0.4, evidence gate at IPC 2.
+func DefaultClassifyConfig() ClassifyConfig {
+	return ClassifyConfig{High: 0.4, MinIPC: 2}
+}
+
+func (c ClassifyConfig) check() error {
+	if c.High <= 0 || c.High > 1 {
+		return fmt.Errorf("core: classify High threshold %v outside (0,1]", c.High)
+	}
+	if c.MinIPC < 1 {
+		return fmt.Errorf("core: classify MinIPC %d < 1", c.MinIPC)
+	}
+	return nil
+}
+
+// Classified is one candidate with its inferred relation.
+type Classified struct {
+	Candidate string
+	Relation  Relation
+	// ICR is the forward containment (the paper's Eq. 4).
+	ICR float64
+	// BCR is the backward containment: the share of the input's own click
+	// mass landing on pages the candidate also clicked.
+	BCR float64
+	// IPC carries the evidence strength (Eq. 3).
+	IPC int
+}
+
+// Classify mines the input and assigns each sufficiently-evidenced
+// candidate a relation from the Figure 1 taxonomy. The input's own click
+// neighbourhood is taken from its log clicks when it was issued as a query,
+// falling back to its surrogate set weighted by total page visit mass.
+func (m *Miner) Classify(input string, cfg ClassifyConfig) ([]Classified, error) {
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
+	res := m.Mine(input)
+	if len(res.Surrogates) == 0 {
+		return nil, nil
+	}
+
+	// The input's reference click distribution over pages.
+	refClicks := m.inputClickMass(res)
+	refTotal := 0
+	for _, n := range refClicks {
+		refTotal += n
+	}
+
+	var out []Classified
+	for _, ev := range res.Evidence {
+		if ev.IPC < cfg.MinIPC {
+			continue
+		}
+		// BCR: fraction of the input's click mass on pages w' also
+		// clicked.
+		bcr := 0.0
+		if refTotal > 0 {
+			qn, ok := m.graph.QueryNode(ev.Candidate)
+			if ok {
+				inW := 0
+				for _, e := range m.graph.PagesOf(qn) {
+					if n, clicked := refClicks[m.graph.PageID(e.To)]; clicked {
+						inW += n
+						_ = e
+					}
+				}
+				bcr = float64(inW) / float64(refTotal)
+			}
+		}
+		rel := RelRelated
+		switch {
+		case ev.ICR >= cfg.High && bcr >= cfg.High:
+			rel = RelSynonym
+		case ev.ICR < cfg.High && bcr >= cfg.High:
+			rel = RelHypernym
+		case ev.ICR >= cfg.High && bcr < cfg.High:
+			rel = RelHyponym
+		}
+		out = append(out, Classified{
+			Candidate: ev.Candidate,
+			Relation:  rel,
+			ICR:       ev.ICR,
+			BCR:       bcr,
+			IPC:       ev.IPC,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Relation != out[j].Relation {
+			return out[i].Relation < out[j].Relation
+		}
+		if out[i].IPC != out[j].IPC {
+			return out[i].IPC > out[j].IPC
+		}
+		return out[i].Candidate < out[j].Candidate
+	})
+	return out, nil
+}
+
+// inputClickMass returns the input's click distribution over pages: its own
+// query clicks when present in the log, else uniform mass over its
+// surrogates (the best available stand-in when the canonical string was
+// never typed — common for camera feed strings).
+func (m *Miner) inputClickMass(res *Result) map[int]int {
+	norm := textnorm.Normalize(res.Norm)
+	if pages := m.log.ClickedPages(norm); len(pages) > 0 {
+		return pages
+	}
+	fallback := make(map[int]int, len(res.Surrogates))
+	for _, p := range res.Surrogates {
+		fallback[p] = 1
+	}
+	return fallback
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"websyn/internal/clicklog"
+	"websyn/internal/search"
+)
+
+// classifyFixture builds a log where the four Figure 1 geometries are
+// unambiguous. The input "u" clicks its own surrogates when issued as a
+// query, so BCR is measured against real click mass.
+func classifyFixture(t *testing.T) *Miner {
+	t.Helper()
+	var tuples []search.Tuple
+	for r := 1; r <= 10; r++ {
+		tuples = append(tuples, search.Tuple{Query: "u", PageID: r, Rank: r})
+	}
+	sd, err := search.NewDataFromTuples(tuples, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := clicklog.NewLog()
+	add := func(q string, page, n int) {
+		for i := 0; i < n; i++ {
+			log.AddClick(q, page)
+		}
+	}
+	// u's own clicks: all ten surrogates, evenly.
+	for p := 1; p <= 10; p++ {
+		add("u", p, 2)
+	}
+	// Synonym: clicks the same ten pages -> ICR 1, BCR 1.
+	for p := 1; p <= 10; p++ {
+		add("syn", p, 3)
+	}
+	// Hypernym: clicks u's pages 1-4 plus a wide outside neighbourhood ->
+	// ICR 8/48 (low); BCR 8/20 covering u's mass on pages 1-4 = 8/20 = 0.4
+	// (contained at threshold).
+	for p := 1; p <= 4; p++ {
+		add("hyper", p, 2)
+	}
+	for p := 100; p < 120; p++ {
+		add("hyper", p, 2)
+	}
+	// Hyponym: clicks only pages 1-2 (narrow) -> ICR 1 (high), BCR 4/20
+	// (low).
+	add("hypo", 1, 5)
+	add("hypo", 2, 5)
+	// Related: one shared page, most clicks elsewhere -> ICR low, BCR low.
+	add("rel", 3, 1)
+	for p := 200; p < 210; p++ {
+		add("rel", p, 4)
+	}
+
+	m, err := NewMiner(sd, log, Config{IPC: 1, ICR: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestClassifyQuadrants(t *testing.T) {
+	m := classifyFixture(t)
+	out, err := m.Classify("u", ClassifyConfig{High: 0.4, MinIPC: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]Relation{}
+	for _, c := range out {
+		got[c.Candidate] = c.Relation
+	}
+	want := map[string]Relation{
+		"syn":   RelSynonym,
+		"hyper": RelHypernym,
+		"hypo":  RelHyponym,
+		"rel":   RelRelated,
+	}
+	for cand, rel := range want {
+		if got[cand] != rel {
+			t.Errorf("%q classified %v, want %v", cand, got[cand], rel)
+		}
+	}
+}
+
+func TestClassifyMinIPCGate(t *testing.T) {
+	m := classifyFixture(t)
+	out, err := m.Classify("u", ClassifyConfig{High: 0.4, MinIPC: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range out {
+		if c.IPC < 5 {
+			t.Fatalf("candidate %q passed with IPC %d", c.Candidate, c.IPC)
+		}
+	}
+	// Only "syn" (IPC 10) survives the gate.
+	if len(out) != 1 || out[0].Candidate != "syn" {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestClassifyUnknownInput(t *testing.T) {
+	m := classifyFixture(t)
+	out, err := m.Classify("missing input", DefaultClassifyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		t.Fatalf("unknown input classified: %+v", out)
+	}
+}
+
+func TestClassifyConfigValidation(t *testing.T) {
+	m := classifyFixture(t)
+	if _, err := m.Classify("u", ClassifyConfig{High: 0, MinIPC: 1}); err == nil {
+		t.Fatal("High=0 accepted")
+	}
+	if _, err := m.Classify("u", ClassifyConfig{High: 1.5, MinIPC: 1}); err == nil {
+		t.Fatal("High=1.5 accepted")
+	}
+	if _, err := m.Classify("u", ClassifyConfig{High: 0.4, MinIPC: 0}); err == nil {
+		t.Fatal("MinIPC=0 accepted")
+	}
+}
+
+func TestClassifySurrogateFallback(t *testing.T) {
+	// When the input never occurs as a query, BCR falls back to uniform
+	// surrogate mass — synonyms covering all surrogates still classify as
+	// synonyms.
+	var tuples []search.Tuple
+	for r := 1; r <= 4; r++ {
+		tuples = append(tuples, search.Tuple{Query: "ghost", PageID: r, Rank: r})
+	}
+	sd, err := search.NewDataFromTuples(tuples, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := clicklog.NewLog()
+	for p := 1; p <= 4; p++ {
+		log.AddClick("syn", p)
+	}
+	m, err := NewMiner(sd, log, Config{IPC: 1, ICR: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Classify("ghost", ClassifyConfig{High: 0.4, MinIPC: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Relation != RelSynonym {
+		t.Fatalf("fallback classification = %+v", out)
+	}
+	if out[0].BCR != 1 {
+		t.Fatalf("fallback BCR = %v, want 1", out[0].BCR)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	for r, want := range map[Relation]string{
+		RelSynonym: "synonym", RelHypernym: "hypernym",
+		RelHyponym: "hyponym", RelRelated: "related",
+	} {
+		if r.String() != want {
+			t.Errorf("Relation(%d).String() = %q", r, r.String())
+		}
+	}
+	if Relation(9).String() == "" {
+		t.Error("unknown relation should stringify")
+	}
+}
+
+func TestClassifyOrdering(t *testing.T) {
+	m := classifyFixture(t)
+	out, err := m.Classify("u", ClassifyConfig{High: 0.4, MinIPC: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Relation < out[i-1].Relation {
+			t.Fatal("output not grouped by relation")
+		}
+	}
+}

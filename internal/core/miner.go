@@ -1,0 +1,267 @@
+// Package core implements the paper's primary contribution: the bottom-up,
+// data-driven entity-synonym miner of Section III.
+//
+// The miner consumes exactly the two data sets the paper defines —
+// Search Data A (via internal/search.Data) and Click Data L (via
+// internal/clicklog.Log, exposed as a bipartite graph by
+// internal/clickgraph) — and produces, for each input string u, its Web
+// synonyms with full per-candidate evidence:
+//
+//   - Surrogates: GA(u,P), the top-k search results for u (Def. 5, Eq. 1).
+//   - Candidates: every query that clicked at least one surrogate
+//     (Def. 6, via GL of Eq. 2).
+//   - IPC(w',u) = |GL(w') ∩ GA(u)| — the strength measure (Eq. 3).
+//   - ICR(w',u) = clicks landing inside the intersection / all clicks of
+//     w' — the exclusiveness measure (Eq. 4).
+//   - Selection: IPC >= β and ICR >= γ.
+//
+// Because thresholding is a pure function of the per-candidate evidence,
+// the expensive phase (candidate generation + measures) runs once and any
+// number of (β, γ) operating points — e.g. the sweeps behind Figures 2 and
+// 3 — are evaluated from the same Evidence records.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"websyn/internal/clickgraph"
+	"websyn/internal/clicklog"
+	"websyn/internal/search"
+	"websyn/internal/textnorm"
+)
+
+// Config holds the miner's thresholds.
+type Config struct {
+	// IPC is the Intersecting Page Count threshold β: candidates must share
+	// at least this many clicked surrogate pages with the input.
+	IPC int
+	// ICR is the Intersecting Click Ratio threshold γ in [0,1]: at least
+	// this fraction of the candidate's clicks must land on the input's
+	// surrogates.
+	ICR float64
+	// Workers bounds MineAll's parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig returns the paper's chosen operating point for Table I:
+// IPC 4, ICR 0.1.
+func DefaultConfig() Config {
+	return Config{IPC: 4, ICR: 0.1}
+}
+
+// check validates thresholds.
+func (c Config) check() error {
+	if c.IPC < 1 {
+		return fmt.Errorf("core: IPC threshold must be >= 1, got %d", c.IPC)
+	}
+	if c.ICR < 0 || c.ICR > 1 {
+		return fmt.Errorf("core: ICR threshold must be in [0,1], got %v", c.ICR)
+	}
+	return nil
+}
+
+// Evidence is the full mining record for one candidate string.
+type Evidence struct {
+	// Candidate is the normalized query string under consideration.
+	Candidate string
+	// IPC is the Intersecting Page Count (Eq. 3).
+	IPC int
+	// ICR is the Intersecting Click Ratio (Eq. 4).
+	ICR float64
+	// ClicksIn is the candidate's click mass inside GL(w') ∩ GA(u).
+	ClicksIn int
+	// ClicksTotal is the candidate's total click mass (ICR denominator).
+	ClicksTotal int
+	// Accepted reports whether the candidate passed the configured
+	// thresholds.
+	Accepted bool
+}
+
+// Passes reports whether the evidence clears the given thresholds — the
+// post-hoc form of candidate selection used by the threshold sweeps.
+func (e Evidence) Passes(ipc int, icr float64) bool {
+	return e.IPC >= ipc && e.ICR >= icr
+}
+
+// Result is the mining output for one input string.
+type Result struct {
+	// Input is the original string u; Norm its normalized form.
+	Input string
+	Norm  string
+	// Surrogates is GA(u,P) as a sorted page-ID list.
+	Surrogates []int
+	// Evidence holds every candidate with its measures, strongest first
+	// (IPC desc, then ICR desc, then text).
+	Evidence []Evidence
+	// Synonyms are the accepted candidate strings, strongest first.
+	Synonyms []string
+}
+
+// Hit reports whether mining produced at least one synonym — the unit of
+// Table I's hit ratio.
+func (r *Result) Hit() bool { return len(r.Synonyms) > 0 }
+
+// FilterSynonyms re-applies candidate selection at a different operating
+// point without re-mining.
+func (r *Result) FilterSynonyms(ipc int, icr float64) []string {
+	var out []string
+	for _, e := range r.Evidence {
+		if e.Passes(ipc, icr) {
+			out = append(out, e.Candidate)
+		}
+	}
+	return out
+}
+
+// EvidenceFor returns the evidence record for a candidate string, if any.
+func (r *Result) EvidenceFor(candidate string) (Evidence, bool) {
+	for _, e := range r.Evidence {
+		if e.Candidate == candidate {
+			return e, true
+		}
+	}
+	return Evidence{}, false
+}
+
+// Miner mines Web synonyms from one Search Data + Click Data pair.
+type Miner struct {
+	cfg    Config
+	search *search.Data
+	log    *clicklog.Log
+	graph  *clickgraph.Graph
+}
+
+// NewMiner wires a miner over the two data sets. The click graph is derived
+// from the log once and shared by all Mine calls.
+func NewMiner(a *search.Data, l *clicklog.Log, cfg Config) (*Miner, error) {
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
+	if a == nil || l == nil {
+		return nil, fmt.Errorf("core: search data and click log are required")
+	}
+	return &Miner{cfg: cfg, search: a, log: l, graph: clickgraph.Build(l)}, nil
+}
+
+// Config returns the miner's thresholds.
+func (m *Miner) Config() Config { return m.cfg }
+
+// Graph exposes the derived click graph (shared with the random-walk
+// baseline so both operate on identical data).
+func (m *Miner) Graph() *clickgraph.Graph { return m.graph }
+
+// Mine runs the two-phase pipeline for a single input string.
+func (m *Miner) Mine(input string) *Result {
+	norm := textnorm.Normalize(input)
+	res := &Result{Input: input, Norm: norm}
+	if norm == "" {
+		return res
+	}
+
+	// Phase 1a — finding surrogates: GA(u,P) from Search Data (Eq. 1).
+	ga := m.search.Surrogates(norm)
+	if len(ga) == 0 {
+		return res
+	}
+	res.Surrogates = make([]int, 0, len(ga))
+	for p := range ga {
+		res.Surrogates = append(res.Surrogates, p)
+	}
+	sort.Ints(res.Surrogates)
+
+	// Phase 1b — referencing surrogates: every query with at least one
+	// click on a surrogate is a candidate (Def. 6).
+	candidates := make(map[int]bool)
+	for _, pageID := range res.Surrogates {
+		pn, ok := m.graph.PageNode(pageID)
+		if !ok {
+			continue // surrogate never clicked by anyone
+		}
+		for _, e := range m.graph.QueriesOf(pn) {
+			candidates[e.To] = true
+		}
+	}
+
+	// Phase 2 — candidate selection: score IPC (Eq. 3) and ICR (Eq. 4).
+	res.Evidence = make([]Evidence, 0, len(candidates))
+	for qn := range candidates {
+		text := m.graph.QueryText(qn)
+		if text == norm {
+			continue // the input itself is not its own synonym
+		}
+		var ipc, clicksIn, clicksTotal int
+		for _, e := range m.graph.PagesOf(qn) {
+			clicksTotal += e.Count
+			if ga[m.graph.PageID(e.To)] {
+				ipc++
+				clicksIn += e.Count
+			}
+		}
+		if clicksTotal == 0 {
+			continue
+		}
+		ev := Evidence{
+			Candidate:   text,
+			IPC:         ipc,
+			ICR:         float64(clicksIn) / float64(clicksTotal),
+			ClicksIn:    clicksIn,
+			ClicksTotal: clicksTotal,
+		}
+		ev.Accepted = ev.Passes(m.cfg.IPC, m.cfg.ICR)
+		res.Evidence = append(res.Evidence, ev)
+	}
+	sort.Slice(res.Evidence, func(i, j int) bool {
+		a, b := res.Evidence[i], res.Evidence[j]
+		if a.IPC != b.IPC {
+			return a.IPC > b.IPC
+		}
+		if a.ICR != b.ICR {
+			return a.ICR > b.ICR
+		}
+		return a.Candidate < b.Candidate
+	})
+	for _, e := range res.Evidence {
+		if e.Accepted {
+			res.Synonyms = append(res.Synonyms, e.Candidate)
+		}
+	}
+	return res
+}
+
+// MineAll mines every input in parallel, returning results in input order.
+func (m *Miner) MineAll(inputs []string) []*Result {
+	workers := m.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	results := make([]*Result, len(inputs))
+	if workers <= 1 {
+		for i, u := range inputs {
+			results[i] = m.Mine(u)
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = m.Mine(inputs[i])
+			}
+		}()
+	}
+	for i := range inputs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"websyn/internal/clicklog"
+	"websyn/internal/search"
+)
+
+// figure1Fixture hand-builds the paper's Figure 1 geometry around one input
+// string "u" with surrogates pages 1..10:
+//
+//   - "syn"   — a true synonym: clicks 8 surrogates heavily, 1 outside page.
+//   - "hyper" — a hypernym: clicks 3 surrogates lightly, 20 outside pages
+//     heavily (broad concept).
+//   - "hypo"  — a hyponym/refinement: clicks 2 surrogates but most clicks
+//     land on a deep page outside GA.
+//   - "rel"   — merely related: 1 surrogate click, everything else outside.
+//   - "stray" — background noise: a single accidental surrogate click.
+func figure1Fixture(t *testing.T) (*search.Data, *clicklog.Log) {
+	t.Helper()
+	var tuples []search.Tuple
+	for r := 1; r <= 10; r++ {
+		tuples = append(tuples, search.Tuple{Query: "u", PageID: r, Rank: r})
+	}
+	sd, err := search.NewDataFromTuples(tuples, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	log := clicklog.NewLog()
+	add := func(q string, page, n int) {
+		for i := 0; i < n; i++ {
+			log.AddClick(q, page)
+		}
+	}
+	log.AddImpression("u")
+	add("u", 1, 5)
+	add("u", 2, 3)
+
+	// Synonym: IPC 8, ICR 40/41.
+	for p := 1; p <= 8; p++ {
+		add("syn", p, 5)
+	}
+	add("syn", 100, 1)
+
+	// Hypernym: IPC 3, ICR 6/46.
+	for p := 1; p <= 3; p++ {
+		add("hyper", p, 2)
+	}
+	for p := 200; p < 220; p++ {
+		add("hyper", p, 2)
+	}
+
+	// Hyponym: IPC 2, ICR 4/24.
+	add("hypo", 1, 2)
+	add("hypo", 2, 2)
+	add("hypo", 300, 20)
+
+	// Related: IPC 1, ICR 1/31.
+	add("rel", 5, 1)
+	for p := 400; p < 410; p++ {
+		add("rel", p, 3)
+	}
+
+	// Stray noise: IPC 1, ICR 1/1 (single accidental click).
+	add("stray", 9, 1)
+
+	// A query that never touches the surrogates: not a candidate at all.
+	add("offside", 999, 50)
+
+	return sd, log
+}
+
+func TestMineFigure1Geometry(t *testing.T) {
+	sd, log := figure1Fixture(t)
+	m, err := NewMiner(sd, log, Config{IPC: 4, ICR: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Mine("u")
+
+	if len(r.Surrogates) != 10 {
+		t.Fatalf("|GA| = %d", len(r.Surrogates))
+	}
+	// Candidate set: every query clicking >= 1 surrogate, minus u itself.
+	if len(r.Evidence) != 5 {
+		t.Fatalf("candidates = %d, want 5 (syn/hyper/hypo/rel/stray)", len(r.Evidence))
+	}
+	if _, found := r.EvidenceFor("offside"); found {
+		t.Fatal("offside must not be a candidate")
+	}
+	if _, found := r.EvidenceFor("u"); found {
+		t.Fatal("the input itself must not be a candidate")
+	}
+
+	check := func(cand string, ipc int, clicksIn, clicksTotal int) {
+		t.Helper()
+		e, ok := r.EvidenceFor(cand)
+		if !ok {
+			t.Fatalf("candidate %q missing", cand)
+		}
+		if e.IPC != ipc {
+			t.Errorf("%q IPC = %d, want %d (Eq. 3)", cand, e.IPC, ipc)
+		}
+		if e.ClicksIn != clicksIn || e.ClicksTotal != clicksTotal {
+			t.Errorf("%q clicks = %d/%d, want %d/%d (Eq. 4)",
+				cand, e.ClicksIn, e.ClicksTotal, clicksIn, clicksTotal)
+		}
+	}
+	check("syn", 8, 40, 41)
+	check("hyper", 3, 6, 46)
+	check("hypo", 2, 4, 24)
+	check("rel", 1, 1, 31)
+	check("stray", 1, 1, 1)
+
+	// Selection at (4, 0.1): only the synonym survives — IPC rejects
+	// hypo/rel/stray, ICR would reject hyper had it passed IPC.
+	if !reflect.DeepEqual(r.Synonyms, []string{"syn"}) {
+		t.Fatalf("Synonyms = %v, want [syn]", r.Synonyms)
+	}
+}
+
+func TestThresholdSemantics(t *testing.T) {
+	sd, log := figure1Fixture(t)
+	m, err := NewMiner(sd, log, Config{IPC: 1, ICR: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Mine("u")
+
+	// β=1, γ=0: every candidate passes.
+	if got := r.FilterSynonyms(1, 0); len(got) != 5 {
+		t.Fatalf("β=1,γ=0 passes %d, want 5", len(got))
+	}
+	// β=2 drops rel and stray.
+	if got := r.FilterSynonyms(2, 0); len(got) != 3 {
+		t.Fatalf("β=2 passes %d, want 3", len(got))
+	}
+	// γ=0.5 on top of β=2 drops hyper (6/46) and hypo (4/24).
+	if got := r.FilterSynonyms(2, 0.5); !reflect.DeepEqual(got, []string{"syn"}) {
+		t.Fatalf("β=2,γ=0.5 = %v", got)
+	}
+	// Impossible thresholds pass nothing.
+	if got := r.FilterSynonyms(11, 0); got != nil {
+		t.Fatalf("β=11 passed %v", got)
+	}
+}
+
+func TestEvidenceOrdering(t *testing.T) {
+	sd, log := figure1Fixture(t)
+	m, _ := NewMiner(sd, log, Config{IPC: 1, ICR: 0})
+	r := m.Mine("u")
+	for i := 1; i < len(r.Evidence); i++ {
+		a, b := r.Evidence[i-1], r.Evidence[i]
+		if a.IPC < b.IPC {
+			t.Fatalf("evidence not sorted by IPC at %d", i)
+		}
+		if a.IPC == b.IPC && a.ICR < b.ICR {
+			t.Fatalf("evidence not sorted by ICR at %d", i)
+		}
+	}
+	if r.Evidence[0].Candidate != "syn" {
+		t.Fatalf("strongest evidence is %q", r.Evidence[0].Candidate)
+	}
+}
+
+func TestMineUnknownInput(t *testing.T) {
+	sd, log := figure1Fixture(t)
+	m, _ := NewMiner(sd, log, DefaultConfig())
+	r := m.Mine("never seen before")
+	if r.Hit() || len(r.Surrogates) != 0 || len(r.Evidence) != 0 {
+		t.Fatalf("unknown input produced output: %+v", r)
+	}
+	r = m.Mine("")
+	if r.Hit() {
+		t.Fatal("empty input produced output")
+	}
+}
+
+func TestMineNormalizesInput(t *testing.T) {
+	sd, log := figure1Fixture(t)
+	m, _ := NewMiner(sd, log, DefaultConfig())
+	r := m.Mine("  U!  ")
+	if r.Norm != "u" {
+		t.Fatalf("Norm = %q", r.Norm)
+	}
+	if len(r.Surrogates) != 10 {
+		t.Fatal("normalization lost the surrogates")
+	}
+}
+
+func TestUnclickedSurrogatesIgnored(t *testing.T) {
+	// A surrogate that never received any click contributes no candidates
+	// (Phase 1b walks only clicked pages).
+	var tuples []search.Tuple
+	for r := 1; r <= 3; r++ {
+		tuples = append(tuples, search.Tuple{Query: "u", PageID: r, Rank: r})
+	}
+	sd, err := search.NewDataFromTuples(tuples, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := clicklog.NewLog()
+	log.AddClick("w", 1) // page 1 clicked; pages 2,3 never
+	m, _ := NewMiner(sd, log, Config{IPC: 1, ICR: 0})
+	r := m.Mine("u")
+	if len(r.Evidence) != 1 || r.Evidence[0].Candidate != "w" {
+		t.Fatalf("evidence = %+v", r.Evidence)
+	}
+	if r.Evidence[0].IPC != 1 {
+		t.Fatalf("IPC = %d", r.Evidence[0].IPC)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	sd, log := figure1Fixture(t)
+	if _, err := NewMiner(sd, log, Config{IPC: 0, ICR: 0}); err == nil {
+		t.Fatal("IPC 0 accepted")
+	}
+	if _, err := NewMiner(sd, log, Config{IPC: 1, ICR: 1.5}); err == nil {
+		t.Fatal("ICR > 1 accepted")
+	}
+	if _, err := NewMiner(nil, log, DefaultConfig()); err == nil {
+		t.Fatal("nil search data accepted")
+	}
+	if _, err := NewMiner(sd, nil, DefaultConfig()); err == nil {
+		t.Fatal("nil log accepted")
+	}
+}
+
+func TestDefaultConfigIsPaperOperatingPoint(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.IPC != 4 || cfg.ICR != 0.1 {
+		t.Fatalf("default config %+v, want IPC 4 / ICR 0.1", cfg)
+	}
+}
+
+func TestMineAllOrderAndParallelism(t *testing.T) {
+	sd, log := figure1Fixture(t)
+	inputs := []string{"u", "unknown one", "u", "unknown two"}
+
+	seq, _ := NewMiner(sd, log, Config{IPC: 1, ICR: 0, Workers: 1})
+	par, _ := NewMiner(sd, log, Config{IPC: 1, ICR: 0, Workers: 8})
+	rs := seq.MineAll(inputs)
+	rp := par.MineAll(inputs)
+	if len(rs) != len(inputs) || len(rp) != len(inputs) {
+		t.Fatal("result count mismatch")
+	}
+	for i := range rs {
+		if rs[i].Norm != rp[i].Norm || len(rs[i].Evidence) != len(rp[i].Evidence) {
+			t.Fatalf("result %d differs between worker counts", i)
+		}
+		if !reflect.DeepEqual(rs[i].Synonyms, rp[i].Synonyms) {
+			t.Fatalf("synonyms %d differ between worker counts", i)
+		}
+	}
+}
+
+func TestEvidencePassesQuick(t *testing.T) {
+	f := func(ipcRaw uint8, icrRaw uint8, evIPC uint8, clicksIn, clicksOut uint8) bool {
+		total := int(clicksIn) + int(clicksOut)
+		if total == 0 {
+			return true
+		}
+		e := Evidence{
+			IPC:         int(evIPC % 11),
+			ICR:         float64(clicksIn) / float64(total),
+			ClicksIn:    int(clicksIn),
+			ClicksTotal: total,
+		}
+		beta := int(ipcRaw%11) + 1
+		gamma := float64(icrRaw) / 255
+		want := e.IPC >= beta && e.ICR >= gamma
+		return e.Passes(beta, gamma) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ICR is always in [0,1] and ClicksIn <= ClicksTotal for every
+// candidate the miner produces, whatever the log shape.
+func TestQuickMinerInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var tuples []search.Tuple
+		for r := 1; r <= 5; r++ {
+			tuples = append(tuples, search.Tuple{Query: "u", PageID: r, Rank: r})
+		}
+		sd, err := search.NewDataFromTuples(tuples, 5)
+		if err != nil {
+			return false
+		}
+		log := clicklog.NewLog()
+		for i, b := range raw {
+			q := string(rune('a' + i%5))
+			log.AddClick(q, int(b%12))
+		}
+		m, err := NewMiner(sd, log, Config{IPC: 1, ICR: 0})
+		if err != nil {
+			return false
+		}
+		r := m.Mine("u")
+		for _, e := range r.Evidence {
+			if e.ICR < 0 || e.ICR > 1 {
+				return false
+			}
+			if e.ClicksIn > e.ClicksTotal {
+				return false
+			}
+			if e.IPC < 1 {
+				return false // candidates must intersect GA by definition
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

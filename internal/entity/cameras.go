@@ -1,0 +1,337 @@
+package entity
+
+import (
+	"fmt"
+	"sort"
+
+	"websyn/internal/rng"
+	"websyn/internal/textnorm"
+)
+
+// CameraCount is the size of the D2 catalog, matching the paper's 882
+// canonical camera names crawled from MSN Shopping.
+const CameraCount = 882
+
+// cameraSeries describes one product line. A series contributes either an
+// explicit list of model codes or a generated numeric run
+// (pattern/start/step/count, with an optional suffix like " IS" applied to
+// every suffixEvery-th model — mirroring how real lines sprinkle stabilized
+// variants through a numeric range).
+//
+// tier is the popularity tier of the line: 0 = enthusiast favourites (DSLRs,
+// flagship compacts) that dominate query volume, 3 = feed filler nobody
+// searches for. Tiers anchor the popularity permutation, which in turn
+// drives the Zipf weights and the dead tail — the structural reason the
+// camera rows of Table I look so different from the movie rows.
+type cameraSeries struct {
+	brand       string
+	line        string
+	pattern     string // printf pattern with one %d, "" when explicit-only
+	start       int
+	step        int
+	count       int
+	suffix      string
+	suffixEvery int
+	explicit    []string
+	tier        int
+}
+
+var cameraSeriesTable = []cameraSeries{
+	// ----- Canon -----
+	{brand: "Canon", line: "EOS", tier: 0, explicit: []string{
+		"300D", "350D", "400D", "450D", "1000D", "20D", "30D", "40D", "50D",
+		"5D", "5D Mark II", "1D Mark III", "1Ds Mark II", "1Ds Mark III",
+	}},
+	{brand: "Canon", line: "PowerShot", pattern: "A%d", start: 430, step: 10, count: 60, suffix: " IS", suffixEvery: 4, tier: 2},
+	{brand: "Canon", line: "PowerShot", pattern: "SD%d", start: 600, step: 25, count: 26, suffix: " IS", suffixEvery: 3, tier: 1},
+	{brand: "Canon", line: "PowerShot", tier: 1, explicit: []string{
+		"SX1 IS", "SX10 IS", "SX100 IS", "SX110 IS", "G6", "G7", "G9", "G10",
+		"S60", "S70", "S80", "TX1",
+	}},
+	// ----- Nikon -----
+	{brand: "Nikon", line: "", tier: 0, explicit: []string{
+		"D40", "D40X", "D50", "D60", "D70s", "D80", "D90", "D200", "D300",
+		"D700", "D3", "D3X",
+	}},
+	{brand: "Nikon", line: "Coolpix", pattern: "L%d", start: 1, step: 1, count: 24, tier: 2},
+	{brand: "Nikon", line: "Coolpix", pattern: "P%d", start: 50, step: 10, count: 20, tier: 1},
+	{brand: "Nikon", line: "Coolpix", tier: 1, explicit: []string{
+		"P5000", "P5100", "P6000", "P1", "P2", "P3",
+	}},
+	{brand: "Nikon", line: "Coolpix", pattern: "S%d", start: 200, step: 10, count: 40, tier: 2},
+	// ----- Sony -----
+	{brand: "Sony", line: "Alpha", tier: 0, explicit: []string{
+		"DSLR-A100", "DSLR-A200", "DSLR-A300", "DSLR-A350", "DSLR-A700", "DSLR-A900",
+	}},
+	{brand: "Sony", line: "Cyber-shot", pattern: "DSC-W%d", start: 30, step: 10, count: 50, tier: 1},
+	{brand: "Sony", line: "Cyber-shot", tier: 1, explicit: []string{
+		"DSC-T9", "DSC-T10", "DSC-T20", "DSC-T30", "DSC-T50", "DSC-T70",
+		"DSC-T77", "DSC-T100", "DSC-T200", "DSC-T300", "DSC-T500", "DSC-T700",
+		"DSC-T2", "DSC-T5",
+	}},
+	{brand: "Sony", line: "Cyber-shot", tier: 1, explicit: []string{
+		"DSC-H1", "DSC-H2", "DSC-H3", "DSC-H5", "DSC-H7", "DSC-H9", "DSC-H10", "DSC-H50",
+	}},
+	{brand: "Sony", line: "Cyber-shot", pattern: "DSC-S%d", start: 600, step: 25, count: 16, tier: 2},
+	// ----- Olympus -----
+	{brand: "Olympus", line: "", tier: 0, explicit: []string{
+		"E-330", "E-400", "E-410", "E-420", "E-500", "E-510", "E-520",
+		"E-1", "E-3", "E-30",
+	}},
+	{brand: "Olympus", line: "Stylus", pattern: "%d", start: 700, step: 10, count: 36, suffix: " SW", suffixEvery: 5, tier: 2},
+	{brand: "Olympus", line: "FE", pattern: "FE-%d", start: 100, step: 10, count: 34, tier: 3},
+	{brand: "Olympus", line: "", tier: 2, explicit: []string{
+		"SP-310", "SP-320", "SP-350", "SP-500 UZ", "SP-510 UZ", "SP-550 UZ",
+		"SP-560 UZ", "SP-570 UZ",
+	}},
+	// ----- Panasonic -----
+	{brand: "Panasonic", line: "Lumix", tier: 0, explicit: []string{
+		"DMC-FZ3", "DMC-FZ4", "DMC-FZ5", "DMC-FZ7", "DMC-FZ8", "DMC-FZ18",
+		"DMC-FZ28", "DMC-FZ30", "DMC-FZ50", "DMC-G1",
+	}},
+	{brand: "Panasonic", line: "Lumix", tier: 1, explicit: []string{
+		"DMC-TZ1", "DMC-TZ2", "DMC-TZ3", "DMC-TZ4", "DMC-TZ5", "DMC-TZ50",
+		"DMC-LX1", "DMC-LX2", "DMC-LX3",
+	}},
+	{brand: "Panasonic", line: "Lumix", pattern: "DMC-FX%d", start: 30, step: 5, count: 24, tier: 2},
+	{brand: "Panasonic", line: "Lumix", pattern: "DMC-FS%d", start: 3, step: 2, count: 15, tier: 3},
+	{brand: "Panasonic", line: "Lumix", tier: 2, explicit: []string{
+		"DMC-LZ2", "DMC-LZ3", "DMC-LZ5", "DMC-LZ7", "DMC-LZ8",
+		"DMC-LS2", "DMC-LS60", "DMC-LS75", "DMC-LS80",
+	}},
+	// ----- Fujifilm -----
+	{brand: "Fujifilm", line: "FinePix", pattern: "A%d", start: 100, step: 50, count: 24, tier: 3},
+	{brand: "Fujifilm", line: "FinePix", tier: 1, explicit: []string{
+		"F10", "F11", "F20", "F30", "F31fd", "F40fd", "F45fd", "F47fd",
+		"F50fd", "F60fd", "F100fd", "F480",
+	}},
+	{brand: "Fujifilm", line: "FinePix", tier: 1, explicit: []string{
+		"S5200", "S5700", "S5800", "S6000fd", "S6500fd", "S700", "S8000fd",
+		"S8100fd", "S100FS", "S1000fd", "S2000HD", "S9600",
+	}},
+	{brand: "Fujifilm", line: "FinePix", tier: 2, explicit: []string{
+		"Z1", "Z2", "Z3", "Z5fd", "Z10fd", "Z20fd", "Z100fd", "Z200fd",
+		"Z30", "Z33WP", "Z50fd", "Z60fd", "Z70fd", "Z80fd",
+	}},
+	{brand: "Fujifilm", line: "FinePix", tier: 3, explicit: []string{
+		"J10", "J12", "J15fd", "J50", "J100", "J110w", "J120", "J150w", "J20", "J25",
+	}},
+	// ----- Kodak -----
+	{brand: "Kodak", line: "EasyShare", pattern: "C%d", start: 300, step: 15, count: 30, tier: 3},
+	{brand: "Kodak", line: "EasyShare", tier: 2, explicit: []string{
+		"M753", "M763", "M853", "M863", "M883", "M893 IS", "M1033", "M1073 IS",
+		"M320", "M340", "M341", "M380", "M420", "M1063",
+	}},
+	{brand: "Kodak", line: "EasyShare", tier: 1, explicit: []string{
+		"Z612", "Z650", "Z700", "Z710", "Z712 IS", "Z740", "Z812 IS", "Z885",
+		"Z1012 IS", "Z1085 IS",
+	}},
+	{brand: "Kodak", line: "EasyShare", tier: 2, explicit: []string{
+		"V530", "V550", "V570", "V603", "V705", "V803",
+	}},
+	// ----- Casio -----
+	{brand: "Casio", line: "Exilim", pattern: "EX-Z%d", start: 40, step: 10, count: 30, tier: 2},
+	{brand: "Casio", line: "Exilim", tier: 2, explicit: []string{
+		"EX-S2", "EX-S3", "EX-S10", "EX-S100", "EX-S500", "EX-S600",
+		"EX-S770", "EX-S880", "EX-S5", "EX-S12",
+	}},
+	{brand: "Casio", line: "Exilim", tier: 1, explicit: []string{
+		"EX-F1", "EX-FH20", "EX-V7", "EX-V8",
+	}},
+	// ----- Pentax -----
+	{brand: "Pentax", line: "", tier: 0, explicit: []string{
+		"K100D", "K100D Super", "K110D", "K10D", "K20D", "K200D", "K2000", "ist DS2",
+	}},
+	{brand: "Pentax", line: "Optio", tier: 2, explicit: []string{
+		"A10", "A20", "A30", "M10", "M20", "M30", "M40",
+		"W10", "W20", "W30", "W60", "WPi",
+	}},
+	{brand: "Pentax", line: "Optio", pattern: "E%d", start: 10, step: 10, count: 6, tier: 3},
+	{brand: "Pentax", line: "Optio", tier: 2, explicit: []string{
+		"S5i", "S5n", "S6", "S7", "S10", "S12", "S40", "S45", "S50", "S55",
+	}},
+	// ----- Samsung -----
+	{brand: "Samsung", line: "Digimax", tier: 2, explicit: []string{
+		"S500", "S600", "S700", "S730", "S760", "S850", "S1050",
+	}},
+	{brand: "Samsung", line: "Digimax", pattern: "L%d", start: 100, step: 10, count: 20, tier: 3},
+	{brand: "Samsung", line: "", tier: 2, explicit: []string{
+		"NV3", "NV7 OPS", "NV8", "NV9", "NV10", "NV15", "NV20", "NV24 HD",
+	}},
+	{brand: "Samsung", line: "", tier: 1, explicit: []string{
+		"GX-10", "GX-20", "i7", "i8", "i85",
+	}},
+	// ----- Leica -----
+	{brand: "Leica", line: "", tier: 1, explicit: []string{
+		"C-LUX 1", "C-LUX 2", "C-LUX 3", "D-LUX 2", "D-LUX 3", "D-LUX 4",
+		"V-LUX 1", "M8",
+	}},
+	// ----- Ricoh -----
+	{brand: "Ricoh", line: "Caplio", tier: 2, explicit: []string{
+		"R4", "R5", "R6", "R7", "R8", "R10", "GX100", "GX200",
+		"GR Digital", "GR Digital II",
+	}},
+	// ----- Sigma -----
+	{brand: "Sigma", line: "", tier: 1, explicit: []string{"DP1", "SD14"}},
+	// ----- GE -----
+	{brand: "GE", line: "", tier: 3, explicit: []string{
+		"A730", "A830", "A950", "E840s", "E1030", "E1240",
+		"A1050", "E850", "E1050 TW", "E1235", "G1", "X3",
+	}},
+	// ----- HP -----
+	{brand: "HP", line: "Photosmart", tier: 3, explicit: []string{
+		"M425", "M447", "M527", "M547", "M637", "M737", "R742", "R937",
+		"M627", "M727", "R725", "R727", "R827", "R847",
+	}},
+	// ----- Sanyo -----
+	{brand: "Sanyo", line: "Xacti", pattern: "VPC-S%d", start: 600, step: 10, count: 30, tier: 3},
+	// ----- BenQ -----
+	{brand: "BenQ", line: "DC", pattern: "C%d", start: 500, step: 20, count: 25, tier: 3},
+	// ----- Polaroid -----
+	{brand: "Polaroid", line: "", pattern: "i%d", start: 530, step: 30, count: 18, tier: 3},
+	// ----- Kyocera -----
+	{brand: "Kyocera", line: "Finecam", tier: 3, explicit: []string{
+		"SL300R", "SL400R", "S3R", "S5R", "M400R", "M410R",
+		"L3V", "L4V", "SL25", "SL30", "EZ4033", "EZ4050",
+	}},
+	// ----- Konica Minolta -----
+	{brand: "Konica Minolta", line: "DiMAGE", tier: 2, explicit: []string{
+		"X1", "X50", "X60", "Z2", "Z3", "Z5", "Z6", "Z10", "Z20",
+		"A2", "A200", "E500", "G600",
+	}},
+	// ----- Vivitar (filler series: runtime-extended/truncated to hit 882) -----
+	{brand: "Vivitar", line: "ViviCam", pattern: "%d", start: 3700, step: 15, count: 40, tier: 3},
+}
+
+// fillerIndex points at the series whose count is adjusted at build time so
+// the catalog lands on exactly CameraCount entries. It must be the last
+// entry and must be a numeric-pattern series.
+var fillerIndex = len(cameraSeriesTable) - 1
+
+// cameraNicknames maps normalized canonical names to codified market
+// nicknames — regional or marketing names with zero textual overlap with the
+// canonical string. "Canon EOS 350D" = "Digital Rebel XT" is the paper's own
+// running example.
+var cameraNicknames = map[string][]string{
+	"canon eos 300d":         {"digital rebel", "kiss digital"},
+	"canon eos 350d":         {"digital rebel xt", "rebel xt", "kiss digital n"},
+	"canon eos 400d":         {"digital rebel xti", "rebel xti", "kiss digital x"},
+	"canon eos 450d":         {"rebel xsi", "kiss x2"},
+	"canon eos 1000d":        {"rebel xs", "kiss f"},
+	"pentax k2000":           {"pentax k m"},
+	"olympus e 410":          {"evolt e410"},
+	"olympus e 510":          {"evolt e510"},
+	"sony alpha dslr a100":   {"sony alpha 100"},
+	"sony alpha dslr a700":   {"sony alpha 700"},
+	"panasonic lumix dmc g1": {"panasonic g1 micro four thirds"},
+	"nikon d40":              {"nikon d40 kit"},
+	"leica d lux 3":          {"dlux3"},
+	"sigma dp1":              {"sigma compact foveon"},
+	"fujifilm finepix f31fd": {"fuji f31"},
+}
+
+// seriesModels expands one series spec into its model code list.
+func (cs *cameraSeries) seriesModels() []string {
+	models := append([]string(nil), cs.explicit...)
+	if cs.pattern != "" {
+		for i := 0; i < cs.count; i++ {
+			m := fmt.Sprintf(cs.pattern, cs.start+i*cs.step)
+			if cs.suffix != "" && cs.suffixEvery > 0 && (i+1)%cs.suffixEvery == 0 {
+				m += cs.suffix
+			}
+			models = append(models, m)
+		}
+	}
+	return models
+}
+
+// canonicalCameraName joins brand, line and model into the canonical feed
+// string.
+func canonicalCameraName(brand, line, model string) string {
+	if line == "" {
+		return brand + " " + model
+	}
+	return brand + " " + line + " " + model
+}
+
+// cameraPopularitySeed fixes the deterministic jitter stream used to break
+// ties inside popularity tiers. Changing it reshuffles which tail cameras
+// are "dead" but not any aggregate statistic.
+const cameraPopularitySeed = 0x0C0FFEE
+
+// Cameras2008 builds the D2 catalog: exactly CameraCount canonical camera
+// names. Popularity ranks are assigned by tier (DSLR lines first, feed
+// filler last) with deterministic within-tier jitter, then weighted by a
+// steep Zipf with a dead tail — reproducing the head/tail contrast that
+// makes Table I's camera rows collapse for the Wikipedia and random-walk
+// baselines.
+func Cameras2008() (*Catalog, error) {
+	type protoCam struct {
+		brand, line, model string
+		tier               int
+	}
+	var protos []protoCam
+	for i, cs := range cameraSeriesTable {
+		if i == fillerIndex {
+			continue // handled after the count is known
+		}
+		for _, m := range cs.seriesModels() {
+			protos = append(protos, protoCam{cs.brand, cs.line, m, cs.tier})
+		}
+	}
+	filler := cameraSeriesTable[fillerIndex]
+	if filler.pattern == "" {
+		return nil, fmt.Errorf("entity: filler series must be numeric")
+	}
+	need := CameraCount - len(protos)
+	if need < 0 {
+		return nil, fmt.Errorf("entity: camera table overfull by %d before filler", -need)
+	}
+	filler.count = need
+	for _, m := range filler.seriesModels() {
+		protos = append(protos, protoCam{filler.brand, filler.line, m, filler.tier})
+	}
+	if len(protos) != CameraCount {
+		return nil, fmt.Errorf("entity: camera catalog has %d entries, want %d", len(protos), CameraCount)
+	}
+
+	entities := make([]*Entity, len(protos))
+	for i, p := range protos {
+		canon := canonicalCameraName(p.brand, p.line, p.model)
+		e := &Entity{
+			Canonical: canon,
+			Brand:     p.brand,
+			Line:      p.line,
+			Model:     p.model,
+		}
+		if nick, ok := cameraNicknames[textnorm.Normalize(canon)]; ok {
+			e.Nicknames = append([]string(nil), nick...)
+		}
+		entities[i] = e
+	}
+
+	// Popularity: score = tier base + jitter, rank by descending score.
+	src := rng.New(cameraPopularitySeed)
+	type scored struct {
+		idx   int
+		score float64
+	}
+	scoredList := make([]scored, len(protos))
+	tierBase := []float64{3.0, 2.0, 1.0, 0.0}
+	for i, p := range protos {
+		scoredList[i] = scored{idx: i, score: tierBase[p.tier] + 0.9*src.Float64()}
+	}
+	sort.Slice(scoredList, func(a, b int) bool {
+		if scoredList[a].score != scoredList[b].score {
+			return scoredList[a].score > scoredList[b].score
+		}
+		return scoredList[a].idx < scoredList[b].idx
+	})
+	ranks := make([]int, len(protos))
+	for rank, s := range scoredList {
+		ranks[s.idx] = rank
+	}
+	// Steep Zipf + 13% dead tail: matches the 87% "Us" hit ratio band.
+	assignPopularity(entities, ranks, 1.02, 0.13)
+	return NewCatalog(Camera, entities)
+}

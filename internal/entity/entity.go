@@ -1,0 +1,189 @@
+// Package entity defines the structured-data side of the reproduction: the
+// entities whose canonical strings are the input U of the synonym-finding
+// problem (paper Section II.B).
+//
+// Two catalogs mirror the paper's data sets:
+//
+//   - D1: the titles of 100 top-grossing 2008 movies (Movies2008).
+//   - D2: 882 canonical digital-camera names in the style of the 2008 MSN
+//     Shopping feed (Cameras2008), generated from a brand x line x model
+//     grammar so the token shapes (alphanumeric model codes, line names,
+//     brand prefixes) match what the paper's method had to cope with.
+//
+// Entities carry the metadata the alias model needs (franchise, sequel
+// number, subtitle for movies; brand, line, model code, market nicknames for
+// cameras) plus a popularity rank that drives Zipf query volume in the
+// simulator.
+package entity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"websyn/internal/textnorm"
+)
+
+// Kind discriminates the entity domain.
+type Kind int
+
+const (
+	// Movie entities come from the D1 catalog.
+	Movie Kind = iota
+	// Camera entities come from the D2 catalog.
+	Camera
+	// Software entities come from the D3 extension catalog (the paper's
+	// third motivating domain: "Mac OS X" = "Leopard").
+	Software
+)
+
+// String returns the lower-case domain name.
+func (k Kind) String() string {
+	switch k {
+	case Movie:
+		return "movie"
+	case Camera:
+		return "camera"
+	case Software:
+		return "software"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Entity is one row of structured data: a thing users may refer to by many
+// strings. Canonical is the high-quality, formal description a content
+// creator would use — the exact string handed to the miner as input.
+type Entity struct {
+	ID        int    // dense index within its catalog
+	Kind      Kind   // domain
+	Canonical string // formal data value, e.g. the full movie title
+
+	// Movie metadata (zero values for cameras).
+	Franchise string // franchise base name ("Indiana Jones"), "" if standalone
+	Sequel    int    // sequel number within the franchise, 0 if none/first
+	Subtitle  string // subtitle after the colon, "" if none
+
+	// Camera metadata (zero values for movies).
+	Brand string // manufacturer ("Canon")
+	Line  string // product line ("PowerShot A", "EOS")
+	Model string // model code ("350D", "A590 IS")
+
+	// Nicknames are codified alternative market names that cannot be derived
+	// from the canonical string ("Digital Rebel XT" for the EOS 350D,
+	// "bond 22" for Quantum of Solace). They seed the hardest synonym class
+	// in the paper's motivation.
+	Nicknames []string
+
+	// PopRank is the popularity rank within the catalog (0 = most searched).
+	// Weight is the entity's share of the domain's query volume; catalog
+	// weights sum to 1.
+	PopRank int
+	Weight  float64
+}
+
+// Norm returns the normalized form of the canonical string.
+func (e *Entity) Norm() string { return textnorm.Normalize(e.Canonical) }
+
+// Catalog is an immutable collection of entities of one kind with lookup
+// indexes.
+type Catalog struct {
+	kind     Kind
+	entities []*Entity
+	byNorm   map[string]*Entity
+}
+
+// NewCatalog builds a catalog over the given entities. IDs are (re)assigned
+// densely in slice order. It returns an error when two entities share a
+// normalized canonical string, because the mining input U must be a set.
+func NewCatalog(kind Kind, entities []*Entity) (*Catalog, error) {
+	c := &Catalog{
+		kind:     kind,
+		entities: entities,
+		byNorm:   make(map[string]*Entity, len(entities)),
+	}
+	for i, e := range entities {
+		e.ID = i
+		e.Kind = kind
+		n := e.Norm()
+		if n == "" {
+			return nil, fmt.Errorf("entity: entity %d (%q) normalizes to empty", i, e.Canonical)
+		}
+		if prev, dup := c.byNorm[n]; dup {
+			return nil, fmt.Errorf("entity: %q and %q collide on normalized form %q",
+				prev.Canonical, e.Canonical, n)
+		}
+		c.byNorm[n] = e
+	}
+	return c, nil
+}
+
+// Kind returns the catalog's domain.
+func (c *Catalog) Kind() Kind { return c.kind }
+
+// Len returns the number of entities.
+func (c *Catalog) Len() int { return len(c.entities) }
+
+// All returns the entities in ID order. Callers must not mutate the slice.
+func (c *Catalog) All() []*Entity { return c.entities }
+
+// ByID returns the entity with the given ID, or nil if out of range.
+func (c *Catalog) ByID(id int) *Entity {
+	if id < 0 || id >= len(c.entities) {
+		return nil
+	}
+	return c.entities[id]
+}
+
+// ByNorm returns the entity whose canonical string normalizes to norm, or
+// nil.
+func (c *Catalog) ByNorm(norm string) *Entity { return c.byNorm[norm] }
+
+// Canonicals returns the canonical strings in ID order — the input set U of
+// the synonym finding problem.
+func (c *Catalog) Canonicals() []string {
+	out := make([]string, len(c.entities))
+	for i, e := range c.entities {
+		out[i] = e.Canonical
+	}
+	return out
+}
+
+// assignPopularity gives every entity a popularity rank and a Zipf weight.
+//
+// ranks[i] is the popularity rank of entity i; exponent is the Zipf skew.
+// deadTail marks entities whose rank falls in the last deadFraction of the
+// catalog as having weight 0 — products that exist in the structured feed
+// but that nobody ever searches for. This is the mechanism behind the
+// paper's camera hit-ratio being 87% rather than 100%: some catalog rows
+// simply never appear in any log.
+func assignPopularity(entities []*Entity, ranks []int, exponent, deadFraction float64) {
+	n := len(entities)
+	cut := n - int(float64(n)*deadFraction)
+	weights := make([]float64, n)
+	total := 0.0
+	for i, e := range entities {
+		r := ranks[i]
+		e.PopRank = r
+		if r >= cut {
+			weights[i] = 0
+			continue
+		}
+		w := 1.0 / math.Pow(float64(r+1), exponent)
+		weights[i] = w
+		total += w
+	}
+	for i, e := range entities {
+		if total > 0 {
+			e.Weight = weights[i] / total
+		}
+	}
+}
+
+// SortByPopularity returns the entities ordered by ascending PopRank
+// (most popular first). The catalog itself stays in ID order.
+func (c *Catalog) SortByPopularity() []*Entity {
+	out := append([]*Entity(nil), c.entities...)
+	sort.Slice(out, func(i, j int) bool { return out[i].PopRank < out[j].PopRank })
+	return out
+}

@@ -1,0 +1,367 @@
+package entity
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"websyn/internal/textnorm"
+)
+
+func mustMovies(t *testing.T) *Catalog {
+	t.Helper()
+	c, err := Movies2008()
+	if err != nil {
+		t.Fatalf("Movies2008: %v", err)
+	}
+	return c
+}
+
+func mustCameras(t *testing.T) *Catalog {
+	t.Helper()
+	c, err := Cameras2008()
+	if err != nil {
+		t.Fatalf("Cameras2008: %v", err)
+	}
+	return c
+}
+
+func TestMoviesCount(t *testing.T) {
+	if got := mustMovies(t).Len(); got != MovieCount {
+		t.Fatalf("movie catalog has %d entries, want %d", got, MovieCount)
+	}
+}
+
+func TestCamerasCount(t *testing.T) {
+	if got := mustCameras(t).Len(); got != CameraCount {
+		t.Fatalf("camera catalog has %d entries, want %d", got, CameraCount)
+	}
+}
+
+func TestMoviesKind(t *testing.T) {
+	c := mustMovies(t)
+	if c.Kind() != Movie {
+		t.Fatal("movie catalog has wrong kind")
+	}
+	for _, e := range c.All() {
+		if e.Kind != Movie {
+			t.Fatalf("entity %q has kind %v", e.Canonical, e.Kind)
+		}
+	}
+}
+
+func TestCamerasKind(t *testing.T) {
+	c := mustCameras(t)
+	if c.Kind() != Camera {
+		t.Fatal("camera catalog has wrong kind")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Movie.String() != "movie" || Camera.String() != "camera" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should still stringify")
+	}
+}
+
+func TestIDsAreDense(t *testing.T) {
+	for _, c := range []*Catalog{mustMovies(t), mustCameras(t)} {
+		for i, e := range c.All() {
+			if e.ID != i {
+				t.Fatalf("entity %q has ID %d at position %d", e.Canonical, e.ID, i)
+			}
+			if c.ByID(i) != e {
+				t.Fatalf("ByID(%d) mismatch", i)
+			}
+		}
+	}
+}
+
+func TestByIDOutOfRange(t *testing.T) {
+	c := mustMovies(t)
+	if c.ByID(-1) != nil || c.ByID(c.Len()) != nil {
+		t.Fatal("out-of-range ByID should return nil")
+	}
+}
+
+func TestByNormRoundTrip(t *testing.T) {
+	for _, c := range []*Catalog{mustMovies(t), mustCameras(t)} {
+		for _, e := range c.All() {
+			if got := c.ByNorm(e.Norm()); got != e {
+				t.Fatalf("ByNorm(%q) returned wrong entity", e.Norm())
+			}
+		}
+	}
+}
+
+func TestByNormMiss(t *testing.T) {
+	if mustMovies(t).ByNorm("definitely not a movie title") != nil {
+		t.Fatal("ByNorm should miss unknown strings")
+	}
+}
+
+func TestNoDuplicateNormalizedNames(t *testing.T) {
+	for _, c := range []*Catalog{mustMovies(t), mustCameras(t)} {
+		seen := map[string]string{}
+		for _, e := range c.All() {
+			n := e.Norm()
+			if prev, dup := seen[n]; dup {
+				t.Fatalf("%q and %q collide on %q", prev, e.Canonical, n)
+			}
+			seen[n] = e.Canonical
+		}
+	}
+}
+
+func TestWeightsSumToOne(t *testing.T) {
+	for _, c := range []*Catalog{mustMovies(t), mustCameras(t)} {
+		sum := 0.0
+		for _, e := range c.All() {
+			if e.Weight < 0 {
+				t.Fatalf("%q has negative weight", e.Canonical)
+			}
+			sum += e.Weight
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%v weights sum to %v", c.Kind(), sum)
+		}
+	}
+}
+
+func TestMoviesHaveNoDeadTail(t *testing.T) {
+	for _, e := range mustMovies(t).All() {
+		if e.Weight == 0 {
+			t.Fatalf("movie %q has zero weight; movies must all attract queries", e.Canonical)
+		}
+	}
+}
+
+func TestCamerasDeadTailFraction(t *testing.T) {
+	c := mustCameras(t)
+	dead := 0
+	for _, e := range c.All() {
+		if e.Weight == 0 {
+			dead++
+		}
+	}
+	frac := float64(dead) / float64(c.Len())
+	if frac < 0.10 || frac > 0.16 {
+		t.Fatalf("dead camera fraction %.3f outside [0.10, 0.16]", frac)
+	}
+}
+
+func TestPopularityRanksArePermutation(t *testing.T) {
+	for _, c := range []*Catalog{mustMovies(t), mustCameras(t)} {
+		seen := make([]bool, c.Len())
+		for _, e := range c.All() {
+			if e.PopRank < 0 || e.PopRank >= c.Len() || seen[e.PopRank] {
+				t.Fatalf("%v: PopRank %d invalid/duplicated", c.Kind(), e.PopRank)
+			}
+			seen[e.PopRank] = true
+		}
+	}
+}
+
+func TestPopularityWeightMonotone(t *testing.T) {
+	// Weight must be non-increasing in rank (dead tail all-zero).
+	for _, c := range []*Catalog{mustMovies(t), mustCameras(t)} {
+		byRank := c.SortByPopularity()
+		for i := 1; i < len(byRank); i++ {
+			if byRank[i].Weight > byRank[i-1].Weight+1e-12 {
+				t.Fatalf("%v: weight increases from rank %d to %d", c.Kind(), i-1, i)
+			}
+		}
+	}
+}
+
+func TestSortByPopularityDoesNotMutate(t *testing.T) {
+	c := mustMovies(t)
+	_ = c.SortByPopularity()
+	for i, e := range c.All() {
+		if e.ID != i {
+			t.Fatal("SortByPopularity mutated catalog order")
+		}
+	}
+}
+
+func TestMovieZipfHead(t *testing.T) {
+	c := mustMovies(t)
+	top := c.SortByPopularity()[0]
+	if top.Canonical != "The Dark Knight" {
+		t.Fatalf("most popular 2008 movie is %q, want The Dark Knight", top.Canonical)
+	}
+	if top.Weight < 0.02 {
+		t.Fatalf("head movie weight %.4f implausibly small", top.Weight)
+	}
+}
+
+func TestCamerasDSLRsAreHead(t *testing.T) {
+	// Every tier-0 DSLR body should rank in the top half.
+	c := mustCameras(t)
+	for _, e := range c.All() {
+		if e.Line == "EOS" && e.PopRank >= c.Len()/2 {
+			t.Fatalf("EOS body %q has tail rank %d", e.Canonical, e.PopRank)
+		}
+	}
+}
+
+func TestCameraFieldsPopulated(t *testing.T) {
+	for _, e := range mustCameras(t).All() {
+		if e.Brand == "" || e.Model == "" {
+			t.Fatalf("camera %q missing brand/model metadata", e.Canonical)
+		}
+		if !strings.HasPrefix(e.Canonical, e.Brand) {
+			t.Fatalf("camera canonical %q does not start with brand %q", e.Canonical, e.Brand)
+		}
+	}
+}
+
+func TestMovieSequelMetadataConsistent(t *testing.T) {
+	for _, e := range mustMovies(t).All() {
+		if e.Sequel > 0 && e.Franchise == "" {
+			t.Fatalf("movie %q has sequel number but no franchise", e.Canonical)
+		}
+		if e.Subtitle != "" && !strings.Contains(textnorm.Normalize(e.Canonical), textnorm.Normalize(e.Subtitle)) {
+			t.Fatalf("movie %q subtitle %q not contained in title", e.Canonical, e.Subtitle)
+		}
+	}
+}
+
+func TestKnownNicknamesPresent(t *testing.T) {
+	cams := mustCameras(t)
+	rebel := cams.ByNorm("canon eos 350d")
+	if rebel == nil {
+		t.Fatal("Canon EOS 350D missing from catalog")
+	}
+	found := false
+	for _, n := range rebel.Nicknames {
+		if n == "digital rebel xt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("EOS 350D nicknames = %v, want digital rebel xt", rebel.Nicknames)
+	}
+
+	movies := mustMovies(t)
+	indy := movies.ByNorm("indiana jones and the kingdom of the crystal skull")
+	if indy == nil {
+		t.Fatal("Indiana Jones 4 missing from catalog")
+	}
+	if indy.Sequel != 4 || indy.Franchise != "Indiana Jones" {
+		t.Fatalf("Indiana Jones metadata wrong: %+v", indy)
+	}
+}
+
+func TestCanonicalsMatchesCatalog(t *testing.T) {
+	c := mustMovies(t)
+	cs := c.Canonicals()
+	if len(cs) != c.Len() {
+		t.Fatal("Canonicals length mismatch")
+	}
+	for i, s := range cs {
+		if s != c.ByID(i).Canonical {
+			t.Fatal("Canonicals order mismatch")
+		}
+	}
+}
+
+func TestNewCatalogRejectsDuplicates(t *testing.T) {
+	_, err := NewCatalog(Movie, []*Entity{
+		{Canonical: "Same Title"},
+		{Canonical: "same   title!"},
+	})
+	if err == nil {
+		t.Fatal("duplicate normalized canonicals should be rejected")
+	}
+}
+
+func TestNewCatalogRejectsEmptyNorm(t *testing.T) {
+	_, err := NewCatalog(Movie, []*Entity{{Canonical: "!!!"}})
+	if err == nil {
+		t.Fatal("empty-normalizing canonical should be rejected")
+	}
+}
+
+func mustSoftware(t *testing.T) *Catalog {
+	t.Helper()
+	c, err := Software2008()
+	if err != nil {
+		t.Fatalf("Software2008: %v", err)
+	}
+	return c
+}
+
+func TestSoftwareCount(t *testing.T) {
+	if got := mustSoftware(t).Len(); got != SoftwareCount {
+		t.Fatalf("software catalog has %d entries, want %d", got, SoftwareCount)
+	}
+}
+
+func TestSoftwareKindAndFields(t *testing.T) {
+	c := mustSoftware(t)
+	if c.Kind() != Software {
+		t.Fatal("wrong kind")
+	}
+	if Software.String() != "software" {
+		t.Fatal("Kind string wrong")
+	}
+	for _, e := range c.All() {
+		if e.Brand == "" {
+			t.Fatalf("software %q missing vendor", e.Canonical)
+		}
+		if e.Franchise == "" {
+			t.Fatalf("software %q missing product line", e.Canonical)
+		}
+	}
+}
+
+func TestSoftwareNoDeadTail(t *testing.T) {
+	for _, e := range mustSoftware(t).All() {
+		if e.Weight == 0 {
+			t.Fatalf("software %q has zero weight", e.Canonical)
+		}
+	}
+}
+
+func TestSoftwareLeopardEntry(t *testing.T) {
+	c := mustSoftware(t)
+	e := c.ByNorm("apple mac os x 10 5")
+	if e == nil {
+		t.Fatal("Mac OS X 10.5 missing")
+	}
+	found := false
+	for _, n := range e.Nicknames {
+		if n == "leopard" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leopard codename missing: %v", e.Nicknames)
+	}
+}
+
+func TestSoftwareNormsUnique(t *testing.T) {
+	c := mustSoftware(t)
+	seen := map[string]bool{}
+	for _, e := range c.All() {
+		n := e.Norm()
+		if seen[n] {
+			t.Fatalf("duplicate norm %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestCatalogDeterminism(t *testing.T) {
+	a := mustCameras(t)
+	b := mustCameras(t)
+	for i := range a.All() {
+		ea, eb := a.ByID(i), b.ByID(i)
+		if ea.Canonical != eb.Canonical || ea.PopRank != eb.PopRank || ea.Weight != eb.Weight {
+			t.Fatalf("camera catalog not deterministic at %d", i)
+		}
+	}
+}

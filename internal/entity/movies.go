@@ -1,0 +1,151 @@
+package entity
+
+import "fmt"
+
+// movieSpec is the compact literal form of a D1 entry. The list below covers
+// 100 wide-release 2008 movies roughly in box-office order, which doubles as
+// the popularity rank (rank 0 = The Dark Knight). Franchise/sequel/subtitle
+// metadata drives the alias model: sequels generate numeral-swap synonyms,
+// subtitles generate subtitle-drop synonyms, franchises generate hypernyms.
+// Nicknames are informal names that cannot be derived from the title text —
+// the class of synonym the paper's introduction calls hopeless for substring
+// matching.
+type movieSpec struct {
+	title     string
+	franchise string
+	sequel    int
+	subtitle  string
+	nicknames []string
+}
+
+var movies2008 = []movieSpec{
+	{title: "The Dark Knight", franchise: "Batman", nicknames: []string{"batman dark knight", "tdk", "batman 2008"}},
+	{title: "Iron Man", nicknames: []string{"ironman movie", "iron man 2008"}},
+	{title: "Indiana Jones and the Kingdom of the Crystal Skull", franchise: "Indiana Jones", sequel: 4, subtitle: "Kingdom of the Crystal Skull", nicknames: []string{"indy 4", "indiana jones iv"}},
+	{title: "Hancock", nicknames: []string{"hancock will smith"}},
+	{title: "WALL-E", nicknames: []string{"walle", "wall e pixar"}},
+	{title: "Kung Fu Panda", nicknames: []string{"kfp"}},
+	{title: "Twilight", nicknames: []string{"twilight movie", "twilight 2008"}},
+	{title: "Madagascar: Escape 2 Africa", franchise: "Madagascar", sequel: 2, subtitle: "Escape 2 Africa", nicknames: []string{"madagascar 2"}},
+	{title: "Quantum of Solace", franchise: "James Bond", sequel: 22, nicknames: []string{"bond 22", "james bond quantum", "new bond movie"}},
+	{title: "Dr. Seuss' Horton Hears a Who!", subtitle: "", nicknames: []string{"horton hears a who", "horton movie"}},
+	{title: "Sex and the City", nicknames: []string{"satc movie", "sex and the city movie"}},
+	{title: "Gran Torino", nicknames: []string{"gran torino eastwood"}},
+	{title: "Mamma Mia!", nicknames: []string{"mamma mia movie", "mama mia"}},
+	{title: "Marley & Me", nicknames: []string{"marley and me"}},
+	{title: "The Chronicles of Narnia: Prince Caspian", franchise: "Chronicles of Narnia", sequel: 2, subtitle: "Prince Caspian", nicknames: []string{"narnia 2"}},
+	{title: "Slumdog Millionaire", nicknames: []string{"slumdog"}},
+	{title: "The Incredible Hulk", franchise: "Hulk", nicknames: []string{"hulk 2008", "hulk 2"}},
+	{title: "Wanted", nicknames: []string{"wanted movie"}},
+	{title: "Get Smart", nicknames: []string{"get smart movie"}},
+	{title: "The Curious Case of Benjamin Button", nicknames: []string{"benjamin button"}},
+	{title: "The Mummy: Tomb of the Dragon Emperor", franchise: "The Mummy", sequel: 3, subtitle: "Tomb of the Dragon Emperor", nicknames: []string{"mummy 3"}},
+	{title: "Bolt", nicknames: []string{"bolt disney"}},
+	{title: "Tropic Thunder", nicknames: []string{"tropic thunder movie"}},
+	{title: "Bedtime Stories", nicknames: []string{"bedtime stories sandler"}},
+	{title: "Journey to the Center of the Earth", nicknames: []string{"journey 3d"}},
+	{title: "You Don't Mess with the Zohan", nicknames: []string{"zohan"}},
+	{title: "Valkyrie", nicknames: []string{"valkyrie cruise"}},
+	{title: "Yes Man", nicknames: []string{"yes man carrey"}},
+	{title: "Step Brothers", nicknames: []string{"stepbrothers"}},
+	{title: "Eagle Eye", nicknames: []string{"eagle eye movie"}},
+	{title: "The Day the Earth Stood Still", nicknames: []string{"day earth stood still remake"}},
+	{title: "Cloverfield", nicknames: []string{"cloverfield monster movie"}},
+	{title: "27 Dresses", nicknames: []string{"27 dresses movie"}},
+	{title: "Jumper", nicknames: []string{"jumper movie"}},
+	{title: "Beverly Hills Chihuahua", nicknames: []string{"chihuahua movie"}},
+	{title: "Pineapple Express", nicknames: []string{"pineapple express movie"}},
+	{title: "Hellboy II: The Golden Army", franchise: "Hellboy", sequel: 2, subtitle: "The Golden Army", nicknames: []string{"hellboy 2"}},
+	{title: "The Spiderwick Chronicles", nicknames: []string{"spiderwick"}},
+	{title: "Vantage Point", nicknames: []string{"vantage point movie"}},
+	{title: "Fool's Gold", nicknames: []string{"fools gold movie"}},
+	{title: "The Happening", nicknames: []string{"the happening shyamalan"}},
+	{title: "10,000 BC", nicknames: []string{"10000 bc"}},
+	{title: "Four Christmases", nicknames: []string{"4 christmases"}},
+	{title: "High School Musical 3: Senior Year", franchise: "High School Musical", sequel: 3, subtitle: "Senior Year", nicknames: []string{"hsm3", "hsm 3"}},
+	{title: "Changeling", nicknames: []string{"changeling jolie"}},
+	{title: "Baby Mama", nicknames: []string{"baby mama movie"}},
+	{title: "Forgetting Sarah Marshall", nicknames: []string{"sarah marshall movie"}},
+	{title: "21", nicknames: []string{"21 movie", "21 blackjack movie"}},
+	{title: "The Tale of Despereaux", nicknames: []string{"despereaux"}},
+	{title: "Seven Pounds", nicknames: []string{"7 pounds"}},
+	{title: "The Strangers", nicknames: []string{"the strangers horror"}},
+	{title: "Nim's Island", nicknames: []string{"nims island"}},
+	{title: "Nights in Rodanthe", nicknames: []string{"rodanthe"}},
+	{title: "Burn After Reading", nicknames: []string{"burn after reading coen"}},
+	{title: "What Happens in Vegas", nicknames: []string{"what happens in vegas movie"}},
+	{title: "Body of Lies", nicknames: []string{"body of lies dicaprio"}},
+	{title: "The House Bunny", nicknames: []string{"house bunny"}},
+	{title: "Definitely, Maybe", nicknames: []string{"definitely maybe movie"}},
+	{title: "Max Payne", nicknames: []string{"max payne movie"}},
+	{title: "Made of Honor", nicknames: []string{"made of honour"}},
+	{title: "Rambo", franchise: "Rambo", sequel: 4, nicknames: []string{"rambo 4", "rambo iv"}},
+	{title: "Drillbit Taylor", nicknames: []string{"drillbit"}},
+	{title: "Speed Racer", nicknames: []string{"speed racer movie"}},
+	{title: "The Love Guru", nicknames: []string{"love guru"}},
+	{title: "Meet the Spartans", nicknames: []string{"spartans spoof"}},
+	{title: "Street Kings", nicknames: []string{"street kings movie"}},
+	{title: "Untraceable", nicknames: []string{"untraceable movie"}},
+	{title: "Semi-Pro", nicknames: []string{"semi pro ferrell"}},
+	{title: "The Eye", nicknames: []string{"the eye remake"}},
+	{title: "Leatherheads", nicknames: []string{"leatherheads movie"}},
+	{title: "Prom Night", nicknames: []string{"prom night remake"}},
+	{title: "The Forbidden Kingdom", nicknames: []string{"forbidden kingdom jackie chan"}},
+	{title: "Harold & Kumar Escape from Guantanamo Bay", franchise: "Harold and Kumar", sequel: 2, nicknames: []string{"harold and kumar 2"}},
+	{title: "Mirrors", nicknames: []string{"mirrors horror movie"}},
+	{title: "Bangkok Dangerous", nicknames: []string{"bangkok dangerous cage"}},
+	{title: "Lakeview Terrace", nicknames: []string{"lakeview terrace movie"}},
+	{title: "Saw V", franchise: "Saw", sequel: 5, nicknames: []string{"saw 5"}},
+	{title: "The Women", nicknames: []string{"the women 2008"}},
+	{title: "Ghost Town", nicknames: []string{"ghost town gervais"}},
+	{title: "Righteous Kill", nicknames: []string{"righteous kill deniro"}},
+	{title: "Disaster Movie", nicknames: []string{"disaster movie spoof"}},
+	{title: "Star Wars: The Clone Wars", franchise: "Star Wars", subtitle: "The Clone Wars", nicknames: []string{"clone wars movie"}},
+	{title: "Swing Vote", nicknames: []string{"swing vote costner"}},
+	{title: "The Sisterhood of the Traveling Pants 2", franchise: "Sisterhood of the Traveling Pants", sequel: 2, nicknames: []string{"traveling pants 2"}},
+	{title: "Stop-Loss", nicknames: []string{"stop loss movie"}},
+	{title: "The Bank Job", nicknames: []string{"bank job statham"}},
+	{title: "Doomsday", nicknames: []string{"doomsday 2008"}},
+	{title: "College Road Trip", nicknames: []string{"college road trip movie"}},
+	{title: "Never Back Down", nicknames: []string{"never back down movie"}},
+	{title: "Shutter", nicknames: []string{"shutter remake"}},
+	{title: "Superhero Movie", nicknames: []string{"superhero spoof"}},
+	{title: "Nick and Norah's Infinite Playlist", nicknames: []string{"nick and norah"}},
+	{title: "The Duchess", nicknames: []string{"the duchess knightley"}},
+	{title: "City of Ember", nicknames: []string{"city of ember movie"}},
+	{title: "Quarantine", nicknames: []string{"quarantine horror"}},
+	{title: "Appaloosa", nicknames: []string{"appaloosa western"}},
+	{title: "The X-Files: I Want to Believe", franchise: "X-Files", sequel: 2, subtitle: "I Want to Believe", nicknames: []string{"x files 2", "xfiles movie"}},
+	{title: "Zack and Miri Make a Porno", nicknames: []string{"zack and miri"}},
+	{title: "Role Models", nicknames: []string{"role models movie"}},
+	{title: "Transporter 3", franchise: "Transporter", sequel: 3, nicknames: []string{"transporter iii"}},
+}
+
+// MovieCount is the size of the D1 catalog, matching the paper.
+const MovieCount = 100
+
+// Movies2008 builds the D1 catalog: 100 wide-release 2008 movie titles with
+// popularity equal to box-office order and Zipf-distributed query-volume
+// weights. No movie is in the dead tail: every top-100 movie attracts
+// queries, which is why every baseline achieves a high hit ratio on D1
+// (paper Table I, movies rows).
+func Movies2008() (*Catalog, error) {
+	if len(movies2008) != MovieCount {
+		return nil, fmt.Errorf("entity: movie table has %d entries, want %d", len(movies2008), MovieCount)
+	}
+	entities := make([]*Entity, len(movies2008))
+	ranks := make([]int, len(movies2008))
+	for i, m := range movies2008 {
+		entities[i] = &Entity{
+			Canonical: m.title,
+			Franchise: m.franchise,
+			Sequel:    m.sequel,
+			Subtitle:  m.subtitle,
+			Nicknames: append([]string(nil), m.nicknames...),
+		}
+		ranks[i] = i // table order == popularity order
+	}
+	// Movies: moderately skewed Zipf, no dead tail.
+	assignPopularity(entities, ranks, 0.85, 0)
+	return NewCatalog(Movie, entities)
+}

@@ -1,0 +1,128 @@
+package entity
+
+import "fmt"
+
+// The paper's introduction names a third domain beyond movies and cameras:
+// software. "Apple's 'Mac OS X' is also known as 'Leopard'" — a codename
+// synonym with zero textual overlap, exactly like the camera market names.
+// This catalog (D3) is an extension data set exercising the framework's
+// generality: operating systems, applications and games of the 2008 era,
+// with version-number and codename alias phenomena.
+
+// softwareSpec is the compact literal form of a D3 entry.
+type softwareSpec struct {
+	name      string // canonical product string
+	vendor    string // maps onto Entity.Brand
+	product   string // product line, maps onto Entity.Franchise
+	version   int    // sequel-style version number, 0 if none
+	nicknames []string
+}
+
+var software2008 = []softwareSpec{
+	{name: "Microsoft Windows Vista", vendor: "Microsoft", product: "Windows", nicknames: []string{"vista", "windows vista"}},
+	{name: "Microsoft Windows XP", vendor: "Microsoft", product: "Windows", nicknames: []string{"winxp", "windows xp sp3"}},
+	{name: "Apple Mac OS X 10.5", vendor: "Apple", product: "Mac OS X", nicknames: []string{"leopard", "osx leopard"}},
+	{name: "Apple Mac OS X 10.4", vendor: "Apple", product: "Mac OS X", nicknames: []string{"tiger", "osx tiger"}},
+	{name: "Ubuntu 8.04", vendor: "Canonical", product: "Ubuntu", nicknames: []string{"hardy heron", "ubuntu hardy"}},
+	{name: "Fedora 9", vendor: "Red Hat", product: "Fedora", version: 9, nicknames: []string{"sulphur"}},
+	{name: "Microsoft Office 2007", vendor: "Microsoft", product: "Office", nicknames: []string{"office 12"}},
+	{name: "Adobe Photoshop CS3", vendor: "Adobe", product: "Photoshop", nicknames: []string{"ps cs3"}},
+	{name: "Adobe Acrobat 8", vendor: "Adobe", product: "Acrobat", version: 8, nicknames: []string{"acrobat reader 8"}},
+	{name: "Adobe Dreamweaver CS3", vendor: "Adobe", product: "Dreamweaver", nicknames: []string{"dw cs3"}},
+	{name: "Adobe Flash CS3", vendor: "Adobe", product: "Flash", nicknames: []string{"flash 9"}},
+	{name: "Adobe Illustrator CS3", vendor: "Adobe", product: "Illustrator", nicknames: []string{"ai cs3"}},
+	{name: "Mozilla Firefox 3", vendor: "Mozilla", product: "Firefox", version: 3, nicknames: []string{"ff3", "firefox 3 download"}},
+	{name: "Microsoft Internet Explorer 7", vendor: "Microsoft", product: "Internet Explorer", version: 7, nicknames: []string{"ie7"}},
+	{name: "Google Chrome", vendor: "Google", product: "Chrome", nicknames: []string{"chrome browser"}},
+	{name: "Apple Safari 3", vendor: "Apple", product: "Safari", version: 3, nicknames: []string{"safari browser"}},
+	{name: "Opera 9.5", vendor: "Opera Software", product: "Opera", nicknames: []string{"opera browser"}},
+	{name: "Apple iTunes 8", vendor: "Apple", product: "iTunes", version: 8, nicknames: []string{"itunes download"}},
+	{name: "Winamp 5.5", vendor: "Nullsoft", product: "Winamp", nicknames: []string{"winamp player"}},
+	{name: "VLC Media Player 0.9", vendor: "VideoLAN", product: "VLC", nicknames: []string{"vlc player"}},
+	{name: "Windows Media Player 11", vendor: "Microsoft", product: "Windows Media Player", version: 11, nicknames: []string{"wmp11"}},
+	{name: "Skype 3.8", vendor: "Skype", product: "Skype", nicknames: []string{"skype download"}},
+	{name: "AOL Instant Messenger 6", vendor: "AOL", product: "AIM", version: 6, nicknames: []string{"aim messenger"}},
+	{name: "Windows Live Messenger 8.5", vendor: "Microsoft", product: "Windows Live Messenger", nicknames: []string{"msn messenger", "msn 8.5"}},
+	{name: "OpenOffice.org 2.4", vendor: "Sun Microsystems", product: "OpenOffice", nicknames: []string{"open office", "ooo 2.4"}},
+	{name: "Norton AntiVirus 2008", vendor: "Symantec", product: "Norton AntiVirus", nicknames: []string{"nav 2008"}},
+	{name: "McAfee VirusScan Plus 2008", vendor: "McAfee", product: "VirusScan", nicknames: []string{"mcafee 2008"}},
+	{name: "AVG Anti-Virus Free 8", vendor: "AVG", product: "AVG Anti-Virus", version: 8, nicknames: []string{"avg free"}},
+	{name: "Avast Home Edition 4.8", vendor: "Alwil", product: "Avast", nicknames: []string{"avast antivirus"}},
+	{name: "Spybot Search and Destroy 1.5", vendor: "Safer Networking", product: "Spybot", nicknames: []string{"spybot sd"}},
+	{name: "CCleaner 2.0", vendor: "Piriform", product: "CCleaner", version: 2, nicknames: []string{"crap cleaner"}},
+	{name: "WinRAR 3.8", vendor: "RARLAB", product: "WinRAR", nicknames: []string{"winrar download"}},
+	{name: "7-Zip 4.5", vendor: "Igor Pavlov", product: "7-Zip", nicknames: []string{"7zip", "seven zip"}},
+	{name: "Nero 8 Ultra Edition", vendor: "Nero AG", product: "Nero", version: 8, nicknames: []string{"nero burning rom"}},
+	{name: "Quicken 2008", vendor: "Intuit", product: "Quicken", nicknames: []string{"quicken deluxe"}},
+	{name: "TurboTax 2008", vendor: "Intuit", product: "TurboTax", nicknames: []string{"turbo tax"}},
+	{name: "AutoCAD 2008", vendor: "Autodesk", product: "AutoCAD", nicknames: []string{"acad 2008"}},
+	{name: "Microsoft Visual Studio 2008", vendor: "Microsoft", product: "Visual Studio", nicknames: []string{"vs2008", "vs 9"}},
+	{name: "Apple Final Cut Pro 6", vendor: "Apple", product: "Final Cut Pro", version: 6, nicknames: []string{"fcp 6"}},
+	{name: "Apple GarageBand 4", vendor: "Apple", product: "GarageBand", version: 4, nicknames: []string{"garage band"}},
+	{name: "Google Earth 4.3", vendor: "Google", product: "Google Earth", nicknames: []string{"googleearth"}},
+	{name: "Google Picasa 3", vendor: "Google", product: "Picasa", version: 3, nicknames: []string{"picasa download"}},
+	{name: "Call of Duty 4 Modern Warfare", vendor: "Activision", product: "Call of Duty", version: 4, nicknames: []string{"cod4", "modern warfare"}},
+	{name: "Call of Duty World at War", vendor: "Activision", product: "Call of Duty", version: 5, nicknames: []string{"cod5", "world at war"}},
+	{name: "Grand Theft Auto IV", vendor: "Rockstar Games", product: "Grand Theft Auto", version: 4, nicknames: []string{"gta 4", "gta iv"}},
+	{name: "Spore", vendor: "Electronic Arts", product: "Spore", nicknames: []string{"spore game"}},
+	{name: "Fallout 3", vendor: "Bethesda", product: "Fallout", version: 3, nicknames: []string{"fallout 3 game"}},
+	{name: "Left 4 Dead", vendor: "Valve", product: "Left 4 Dead", nicknames: []string{"l4d"}},
+	{name: "Team Fortress 2", vendor: "Valve", product: "Team Fortress", version: 2, nicknames: []string{"tf2"}},
+	{name: "Counter-Strike Source", vendor: "Valve", product: "Counter-Strike", nicknames: []string{"css", "cs source"}},
+	{name: "Half-Life 2 Episode Two", vendor: "Valve", product: "Half-Life", nicknames: []string{"hl2 episode 2", "ep2"}},
+	{name: "Portal", vendor: "Valve", product: "Portal", nicknames: []string{"portal game"}},
+	{name: "World of Warcraft Wrath of the Lich King", vendor: "Blizzard", product: "World of Warcraft", nicknames: []string{"wotlk", "wow lich king"}},
+	{name: "World of Warcraft The Burning Crusade", vendor: "Blizzard", product: "World of Warcraft", nicknames: []string{"tbc", "wow burning crusade"}},
+	{name: "StarCraft Brood War", vendor: "Blizzard", product: "StarCraft", nicknames: []string{"broodwar", "sc bw"}},
+	{name: "Warcraft III The Frozen Throne", vendor: "Blizzard", product: "Warcraft", version: 3, nicknames: []string{"wc3 tft", "frozen throne"}},
+	{name: "Diablo II Lord of Destruction", vendor: "Blizzard", product: "Diablo", version: 2, nicknames: []string{"d2 lod"}},
+	{name: "The Sims 2", vendor: "Electronic Arts", product: "The Sims", version: 2, nicknames: []string{"sims2"}},
+	{name: "SimCity 4", vendor: "Electronic Arts", product: "SimCity", version: 4, nicknames: []string{"sc4"}},
+	{name: "Guitar Hero III Legends of Rock", vendor: "Activision", product: "Guitar Hero", version: 3, nicknames: []string{"gh3"}},
+	{name: "Rock Band 2", vendor: "Harmonix", product: "Rock Band", version: 2, nicknames: []string{"rockband 2"}},
+	{name: "Halo 3", vendor: "Microsoft", product: "Halo", version: 3, nicknames: []string{"halo3"}},
+	{name: "Gears of War 2", vendor: "Microsoft", product: "Gears of War", version: 2, nicknames: []string{"gow 2"}},
+	{name: "BioShock", vendor: "2K Games", product: "BioShock", nicknames: []string{"bioshock game"}},
+	{name: "Crysis Warhead", vendor: "Electronic Arts", product: "Crysis", nicknames: []string{"crysis expansion"}},
+	{name: "Age of Empires III", vendor: "Microsoft", product: "Age of Empires", version: 3, nicknames: []string{"aoe3", "age3"}},
+	{name: "Civilization IV", vendor: "2K Games", product: "Civilization", version: 4, nicknames: []string{"civ 4", "civ iv"}},
+	{name: "Need for Speed ProStreet", vendor: "Electronic Arts", product: "Need for Speed", nicknames: []string{"nfs prostreet"}},
+	{name: "FIFA 09", vendor: "Electronic Arts", product: "FIFA", nicknames: []string{"fifa 2009"}},
+	{name: "Madden NFL 09", vendor: "Electronic Arts", product: "Madden NFL", nicknames: []string{"madden 2009"}},
+	{name: "Super Smash Bros Brawl", vendor: "Nintendo", product: "Super Smash Bros", nicknames: []string{"ssbb", "brawl"}},
+	{name: "Mario Kart Wii", vendor: "Nintendo", product: "Mario Kart", nicknames: []string{"mkwii"}},
+	{name: "Wii Fit", vendor: "Nintendo", product: "Wii Fit", nicknames: []string{"wiifit"}},
+	{name: "Dead Space", vendor: "Electronic Arts", product: "Dead Space", nicknames: []string{"dead space game"}},
+	{name: "Far Cry 2", vendor: "Ubisoft", product: "Far Cry", version: 2, nicknames: []string{"farcry 2"}},
+	{name: "Mirror's Edge", vendor: "Electronic Arts", product: "Mirror's Edge", nicknames: []string{"mirrors edge game"}},
+	{name: "Assassin's Creed", vendor: "Ubisoft", product: "Assassin's Creed", nicknames: []string{"ac1", "assassins creed game"}},
+	{name: "Mass Effect", vendor: "BioWare", product: "Mass Effect", nicknames: []string{"me1", "mass effect game"}},
+	{name: "The Elder Scrolls IV Oblivion", vendor: "Bethesda", product: "The Elder Scrolls", version: 4, nicknames: []string{"oblivion", "tes4"}},
+	{name: "RuneScape", vendor: "Jagex", product: "RuneScape", nicknames: []string{"rs", "runescape game"}},
+}
+
+// SoftwareCount is the size of the D3 extension catalog.
+const SoftwareCount = 80
+
+// Software2008 builds the D3 catalog: software products and games of the
+// 2008 era. Popularity is table order (big OS releases first); there is no
+// dead tail — every entry is a major product.
+func Software2008() (*Catalog, error) {
+	if len(software2008) != SoftwareCount {
+		return nil, fmt.Errorf("entity: software table has %d entries, want %d", len(software2008), SoftwareCount)
+	}
+	entities := make([]*Entity, len(software2008))
+	ranks := make([]int, len(software2008))
+	for i, s := range software2008 {
+		entities[i] = &Entity{
+			Canonical: s.name,
+			Brand:     s.vendor,
+			Franchise: s.product,
+			Sequel:    s.version,
+			Nicknames: append([]string(nil), s.nicknames...),
+		}
+		ranks[i] = i
+	}
+	assignPopularity(entities, ranks, 0.9, 0)
+	return NewCatalog(Software, entities)
+}

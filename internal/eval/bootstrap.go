@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"websyn/internal/alias"
+	"websyn/internal/clicklog"
+	"websyn/internal/rng"
+)
+
+// Bootstrap confidence intervals.
+//
+// The paper reports point estimates; with a simulated oracle we can do
+// better and quantify the sampling variability of precision over the
+// entity population: resample entities with replacement, recompute the
+// metric, and take percentile intervals. This is the standard
+// entity-level (cluster) bootstrap — resampling entities rather than
+// individual synonyms respects the fact that synonyms of one entity are
+// correlated.
+
+// CI is a percentile bootstrap confidence interval.
+type CI struct {
+	Point float64
+	Lo    float64
+	Hi    float64
+	Level float64 // e.g. 0.95
+}
+
+// String renders "point [lo, hi]@95%".
+func (ci CI) String() string {
+	return fmt.Sprintf("%.3f [%.3f, %.3f]@%.0f%%", ci.Point, ci.Lo, ci.Hi, ci.Level*100)
+}
+
+// BootstrapPrecision computes entity-level bootstrap CIs for plain and
+// weighted precision of an output. iters is the number of resamples
+// (500-2000 are typical); seed fixes the resampling stream.
+func BootstrapPrecision(model *alias.Model, log *clicklog.Log, o *Output, iters int, level float64, seed uint64) (plain, weighted CI, err error) {
+	if iters < 10 {
+		return CI{}, CI{}, fmt.Errorf("eval: bootstrap needs >= 10 iterations, got %d", iters)
+	}
+	if level <= 0 || level >= 1 {
+		return CI{}, CI{}, fmt.Errorf("eval: confidence level %v outside (0,1)", level)
+	}
+
+	// Pre-compute per-entity tallies so each resample is O(entities).
+	n := len(o.PerEntity)
+	type tally struct {
+		gen, trueN  float64
+		wGen, wTrue float64
+	}
+	tallies := make([]tally, n)
+	for id, syns := range o.PerEntity {
+		for _, s := range syns {
+			w := float64(log.Impressions(s))
+			tallies[id].gen++
+			tallies[id].wGen += w
+			if model.IsSynonym(id, s) {
+				tallies[id].trueN++
+				tallies[id].wTrue += w
+			}
+		}
+	}
+
+	point := Precision(model, log, o)
+	src := rng.New(seed)
+	plainSamples := make([]float64, 0, iters)
+	weightedSamples := make([]float64, 0, iters)
+	for it := 0; it < iters; it++ {
+		var t tally
+		for i := 0; i < n; i++ {
+			pick := tallies[src.Intn(n)]
+			t.gen += pick.gen
+			t.trueN += pick.trueN
+			t.wGen += pick.wGen
+			t.wTrue += pick.wTrue
+		}
+		plainSamples = append(plainSamples, ratioOrOne(t.trueN, t.gen))
+		weightedSamples = append(weightedSamples, ratioOrOne(t.wTrue, t.wGen))
+	}
+	plain = percentileCI(plainSamples, point.Precision, level)
+	weighted = percentileCI(weightedSamples, point.WeightedPrecision, level)
+	return plain, weighted, nil
+}
+
+// percentileCI extracts the percentile interval from bootstrap samples.
+func percentileCI(samples []float64, point, level float64) CI {
+	sort.Float64s(samples)
+	alpha := (1 - level) / 2
+	lo := samples[clampIndex(int(alpha*float64(len(samples))), len(samples))]
+	hi := samples[clampIndex(int((1-alpha)*float64(len(samples))), len(samples))]
+	return CI{Point: point, Lo: lo, Hi: hi, Level: level}
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

@@ -1,0 +1,161 @@
+package eval
+
+import (
+	"fmt"
+
+	"websyn/internal/alias"
+	"websyn/internal/clicklog"
+	"websyn/internal/core"
+	"websyn/internal/randomwalk"
+	"websyn/internal/wiki"
+)
+
+// OutputFromResults converts miner results into a judged Output at the
+// given operating point (β, γ), re-thresholding the stored evidence without
+// re-mining. Inputs whose normalized form is not a catalog canonical are
+// rejected — the experiments always mine exactly the catalog strings.
+func OutputFromResults(model *alias.Model, results []*core.Result, name string, ipc int, icr float64) (*Output, error) {
+	cat := model.Catalog()
+	o := NewOutput(name, cat.Len())
+	for _, r := range results {
+		e := cat.ByNorm(r.Norm)
+		if e == nil {
+			return nil, fmt.Errorf("eval: mined input %q is not a catalog canonical", r.Input)
+		}
+		o.Set(e.ID, e.Norm(), r.FilterSynonyms(ipc, icr))
+	}
+	return o, nil
+}
+
+// OutputFromWiki converts the Wikipedia baseline into an Output.
+func OutputFromWiki(model *alias.Model, b *wiki.Baseline, name string) *Output {
+	cat := model.Catalog()
+	o := NewOutput(name, cat.Len())
+	for _, e := range cat.All() {
+		o.Set(e.ID, e.Norm(), b.SynonymsOf(e.ID))
+	}
+	return o
+}
+
+// OutputFromWalk runs the random-walk baseline on every canonical string.
+func OutputFromWalk(model *alias.Model, w *randomwalk.Walker, name string) *Output {
+	cat := model.Catalog()
+	o := NewOutput(name, cat.Len())
+	for _, e := range cat.All() {
+		o.Set(e.ID, e.Norm(), w.Synonyms(e.Norm()))
+	}
+	return o
+}
+
+// Fig2Point is one operating point of Figure 2: the IPC threshold sweep on
+// the movie data set (γ fixed at 0), reporting plain and weighted precision
+// against coverage increase.
+type Fig2Point struct {
+	Beta      int
+	Syns      int     // synonyms generated at this β
+	Precision float64 // "Syns" series
+	Weighted  float64 // "Syns W" series
+	Coverage  float64 // x axis (1.2 = 120% increase)
+}
+
+// Figure2 sweeps the IPC threshold over the given β values (the paper uses
+// 10 down to 2).
+func Figure2(model *alias.Model, log *clicklog.Log, results []*core.Result, betas []int) ([]Fig2Point, error) {
+	points := make([]Fig2Point, 0, len(betas))
+	for _, beta := range betas {
+		o, err := OutputFromResults(model, results, fmt.Sprintf("us-ipc%d", beta), beta, 0)
+		if err != nil {
+			return nil, err
+		}
+		p := Precision(model, log, o)
+		points = append(points, Fig2Point{
+			Beta:      beta,
+			Syns:      o.TotalSynonyms(),
+			Precision: p.Precision,
+			Weighted:  p.WeightedPrecision,
+			Coverage:  CoverageIncrease(model, log, o),
+		})
+	}
+	return points, nil
+}
+
+// Fig3Point is one operating point of Figure 3: the ICR threshold sweep for
+// a fixed IPC threshold.
+type Fig3Point struct {
+	Beta      int
+	Gamma     float64
+	Syns      int
+	Precision float64
+	Weighted  float64 // "Syns W <β>" series
+	Coverage  float64
+}
+
+// Figure3 sweeps the ICR threshold γ for each IPC threshold β (the paper
+// uses β ∈ {2,4,6}, γ from 0.9 down to 0.01).
+func Figure3(model *alias.Model, log *clicklog.Log, results []*core.Result, betas []int, gammas []float64) ([]Fig3Point, error) {
+	points := make([]Fig3Point, 0, len(betas)*len(gammas))
+	for _, beta := range betas {
+		for _, gamma := range gammas {
+			o, err := OutputFromResults(model, results,
+				fmt.Sprintf("us-ipc%d-icr%g", beta, gamma), beta, gamma)
+			if err != nil {
+				return nil, err
+			}
+			p := Precision(model, log, o)
+			points = append(points, Fig3Point{
+				Beta:      beta,
+				Gamma:     gamma,
+				Syns:      o.TotalSynonyms(),
+				Precision: p.Precision,
+				Weighted:  p.WeightedPrecision,
+				Coverage:  CoverageIncrease(model, log, o),
+			})
+		}
+	}
+	return points, nil
+}
+
+// Table1Row is one row of Table I, extended with the precision columns the
+// paper reports only in prose.
+type Table1Row struct {
+	Dataset string
+	System  string
+	HitExpansion
+	Precision float64
+	Weighted  float64
+}
+
+// Table1Systems bundles the three compared systems for one data set.
+type Table1Systems struct {
+	Dataset   string
+	Model     *alias.Model
+	Log       *clicklog.Log
+	UsResults []*core.Result
+	UsIPC     int
+	UsICR     float64
+	Wiki      *wiki.Baseline
+	Walker    *randomwalk.Walker
+}
+
+// Table1 produces the three rows (Us, Wiki, Walk) for one data set.
+func Table1(s Table1Systems) ([]Table1Row, error) {
+	us, err := OutputFromResults(s.Model, s.UsResults, "Us", s.UsIPC, s.UsICR)
+	if err != nil {
+		return nil, err
+	}
+	wikiOut := OutputFromWiki(s.Model, s.Wiki, "Wiki")
+	walkOut := OutputFromWalk(s.Model, s.Walker, "Walk(0.8)")
+
+	rows := make([]Table1Row, 0, 3)
+	for _, o := range []*Output{us, wikiOut, walkOut} {
+		p := Precision(s.Model, s.Log, o)
+		rows = append(rows, Table1Row{
+			Dataset:      s.Dataset,
+			System:       o.Name,
+			HitExpansion: HitsAndExpansion(o),
+			Precision:    p.Precision,
+			Weighted:     p.WeightedPrecision,
+		})
+	}
+	return rows, nil
+}

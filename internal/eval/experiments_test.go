@@ -1,0 +1,179 @@
+package eval
+
+import (
+	"testing"
+
+	"websyn/internal/alias"
+	"websyn/internal/clickgraph"
+	"websyn/internal/clicklog"
+	"websyn/internal/core"
+	"websyn/internal/entity"
+	"websyn/internal/randomwalk"
+	"websyn/internal/search"
+	"websyn/internal/wiki"
+)
+
+// miniStack builds a tiny but complete mining stack over the real movie
+// catalog: hand-written search data and click log for the first three
+// entities, enough structure for the experiment harnesses to run.
+func miniStack(t *testing.T) (*alias.Model, *clicklog.Log, []*core.Result) {
+	t.Helper()
+	cat, err := entity.Movies2008()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := alias.Build(cat, alias.MovieParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Entity i owns pages [i*10, i*10+10).
+	var tuples []search.Tuple
+	for i := 0; i < 3; i++ {
+		u := cat.ByID(i).Norm()
+		for r := 1; r <= 10; r++ {
+			tuples = append(tuples, search.Tuple{Query: u, PageID: i*10 + r - 1, Rank: r})
+		}
+	}
+	sd, err := search.NewDataFromTuples(tuples, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	log := clicklog.NewLog()
+	addClicks := func(q string, pages []int, n int) {
+		for i := 0; i < n; i++ {
+			log.AddImpression(q)
+		}
+		for _, p := range pages {
+			for i := 0; i < n; i++ {
+				log.AddClick(q, p)
+			}
+		}
+	}
+	// Canonicals get modest volume; informal synonyms get heavy volume
+	// concentrated on their entity's pages.
+	for i := 0; i < 3; i++ {
+		e := cat.ByID(i)
+		own := []int{i * 10, i*10 + 1, i*10 + 2, i*10 + 3, i*10 + 4}
+		addClicks(e.Norm(), own, 10)
+		for _, syn := range model.SynonymsOf(e.ID)[:2] {
+			addClicks(syn, own, 30)
+		}
+	}
+	// One related string with a single stray surrogate click.
+	addClicks("harrison ford", []int{0, 900, 901}, 5)
+
+	miner, err := core.NewMiner(sd, log, core.Config{IPC: 1, ICR: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := miner.MineAll(cat.Canonicals())
+	return model, log, results
+}
+
+func TestFigure2Harness(t *testing.T) {
+	model, log, results := miniStack(t)
+	points, err := Figure2(model, log, results, []int{5, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	for i, beta := range []int{5, 3, 1} {
+		if points[i].Beta != beta {
+			t.Fatalf("point %d has beta %d", i, points[i].Beta)
+		}
+	}
+	// Loosening β cannot reduce synonyms or coverage.
+	for i := 1; i < len(points); i++ {
+		if points[i].Syns < points[i-1].Syns {
+			t.Fatal("synonym count decreased as β loosened")
+		}
+		if points[i].Coverage < points[i-1].Coverage-1e-12 {
+			t.Fatal("coverage decreased as β loosened")
+		}
+	}
+}
+
+func TestFigure3Harness(t *testing.T) {
+	model, log, results := miniStack(t)
+	points, err := Figure3(model, log, results, []int{1, 3}, []float64{0.9, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("%d points", len(points))
+	}
+	// Order: all gammas for β=1, then β=3.
+	if points[0].Beta != 1 || points[0].Gamma != 0.9 || points[3].Beta != 3 || points[3].Gamma != 0.1 {
+		t.Fatalf("ordering wrong: %+v", points)
+	}
+}
+
+func TestTable1Harness(t *testing.T) {
+	model, log, results := miniStack(t)
+	wikiB := wiki.Build(model, wiki.MovieConfig(1))
+	walker, err := randomwalk.NewWalker(clickgraph.Build(log), randomwalk.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Table1(Table1Systems{
+		Dataset:   "Movies",
+		Model:     model,
+		Log:       log,
+		UsResults: results,
+		UsIPC:     3,
+		UsICR:     0.1,
+		Wiki:      wikiB,
+		Walker:    walker,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	names := []string{"Us", "Wiki", "Walk(0.8)"}
+	for i, r := range rows {
+		if r.System != names[i] || r.Dataset != "Movies" {
+			t.Fatalf("row %d = %+v", i, r)
+		}
+		if r.Orig != 100 {
+			t.Fatalf("row %d Orig = %d", i, r.Orig)
+		}
+	}
+	// Us hit exactly the three entities with click data.
+	if rows[0].Hits != 3 {
+		t.Fatalf("Us hits = %d, want 3", rows[0].Hits)
+	}
+	// Wiki redirects are oracle-true by construction.
+	if rows[1].Precision != 1 {
+		t.Fatalf("Wiki precision = %v", rows[1].Precision)
+	}
+}
+
+func TestOutputFromResultsThresholds(t *testing.T) {
+	model, log, results := miniStack(t)
+	strict, err := OutputFromResults(model, results, "strict", 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := OutputFromResults(model, results, "loose", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.TotalSynonyms() > loose.TotalSynonyms() {
+		t.Fatal("stricter thresholds produced more synonyms")
+	}
+	_ = log
+}
+
+func TestOutputFromResultsRejectsForeignInput(t *testing.T) {
+	model, _, _ := miniStack(t)
+	foreign := []*core.Result{{Input: "not a movie", Norm: "not a movie"}}
+	if _, err := OutputFromResults(model, foreign, "x", 1, 0); err == nil {
+		t.Fatal("foreign input accepted")
+	}
+}

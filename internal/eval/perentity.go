@@ -1,0 +1,129 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"websyn/internal/alias"
+	"websyn/internal/clicklog"
+	"websyn/internal/core"
+)
+
+// Per-entity inspection report: for error analysis, the aggregate metrics
+// are not enough — one needs to see, entity by entity, which strings were
+// mined, what the oracle thinks of them, and what evidence carried them.
+
+// EntityReport is the judged mining record of one entity.
+type EntityReport struct {
+	Canonical string
+	PopRank   int
+	Rows      []EntityReportRow
+	TruePos   int
+	FalsePos  int
+	// Missed are oracle synonyms the miner did not produce (recall lens;
+	// the paper reports only precision, but error analysis needs both
+	// sides).
+	Missed []string
+}
+
+// EntityReportRow is one mined string with its judgment and evidence.
+type EntityReportRow struct {
+	Text    string
+	Label   alias.Label
+	IPC     int
+	ICR     float64
+	LogFreq int
+}
+
+// Precision returns the entity-level precision (1 when nothing mined).
+func (r *EntityReport) Precision() float64 {
+	total := r.TruePos + r.FalsePos
+	if total == 0 {
+		return 1
+	}
+	return float64(r.TruePos) / float64(total)
+}
+
+// BuildEntityReports judges every mining result at the given thresholds
+// and assembles per-entity records, in catalog order.
+func BuildEntityReports(model *alias.Model, log *clicklog.Log, results []*core.Result, ipc int, icr float64) ([]EntityReport, error) {
+	cat := model.Catalog()
+	reports := make([]EntityReport, 0, len(results))
+	for _, res := range results {
+		e := cat.ByNorm(res.Norm)
+		if e == nil {
+			return nil, fmt.Errorf("eval: result input %q is not a catalog canonical", res.Input)
+		}
+		rep := EntityReport{Canonical: e.Canonical, PopRank: e.PopRank}
+		mined := map[string]bool{}
+		for _, ev := range res.Evidence {
+			if !ev.Passes(ipc, icr) {
+				continue
+			}
+			label, _ := model.LabelFor(e.ID, ev.Candidate)
+			if model.IsSynonym(e.ID, ev.Candidate) {
+				rep.TruePos++
+				label = alias.Synonym
+			} else {
+				rep.FalsePos++
+			}
+			mined[ev.Candidate] = true
+			rep.Rows = append(rep.Rows, EntityReportRow{
+				Text:    ev.Candidate,
+				Label:   label,
+				IPC:     ev.IPC,
+				ICR:     ev.ICR,
+				LogFreq: log.Impressions(ev.Candidate),
+			})
+		}
+		for _, s := range model.SynonymsOf(e.ID) {
+			if !mined[s] {
+				rep.Missed = append(rep.Missed, s)
+			}
+		}
+		sort.Strings(rep.Missed)
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// RenderEntityReport formats one report for terminal inspection.
+func RenderEntityReport(r EntityReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (popularity rank %d) — precision %.0f%%\n",
+		r.Canonical, r.PopRank, r.Precision()*100)
+	for _, row := range r.Rows {
+		mark := "+"
+		if row.Label != alias.Synonym {
+			mark = "-"
+		}
+		fmt.Fprintf(&b, "  %s %-40s %-8s IPC=%2d ICR=%.2f freq=%d\n",
+			mark, row.Text, row.Label, row.IPC, row.ICR, row.LogFreq)
+	}
+	if len(r.Missed) > 0 {
+		fmt.Fprintf(&b, "  missed: %s\n", strings.Join(r.Missed, ", "))
+	}
+	return b.String()
+}
+
+// RecallReport aggregates the recall lens over all entities: what fraction
+// of oracle synonyms the miner recovered.
+type RecallReport struct {
+	TruthSynonyms int
+	Recovered     int
+	Recall        float64
+}
+
+// Recall computes the aggregate recall of a judged report set.
+func Recall(reports []EntityReport) RecallReport {
+	var rr RecallReport
+	for _, r := range reports {
+		rr.TruthSynonyms += r.TruePos + len(r.Missed)
+		rr.Recovered += r.TruePos
+	}
+	if rr.TruthSynonyms > 0 {
+		rr.Recall = float64(rr.Recovered) / float64(rr.TruthSynonyms)
+	}
+	return rr
+}

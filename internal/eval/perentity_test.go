@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"websyn/internal/alias"
+)
+
+func TestBuildEntityReports(t *testing.T) {
+	model, log, results := miniStack(t)
+	reports, err := BuildEntityReports(model, log, results, 3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != model.Catalog().Len() {
+		t.Fatalf("%d reports", len(reports))
+	}
+	// The three entities with click data must have rows; others must not.
+	for i, r := range reports {
+		if i < 3 {
+			if len(r.Rows) == 0 {
+				t.Fatalf("entity %d has no rows", i)
+			}
+			if r.TruePos == 0 {
+				t.Fatalf("entity %d recovered no true synonyms", i)
+			}
+		} else if len(r.Rows) != 0 {
+			t.Fatalf("entity %d unexpectedly has rows", i)
+		}
+	}
+}
+
+func TestEntityReportPrecision(t *testing.T) {
+	r := EntityReport{TruePos: 3, FalsePos: 1}
+	if r.Precision() != 0.75 {
+		t.Fatalf("precision = %v", r.Precision())
+	}
+	empty := EntityReport{}
+	if empty.Precision() != 1 {
+		t.Fatal("empty report precision should be 1")
+	}
+}
+
+func TestEntityReportsMissedTracksRecall(t *testing.T) {
+	model, log, results := miniStack(t)
+	reports, err := BuildEntityReports(model, log, results, 3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mini stack only simulates two synonyms per entity, so every
+	// entity must miss at least one oracle synonym.
+	for i := 0; i < 3; i++ {
+		if len(reports[i].Missed) == 0 {
+			t.Fatalf("entity %d missed nothing — truth too small?", i)
+		}
+	}
+	rr := Recall(reports)
+	if rr.Recall <= 0 || rr.Recall >= 1 {
+		t.Fatalf("recall = %v, want interior value", rr.Recall)
+	}
+	if rr.Recovered+0 > rr.TruthSynonyms {
+		t.Fatal("recovered exceeds truth")
+	}
+}
+
+func TestRenderEntityReport(t *testing.T) {
+	model, log, results := miniStack(t)
+	reports, err := BuildEntityReports(model, log, results, 3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RenderEntityReport(reports[0])
+	if !strings.Contains(s, "precision") || !strings.Contains(s, "IPC=") {
+		t.Fatalf("render missing fields:\n%s", s)
+	}
+}
+
+func TestRecallEmpty(t *testing.T) {
+	rr := Recall(nil)
+	if rr.Recall != 0 || rr.TruthSynonyms != 0 {
+		t.Fatalf("empty recall = %+v", rr)
+	}
+}
+
+func TestEntityReportLabelsAreOracleLabels(t *testing.T) {
+	model, log, results := miniStack(t)
+	reports, err := BuildEntityReports(model, log, results, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for _, row := range reports[i].Rows {
+			if row.Label == alias.Synonym {
+				e := model.Catalog().ByID(i)
+				if !model.IsSynonym(e.ID, row.Text) {
+					t.Fatalf("row %q labeled synonym but oracle disagrees", row.Text)
+				}
+			}
+		}
+	}
+}

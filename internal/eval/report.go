@@ -1,0 +1,57 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderFigure2 renders the Figure 2 series as a text table: one row per
+// IPC threshold, the paper's two series (plain and weighted precision) as
+// columns against the coverage-increase x axis.
+func RenderFigure2(points []Fig2Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 2 — IPC threshold sweep (movies, γ=0)\n")
+	b.WriteString("x = coverage increase, y = precision; β decreases left to right in the paper\n\n")
+	b.WriteString("  β   Syns  Coverage   Precision(Syns)  Weighted(Syns W)\n")
+	b.WriteString("  --  ----  ---------  ---------------  ----------------\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %2d  %4d  %8.1f%%  %14.1f%%  %15.1f%%\n",
+			p.Beta, p.Syns, p.Coverage*100, p.Precision*100, p.Weighted*100)
+	}
+	return b.String()
+}
+
+// RenderFigure3 renders the Figure 3 series: for each IPC threshold β, the
+// ICR sweep (γ from 0.9 down to 0.01) of weighted precision vs coverage.
+func RenderFigure3(points []Fig3Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 3 — ICR threshold sweep for IPC 2, 4, 6 (movies)\n")
+	b.WriteString("series \"Syns W <β>\": weighted precision vs coverage increase\n")
+	lastBeta := -1
+	for _, p := range points {
+		if p.Beta != lastBeta {
+			fmt.Fprintf(&b, "\n  series Syns W %d\n", p.Beta)
+			b.WriteString("    γ     Syns  Coverage   Weighted\n")
+			b.WriteString("    ----  ----  ---------  --------\n")
+			lastBeta = p.Beta
+		}
+		fmt.Fprintf(&b, "    %.2f  %4d  %8.1f%%  %6.1f%%\n",
+			p.Gamma, p.Syns, p.Coverage*100, p.Weighted*100)
+	}
+	return b.String()
+}
+
+// RenderTable1 renders Table I in the paper's layout, with the precision
+// columns appended.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table I — Hits and Expansion\n\n")
+	b.WriteString("  Dataset  System      Orig  Hits   Ratio  Synonyms  Expansion  Precision  Weighted\n")
+	b.WriteString("  -------  ---------  -----  ----  ------  --------  ---------  ---------  --------\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-7s  %-9s  %5d  %4d  %5.1f%%  %8d  %8.0f%%  %8.1f%%  %7.1f%%\n",
+			r.Dataset, r.System, r.Orig, r.Hits, r.HitRatio*100,
+			r.Synonyms, r.Expansion*100, r.Precision*100, r.Weighted*100)
+	}
+	return b.String()
+}

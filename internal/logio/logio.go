@@ -1,0 +1,325 @@
+// Package logio serializes the pipeline's two data sets — Search Data A and
+// Click Data L — in two interchange formats:
+//
+//   - TSV: human-inspectable, git-diffable, loadable into any tool.
+//   - A length-prefixed binary format: compact and allocation-friendly for
+//     large logs.
+//
+// Both formats are stream-oriented (io.Reader/io.Writer): the miner can run
+// from files produced by cmd/loggen without rebuilding the simulation,
+// mirroring how the paper's offline pipeline consumed log extracts.
+package logio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"websyn/internal/clicklog"
+	"websyn/internal/search"
+)
+
+// ---- TSV: Search Data ----
+
+// WriteSearchTSV writes tuples as "query<TAB>pageID<TAB>rank" lines.
+func WriteSearchTSV(w io.Writer, tuples []search.Tuple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range tuples {
+		if strings.ContainsAny(t.Query, "\t\n") {
+			return fmt.Errorf("logio: query %q contains TSV separators", t.Query)
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%d\n", t.Query, t.PageID, t.Rank); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSearchTSV parses tuples written by WriteSearchTSV.
+func ReadSearchTSV(r io.Reader) ([]search.Tuple, error) {
+	var out []search.Tuple
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("logio: search TSV line %d: %d fields, want 3", line, len(parts))
+		}
+		pageID, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("logio: search TSV line %d: bad page ID %q", line, parts[1])
+		}
+		rank, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("logio: search TSV line %d: bad rank %q", line, parts[2])
+		}
+		out = append(out, search.Tuple{Query: parts[0], PageID: pageID, Rank: rank})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("logio: reading search TSV: %w", err)
+	}
+	return out, nil
+}
+
+// ---- TSV: Click Data ----
+
+// WriteClicksTSV writes clicks as "query<TAB>pageID<TAB>count" lines.
+func WriteClicksTSV(w io.Writer, clicks []clicklog.Click) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range clicks {
+		if strings.ContainsAny(c.Query, "\t\n") {
+			return fmt.Errorf("logio: query %q contains TSV separators", c.Query)
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%d\n", c.Query, c.PageID, c.Count); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadClicksTSV parses clicks written by WriteClicksTSV.
+func ReadClicksTSV(r io.Reader) ([]clicklog.Click, error) {
+	var out []clicklog.Click
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("logio: click TSV line %d: %d fields, want 3", line, len(parts))
+		}
+		pageID, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("logio: click TSV line %d: bad page ID %q", line, parts[1])
+		}
+		count, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("logio: click TSV line %d: bad count %q", line, parts[2])
+		}
+		out = append(out, clicklog.Click{Query: parts[0], PageID: pageID, Count: count})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("logio: reading click TSV: %w", err)
+	}
+	return out, nil
+}
+
+// ---- Binary format ----
+//
+// Layout: magic (4 bytes), version (1 byte), record count (uvarint), then
+// per record: query length (uvarint), query bytes, pageID (uvarint),
+// value (uvarint) — value is the rank for search tuples and the count for
+// clicks.
+
+var (
+	searchMagic = [4]byte{'W', 'S', 'A', '1'} // Websyn Search data A
+	clickMagic  = [4]byte{'W', 'S', 'L', '1'} // Websyn cLick data L
+)
+
+const binaryVersion = 1
+
+// binaryRecord is the common shape of both tuple kinds.
+type binaryRecord struct {
+	query  string
+	pageID int
+	value  int
+}
+
+func writeBinary(w io.Writer, magic [4]byte, records []binaryRecord) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binaryVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(records))); err != nil {
+		return err
+	}
+	for _, r := range records {
+		if r.pageID < 0 || r.value < 0 {
+			return fmt.Errorf("logio: negative field in record %+v", r)
+		}
+		if err := writeUvarint(uint64(len(r.query))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(r.query); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(r.pageID)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(r.value)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// maxQueryLen guards against corrupt length prefixes.
+const maxQueryLen = 1 << 16
+
+func readBinary(r io.Reader, magic [4]byte) ([]binaryRecord, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("logio: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("logio: bad magic %q, want %q", m[:], magic[:])
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("logio: reading version: %w", err)
+	}
+	if ver != binaryVersion {
+		return nil, fmt.Errorf("logio: unsupported version %d", ver)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("logio: reading record count: %w", err)
+	}
+	records := make([]binaryRecord, 0, min64(count, 1<<20))
+	for i := uint64(0); i < count; i++ {
+		qlen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("logio: record %d: reading query length: %w", i, err)
+		}
+		if qlen > maxQueryLen {
+			return nil, fmt.Errorf("logio: record %d: query length %d exceeds limit", i, qlen)
+		}
+		qbuf := make([]byte, qlen)
+		if _, err := io.ReadFull(br, qbuf); err != nil {
+			return nil, fmt.Errorf("logio: record %d: reading query: %w", i, err)
+		}
+		pageID, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("logio: record %d: reading page ID: %w", i, err)
+		}
+		value, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("logio: record %d: reading value: %w", i, err)
+		}
+		records = append(records, binaryRecord{
+			query:  string(qbuf),
+			pageID: int(pageID),
+			value:  int(value),
+		})
+	}
+	return records, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// WriteSearchBinary writes Search Data tuples in the binary format.
+func WriteSearchBinary(w io.Writer, tuples []search.Tuple) error {
+	records := make([]binaryRecord, len(tuples))
+	for i, t := range tuples {
+		records[i] = binaryRecord{query: t.Query, pageID: t.PageID, value: t.Rank}
+	}
+	return writeBinary(w, searchMagic, records)
+}
+
+// ReadSearchBinary reads Search Data tuples from the binary format.
+func ReadSearchBinary(r io.Reader) ([]search.Tuple, error) {
+	records, err := readBinary(r, searchMagic)
+	if err != nil {
+		return nil, err
+	}
+	tuples := make([]search.Tuple, len(records))
+	for i, rec := range records {
+		tuples[i] = search.Tuple{Query: rec.query, PageID: rec.pageID, Rank: rec.value}
+	}
+	return tuples, nil
+}
+
+// WriteClicksBinary writes Click Data tuples in the binary format.
+func WriteClicksBinary(w io.Writer, clicks []clicklog.Click) error {
+	records := make([]binaryRecord, len(clicks))
+	for i, c := range clicks {
+		records[i] = binaryRecord{query: c.Query, pageID: c.PageID, value: c.Count}
+	}
+	return writeBinary(w, clickMagic, records)
+}
+
+// ReadClicksBinary reads Click Data tuples from the binary format.
+func ReadClicksBinary(r io.Reader) ([]clicklog.Click, error) {
+	records, err := readBinary(r, clickMagic)
+	if err != nil {
+		return nil, err
+	}
+	clicks := make([]clicklog.Click, len(records))
+	for i, rec := range records {
+		clicks[i] = clicklog.Click{Query: rec.query, PageID: rec.pageID, Count: rec.value}
+	}
+	return clicks, nil
+}
+
+// ---- Impressions sidecar (query frequency, for weighted metrics) ----
+
+// WriteImpressionsTSV writes "query<TAB>count" lines in sorted order.
+func WriteImpressionsTSV(w io.Writer, log *clicklog.Log) error {
+	bw := bufio.NewWriter(w)
+	for _, q := range log.Queries() {
+		if strings.ContainsAny(q, "\t\n") {
+			return fmt.Errorf("logio: query %q contains TSV separators", q)
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\n", q, log.Impressions(q)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadImpressionsTSV parses the impressions sidecar.
+func ReadImpressionsTSV(r io.Reader) (map[string]int, error) {
+	out := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("logio: impressions line %d: %d fields, want 2", line, len(parts))
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("logio: impressions line %d: bad count %q", line, parts[1])
+		}
+		out[parts[0]] += n
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("logio: reading impressions: %w", err)
+	}
+	return out, nil
+}

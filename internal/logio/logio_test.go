@@ -1,0 +1,248 @@
+package logio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"websyn/internal/clicklog"
+	"websyn/internal/search"
+)
+
+var demoTuples = []search.Tuple{
+	{Query: "the dark knight", PageID: 0, Rank: 1},
+	{Query: "the dark knight", PageID: 3, Rank: 2},
+	{Query: "iron man", PageID: 17, Rank: 1},
+}
+
+var demoClicks = []clicklog.Click{
+	{Query: "dark knight", PageID: 0, Count: 42},
+	{Query: "dark knight", PageID: 3, Count: 7},
+	{Query: "tdk", PageID: 0, Count: 5},
+}
+
+func TestSearchTSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSearchTSV(&buf, demoTuples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSearchTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, demoTuples) {
+		t.Fatalf("round trip: %v", got)
+	}
+}
+
+func TestClicksTSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteClicksTSV(&buf, demoClicks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadClicksTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, demoClicks) {
+		t.Fatalf("round trip: %v", got)
+	}
+}
+
+func TestSearchBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSearchBinary(&buf, demoTuples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSearchBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, demoTuples) {
+		t.Fatalf("round trip: %v", got)
+	}
+}
+
+func TestClicksBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteClicksBinary(&buf, demoClicks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadClicksBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, demoClicks) {
+		t.Fatalf("round trip: %v", got)
+	}
+}
+
+func TestBinaryRejectsWrongMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSearchBinary(&buf, demoTuples); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadClicksBinary(&buf); err == nil {
+		t.Fatal("click reader accepted search magic")
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteClicksBinary(&buf, demoClicks); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 3, 5, 7, len(full) - 1} {
+		if _, err := ReadClicksBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBinaryRejectsCorruptLength(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteClicksBinary(&buf, demoClicks); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Corrupt the first record's query length (byte 6: magic 4 + version 1
+	// + count 1).
+	b[6] = 0xFF
+	b = append(b[:7], append([]byte{0xFF, 0xFF, 0x7F}, b[7:]...)...)
+	if _, err := ReadClicksBinary(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupt length accepted")
+	}
+}
+
+func TestTSVRejectsTabsInQueries(t *testing.T) {
+	bad := []search.Tuple{{Query: "a\tb", PageID: 1, Rank: 1}}
+	if err := WriteSearchTSV(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("tab in query accepted")
+	}
+	badClicks := []clicklog.Click{{Query: "a\nb", PageID: 1, Count: 1}}
+	if err := WriteClicksTSV(&bytes.Buffer{}, badClicks); err == nil {
+		t.Fatal("newline in query accepted")
+	}
+}
+
+func TestTSVRejectsMalformedLines(t *testing.T) {
+	if _, err := ReadSearchTSV(strings.NewReader("only one field\n")); err == nil {
+		t.Fatal("malformed search line accepted")
+	}
+	if _, err := ReadSearchTSV(strings.NewReader("q\tNaN\t1\n")); err == nil {
+		t.Fatal("bad page ID accepted")
+	}
+	if _, err := ReadClicksTSV(strings.NewReader("q\t1\tx\n")); err == nil {
+		t.Fatal("bad count accepted")
+	}
+}
+
+func TestTSVSkipsBlankLines(t *testing.T) {
+	got, err := ReadClicksTSV(strings.NewReader("\nq\t1\t2\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Count != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestImpressionsRoundTrip(t *testing.T) {
+	l := clicklog.NewLog()
+	for i := 0; i < 5; i++ {
+		l.AddImpression("dark knight")
+	}
+	l.AddImpression("tdk")
+	var buf bytes.Buffer
+	if err := WriteImpressionsTSV(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadImpressionsTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["dark knight"] != 5 || got["tdk"] != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEmptyRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSearchBinary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSearchBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty binary produced %v", got)
+	}
+}
+
+// Property: binary round trip preserves arbitrary click tuples.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(queries []string, pages []uint16, counts []uint16) bool {
+		n := len(queries)
+		if len(pages) < n {
+			n = len(pages)
+		}
+		if len(counts) < n {
+			n = len(counts)
+		}
+		clicks := make([]clicklog.Click, 0, n)
+		for i := 0; i < n; i++ {
+			q := queries[i]
+			if len(q) > 1000 {
+				q = q[:1000]
+			}
+			clicks = append(clicks, clicklog.Click{
+				Query: q, PageID: int(pages[i]), Count: int(counts[i]),
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteClicksBinary(&buf, clicks); err != nil {
+			return false
+		}
+		got, err := ReadClicksBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(clicks) {
+			return false
+		}
+		for i := range got {
+			if got[i] != clicks[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinarySmallerThanTSVForLargeLogs(t *testing.T) {
+	var clicks []clicklog.Click
+	for i := 0; i < 2000; i++ {
+		clicks = append(clicks, clicklog.Click{
+			Query:  "some moderately long query string",
+			PageID: i,
+			Count:  i % 50,
+		})
+	}
+	var tsv, bin bytes.Buffer
+	if err := WriteClicksTSV(&tsv, clicks); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteClicksBinary(&bin, clicks); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= tsv.Len() {
+		t.Fatalf("binary (%d) not smaller than TSV (%d)", bin.Len(), tsv.Len())
+	}
+}

@@ -1,0 +1,156 @@
+package match
+
+import (
+	"sort"
+
+	"websyn/internal/textnorm"
+)
+
+// Whole-string fuzzy lookup.
+//
+// Segment handles token-level typos; this file handles the harder case of
+// queries that are *globally* close to a dictionary string but don't
+// tokenize cleanly onto it ("madagascar2", "kungfu panda", "cannon eos").
+// Dictionary strings are indexed by character trigrams; a query retrieves
+// candidates sharing enough trigrams and ranks them by n-gram Dice
+// similarity, optionally confirmed by banded edit distance.
+
+// fuzzyGramSize is the character n-gram width of the index.
+const fuzzyGramSize = 3
+
+// FuzzyIndex is a character-trigram index over dictionary strings.
+type FuzzyIndex struct {
+	dict    *Dictionary
+	strings []string         // indexed normalized strings
+	grams   map[string][]int // trigram -> string indexes (ascending)
+	minSim  float64
+}
+
+// NewFuzzyIndex builds the trigram index over every string in the
+// dictionary. minSim is the Dice-similarity acceptance threshold
+// (0.5–0.8 are sensible; higher is stricter).
+func (d *Dictionary) NewFuzzyIndex(minSim float64) *FuzzyIndex {
+	if minSim <= 0 {
+		minSim = 0.6
+	}
+	fi := &FuzzyIndex{
+		dict:   d,
+		grams:  make(map[string][]int),
+		minSim: minSim,
+	}
+	collected := d.Strings()
+	fi.strings = collected
+	for i, s := range collected {
+		seen := map[string]bool{}
+		for _, g := range textnorm.CharNGrams(s, fuzzyGramSize) {
+			if !seen[g] {
+				seen[g] = true
+				fi.grams[g] = append(fi.grams[g], i)
+			}
+		}
+	}
+	return fi
+}
+
+// Len returns the number of indexed strings.
+func (fi *FuzzyIndex) Len() int { return len(fi.strings) }
+
+// FuzzyHit is one fuzzy-lookup result.
+type FuzzyHit struct {
+	Text       string  // the dictionary string
+	Similarity float64 // Dice trigram similarity to the query
+	Entries    []Entry // the string's dictionary payloads, best first
+}
+
+// Lookup finds the dictionary strings globally similar to the query,
+// best first, up to limit (0 = no limit). Exact hits rank first with
+// similarity 1.
+func (fi *FuzzyIndex) Lookup(query string, limit int) []FuzzyHit {
+	norm := textnorm.Normalize(query)
+	if norm == "" {
+		return nil
+	}
+	// Candidate generation: count shared trigrams per indexed string.
+	counts := make(map[int]int)
+	qGrams := textnorm.CharNGrams(norm, fuzzyGramSize)
+	seen := map[string]bool{}
+	for _, g := range qGrams {
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		for _, idx := range fi.grams[g] {
+			counts[idx]++
+		}
+	}
+	// Very short queries produce no trigram; fall back to exact lookup.
+	if len(qGrams) == 0 {
+		if es := fi.dict.Lookup(norm); es != nil {
+			return []FuzzyHit{{Text: norm, Similarity: 1, Entries: es}}
+		}
+		return nil
+	}
+
+	// Prune: a Dice similarity of s over multisets of sizes a and b needs
+	// at least s*(a+b)/2 common grams; with b unknown, require at least
+	// s*a/2 shared distinct grams as a cheap lower bound.
+	minShared := int(fi.minSim * float64(len(seen)) / 2)
+	var hits []FuzzyHit
+	for idx, shared := range counts {
+		if shared < minShared {
+			continue
+		}
+		s := fi.strings[idx]
+		sim := textnorm.NGramSimilarity(norm, s, fuzzyGramSize)
+		if sim < fi.minSim {
+			continue
+		}
+		hits = append(hits, FuzzyHit{
+			Text:       s,
+			Similarity: sim,
+			Entries:    fi.dict.Lookup(s),
+		})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Similarity != hits[j].Similarity {
+			return hits[i].Similarity > hits[j].Similarity
+		}
+		return hits[i].Text < hits[j].Text
+	})
+	if limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits
+}
+
+// BestEntity resolves a query to a single entity through the fuzzy index,
+// preferring exact dictionary hits. The second result reports success.
+func (fi *FuzzyIndex) BestEntity(query string) (Entry, bool) {
+	if es := fi.dict.Lookup(query); len(es) > 0 {
+		return es[0], true
+	}
+	hits := fi.Lookup(query, 1)
+	if len(hits) == 0 || len(hits[0].Entries) == 0 {
+		return Entry{}, false
+	}
+	return hits[0].Entries[0], true
+}
+
+// joinTokens joins normalized tokens with single spaces.
+func joinTokens(tokens []string) string {
+	n := 0
+	for _, t := range tokens {
+		n += len(t) + 1
+	}
+	if n == 0 {
+		return ""
+	}
+	b := make([]byte, 0, n-1)
+	for i, t := range tokens {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, t...)
+	}
+	return string(b)
+}

@@ -1,0 +1,175 @@
+package match
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestFuzzyIndexLen(t *testing.T) {
+	d := demoDict()
+	fi := d.NewFuzzyIndex(0.6)
+	if fi.Len() != 9 {
+		t.Fatalf("indexed %d strings, want 9", fi.Len())
+	}
+}
+
+func TestFuzzyLookupExactString(t *testing.T) {
+	fi := demoDict().NewFuzzyIndex(0.6)
+	hits := fi.Lookup("digital rebel xt", 0)
+	if len(hits) == 0 || hits[0].Text != "digital rebel xt" || hits[0].Similarity != 1 {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+func TestFuzzyLookupGlobalTypos(t *testing.T) {
+	fi := demoDict().NewFuzzyIndex(0.55)
+	cases := map[string]string{
+		"madagascar2":      "madagascar 2",     // missing space
+		"digtal rebel xt":  "digital rebel xt", // dropped letter
+		"indiana jones 4 ": "indiana jones 4",  // trailing junk
+		"twilightt":        "twilight",         // doubled letter
+	}
+	for q, want := range cases {
+		hits := fi.Lookup(q, 1)
+		if len(hits) == 0 {
+			t.Errorf("Lookup(%q) found nothing", q)
+			continue
+		}
+		if hits[0].Text != want {
+			t.Errorf("Lookup(%q) = %q, want %q", q, hits[0].Text, want)
+		}
+	}
+}
+
+func TestFuzzyLookupRejectsDistantStrings(t *testing.T) {
+	fi := demoDict().NewFuzzyIndex(0.6)
+	for _, q := range []string{"completely unrelated", "zzz qqq", "weather report"} {
+		if hits := fi.Lookup(q, 0); len(hits) != 0 {
+			t.Errorf("Lookup(%q) = %+v, want none", q, hits)
+		}
+	}
+}
+
+func TestFuzzyLookupLimit(t *testing.T) {
+	fi := demoDict().NewFuzzyIndex(0.3)
+	all := fi.Lookup("indiana jones", 0)
+	one := fi.Lookup("indiana jones", 1)
+	if len(one) > 1 {
+		t.Fatalf("limit violated: %d hits", len(one))
+	}
+	if len(all) > 0 && len(one) == 0 {
+		t.Fatal("limit dropped all hits")
+	}
+}
+
+func TestFuzzyLookupEmptyQuery(t *testing.T) {
+	fi := demoDict().NewFuzzyIndex(0.6)
+	if hits := fi.Lookup("", 0); hits != nil {
+		t.Fatalf("empty query produced %+v", hits)
+	}
+}
+
+func TestFuzzyShortQueryFallsBackToExact(t *testing.T) {
+	d := NewDictionary()
+	d.Add("xy", Entry{EntityID: 5, Score: 1})
+	fi := d.NewFuzzyIndex(0.6)
+	hits := fi.Lookup("xy", 0)
+	if len(hits) != 1 || hits[0].Entries[0].EntityID != 5 {
+		t.Fatalf("short-query fallback = %+v", hits)
+	}
+	if hits := fi.Lookup("zz", 0); hits != nil {
+		t.Fatalf("unknown short query produced %+v", hits)
+	}
+}
+
+func TestBestEntity(t *testing.T) {
+	fi := demoDict().NewFuzzyIndex(0.55)
+	e, ok := fi.BestEntity("350d")
+	if !ok || e.EntityID != 2 {
+		t.Fatalf("exact BestEntity = %+v, %v", e, ok)
+	}
+	e, ok = fi.BestEntity("madagascar2")
+	if !ok || e.EntityID != 4 {
+		t.Fatalf("fuzzy BestEntity = %+v, %v", e, ok)
+	}
+	if _, ok := fi.BestEntity("nothing here"); ok {
+		t.Fatal("irrelevant query resolved")
+	}
+}
+
+func TestForEachOrderedAndComplete(t *testing.T) {
+	d := demoDict()
+	var texts []string
+	total := 0
+	d.ForEach(func(text string, entries []Entry) {
+		texts = append(texts, text)
+		total += len(entries)
+	})
+	if total != d.Len() {
+		t.Fatalf("ForEach visited %d entries, dictionary has %d", total, d.Len())
+	}
+	for i := 1; i < len(texts); i++ {
+		if texts[i] <= texts[i-1] {
+			t.Fatalf("ForEach not in order: %q after %q", texts[i], texts[i-1])
+		}
+	}
+	if !reflect.DeepEqual(texts, d.Strings()) {
+		t.Fatal("Strings() disagrees with ForEach")
+	}
+}
+
+func TestDictionaryTSVRoundTrip(t *testing.T) {
+	d := demoDict()
+	var buf bytes.Buffer
+	if err := d.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != d.Len() {
+		t.Fatalf("round trip size %d != %d", d2.Len(), d.Len())
+	}
+	for _, s := range d.Strings() {
+		a, b := d.Lookup(s), d2.Lookup(s)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("entries differ for %q: %v vs %v", s, a, b)
+		}
+	}
+	// Segmentation behaviour must survive the round trip.
+	segA := d.Segment("indy 4 near san fran")
+	segB := d2.Segment("indy 4 near san fran")
+	if !reflect.DeepEqual(segA.Matches, segB.Matches) {
+		t.Fatal("segmentation differs after round trip")
+	}
+}
+
+func TestReadTSVRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"too\tfew\tfields\n",
+		"text\tNaN\t0.5\tsrc\n",
+		"text\t1\tnotafloat\tsrc\n",
+	} {
+		if _, err := ReadTSV(bytes.NewBufferString(in)); err == nil {
+			t.Errorf("malformed input %q accepted", in)
+		}
+	}
+}
+
+func TestWriteTSVRejectsTabInSource(t *testing.T) {
+	d := NewDictionary()
+	d.Add("x y", Entry{EntityID: 1, Score: 1, Source: "bad\tsource"})
+	if err := d.WriteTSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("tab in source accepted")
+	}
+}
+
+func BenchmarkFuzzyLookup(b *testing.B) {
+	fi := demoDict().NewFuzzyIndex(0.55)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fi.Lookup("madagascar2 dvd release", 3)
+	}
+}

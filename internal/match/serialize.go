@@ -1,0 +1,72 @@
+package match
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Dictionary serialization: "text<TAB>entityID<TAB>score<TAB>source" lines,
+// one per (string, entity) pair, in lexicographic string order. A compiled
+// dictionary can therefore be shipped to a serving tier (cmd/matchd)
+// without re-running the miner.
+
+// WriteTSV serializes the dictionary.
+func (d *Dictionary) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	d.ForEach(func(text string, entries []Entry) {
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			if strings.ContainsAny(e.Source, "\t\n") {
+				err = fmt.Errorf("match: source %q contains TSV separators", e.Source)
+				return
+			}
+			if _, werr := fmt.Fprintf(bw, "%s\t%d\t%.6f\t%s\n",
+				text, e.EntityID, e.Score, e.Source); werr != nil {
+				err = werr
+				return
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTSV loads a dictionary serialized by WriteTSV.
+func ReadTSV(r io.Reader) (*Dictionary, error) {
+	d := NewDictionary()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("match: dictionary line %d: %d fields, want 4", line, len(parts))
+		}
+		id, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("match: dictionary line %d: bad entity ID %q", line, parts[1])
+		}
+		score, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("match: dictionary line %d: bad score %q", line, parts[2])
+		}
+		d.Add(parts[0], Entry{EntityID: id, Score: score, Source: parts[3]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("match: reading dictionary: %w", err)
+	}
+	return d, nil
+}

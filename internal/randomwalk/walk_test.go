@@ -1,0 +1,244 @@
+package randomwalk
+
+import (
+	"math"
+	"testing"
+
+	"websyn/internal/clickgraph"
+	"websyn/internal/clicklog"
+)
+
+// chainLog builds a graph where query "start" and "near" co-click page 1,
+// and "far" connects only through a second hop: start-1-near, near-2-far.
+func chainLog() *clicklog.Log {
+	l := clicklog.NewLog()
+	add := func(q string, p, n int) {
+		for i := 0; i < n; i++ {
+			l.AddClick(q, p)
+		}
+	}
+	add("start", 1, 10)
+	add("near", 1, 10)
+	add("near", 2, 2)
+	add("far", 2, 10)
+	add("isolated", 99, 5)
+	return l
+}
+
+func walker(t *testing.T, cfg Config) *Walker {
+	t.Helper()
+	w, err := NewWalker(clickgraph.Build(chainLog()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := clickgraph.Build(chainLog())
+	if _, err := NewWalker(g, Config{SelfTransition: 1.0, Steps: 4}); err == nil {
+		t.Fatal("self-transition 1.0 accepted")
+	}
+	if _, err := NewWalker(g, Config{SelfTransition: 0.8, Steps: 1}); err == nil {
+		t.Fatal("1 step accepted")
+	}
+	if _, err := NewWalker(g, Config{SelfTransition: 0.8, Steps: 4, MinProb: 2}); err == nil {
+		t.Fatal("MinProb 2 accepted")
+	}
+	if _, err := NewWalker(nil, DefaultConfig()); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestDefaultConfigSelfTransition(t *testing.T) {
+	if DefaultConfig().SelfTransition != 0.8 {
+		t.Fatal("default self-transition must be the paper's 0.8")
+	}
+}
+
+func TestWalkMissingStartNode(t *testing.T) {
+	w := walker(t, DefaultConfig())
+	// The documented failure mode: a string never issued as a query
+	// produces nothing.
+	if got := w.Synonyms("nonexistent query"); got != nil {
+		t.Fatalf("missing start node produced %v", got)
+	}
+}
+
+func TestWalkFindsCoClickedQuery(t *testing.T) {
+	cfg := Config{SelfTransition: 0.8, Steps: 4, MinProb: 0.001, MaxSynonyms: 0}
+	w := walker(t, cfg)
+	ranked := w.Walk("start")
+	if len(ranked) == 0 {
+		t.Fatal("no walk output")
+	}
+	if ranked[0].Text != "near" {
+		t.Fatalf("top output %q, want near", ranked[0].Text)
+	}
+	// "far" is reachable only via 4 steps; its mass must be below "near".
+	var farProb, nearProb float64
+	for _, r := range ranked {
+		switch r.Text {
+		case "near":
+			nearProb = r.Prob
+		case "far":
+			farProb = r.Prob
+		}
+	}
+	if nearProb == 0 {
+		t.Fatal("near not in output")
+	}
+	if farProb >= nearProb {
+		t.Fatalf("far (%f) should rank below near (%f)", farProb, nearProb)
+	}
+	// "isolated" is unreachable from start.
+	for _, r := range ranked {
+		if r.Text == "isolated" {
+			t.Fatal("isolated query reached")
+		}
+	}
+}
+
+func TestWalkExcludesStart(t *testing.T) {
+	w := walker(t, Config{SelfTransition: 0.8, Steps: 4, MinProb: 0, MaxSynonyms: 0})
+	for _, r := range w.Walk("start") {
+		if r.Text == "start" {
+			t.Fatal("walk returned its own start node")
+		}
+	}
+}
+
+func TestWalkNormalizesInput(t *testing.T) {
+	w := walker(t, Config{SelfTransition: 0.8, Steps: 4, MinProb: 0.001, MaxSynonyms: 0})
+	if got := w.Synonyms("  START! "); len(got) == 0 {
+		t.Fatal("normalized input not matched")
+	}
+}
+
+func TestMinProbFilters(t *testing.T) {
+	loose := walker(t, Config{SelfTransition: 0.8, Steps: 4, MinProb: 0.0001, MaxSynonyms: 0})
+	tight := walker(t, Config{SelfTransition: 0.8, Steps: 4, MinProb: 0.5, MaxSynonyms: 0})
+	if len(loose.Walk("start")) <= len(tight.Walk("start")) {
+		t.Fatal("tighter MinProb did not reduce output")
+	}
+}
+
+func TestMaxSynonymsCaps(t *testing.T) {
+	w := walker(t, Config{SelfTransition: 0.8, Steps: 4, MinProb: 0, MaxSynonyms: 1})
+	if got := w.Synonyms("start"); len(got) > 1 {
+		t.Fatalf("cap violated: %v", got)
+	}
+}
+
+func TestProbabilityMassConserved(t *testing.T) {
+	// With MinProb 0 and no cap, total output mass plus start/page mass
+	// must not exceed 1 (the walk redistributes, never creates mass).
+	w := walker(t, Config{SelfTransition: 0.5, Steps: 6, MinProb: 0, MaxSynonyms: 0})
+	total := 0.0
+	for _, r := range w.Walk("start") {
+		total += r.Prob
+	}
+	if total > 1+1e-9 {
+		t.Fatalf("query-side output mass %f exceeds 1", total)
+	}
+	if total <= 0 {
+		t.Fatal("no mass reached other queries")
+	}
+}
+
+func TestHigherSelfTransitionSpreadsLess(t *testing.T) {
+	sticky := walker(t, Config{SelfTransition: 0.95, Steps: 4, MinProb: 0, MaxSynonyms: 0})
+	mobile := walker(t, Config{SelfTransition: 0.3, Steps: 4, MinProb: 0, MaxSynonyms: 0})
+	var stickyNear, mobileNear float64
+	for _, r := range sticky.Walk("start") {
+		if r.Text == "near" {
+			stickyNear = r.Prob
+		}
+	}
+	for _, r := range mobile.Walk("start") {
+		if r.Text == "near" {
+			mobileNear = r.Prob
+		}
+	}
+	if stickyNear >= mobileNear {
+		t.Fatalf("self-transition 0.95 spread more (%f) than 0.3 (%f)", stickyNear, mobileNear)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Forward.String() != "forward" || Backward.String() != "backward" {
+		t.Fatal("Direction.String mismatch")
+	}
+}
+
+func TestBackwardWalkDownweightsPopularDestinations(t *testing.T) {
+	// Page 1 is hugely popular (clicked by "big" 100 times); page 2 is
+	// niche. Forward from "start" favours the popular page's co-query;
+	// backward penalizes it.
+	l := clicklog.NewLog()
+	add := func(q string, p, n int) {
+		for i := 0; i < n; i++ {
+			l.AddClick(q, p)
+		}
+	}
+	add("start", 1, 5)
+	add("start", 2, 5)
+	add("big", 1, 100)
+	add("niche", 2, 5)
+	g := clickgraph.Build(l)
+
+	fwd, err := NewWalker(g, Config{SelfTransition: 0.5, Steps: 2, MinProb: 0, MaxSynonyms: 0, Direction: Forward})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwd, err := NewWalker(g, Config{SelfTransition: 0.5, Steps: 2, MinProb: 0, MaxSynonyms: 0, Direction: Backward})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probOf := func(w *Walker, text string) float64 {
+		for _, r := range w.Walk("start") {
+			if r.Text == text {
+				return r.Prob
+			}
+		}
+		return 0
+	}
+	// Forward: "big" absorbs most of page 1's mass (it did most clicking).
+	if probOf(fwd, "big") <= probOf(fwd, "niche") {
+		t.Fatalf("forward: big %f should beat niche %f",
+			probOf(fwd, "big"), probOf(fwd, "niche"))
+	}
+	// Backward: mass into page 1 is divided by its huge in-degree, so the
+	// niche co-query wins.
+	if probOf(bwd, "niche") <= probOf(bwd, "big") {
+		t.Fatalf("backward: niche %f should beat big %f",
+			probOf(bwd, "niche"), probOf(bwd, "big"))
+	}
+}
+
+func TestBackwardWalkDeterministic(t *testing.T) {
+	w := walker(t, Config{SelfTransition: 0.5, Steps: 4, MinProb: 0, MaxSynonyms: 0, Direction: Backward})
+	a, b := w.Walk("start"), w.Walk("start")
+	if len(a) != len(b) {
+		t.Fatal("backward walk output count differs across runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("backward walk output %d differs", i)
+		}
+	}
+}
+
+func TestWalkDeterministic(t *testing.T) {
+	w := walker(t, DefaultConfig())
+	a := w.Walk("start")
+	b := w.Walk("start")
+	if len(a) != len(b) {
+		t.Fatal("walk output count differs")
+	}
+	for i := range a {
+		if a[i].Text != b[i].Text || math.Abs(a[i].Prob-b[i].Prob) > 1e-15 {
+			t.Fatalf("walk output %d differs", i)
+		}
+	}
+}

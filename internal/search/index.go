@@ -1,0 +1,143 @@
+// Package search implements the Web search engine substrate: an inverted
+// index with BM25 ranking over the synthetic corpus.
+//
+// In the paper, Search Data A is obtained by issuing each canonical string
+// to the Bing Search API and keeping the top-k results (Section III.A,
+// Eq. 1). Here the same tuples come from this engine. The miner consumes
+// only (query, page, rank) tuples, so any ranker that reliably surfaces an
+// entity's surrogate pages for its canonical string induces the same
+// structure; BM25 is the standard, dependency-free choice.
+package search
+
+import (
+	"math"
+	"sort"
+
+	"websyn/internal/textnorm"
+	"websyn/internal/webcorpus"
+)
+
+// BM25 parameters: the textbook defaults.
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// posting is one (page, term-frequency) pair in a postings list.
+type posting struct {
+	pageID int
+	tf     float64
+}
+
+// Index is an immutable inverted index over a corpus.
+type Index struct {
+	corpus   *webcorpus.Corpus
+	postings map[string][]posting
+	docLen   []float64
+	avgLen   float64
+	n        int
+}
+
+// NewIndex builds the inverted index for the corpus.
+func NewIndex(c *webcorpus.Corpus) *Index {
+	idx := &Index{
+		corpus:   c,
+		postings: make(map[string][]posting),
+		docLen:   make([]float64, c.Len()),
+		n:        c.Len(),
+	}
+	total := 0.0
+	for _, p := range c.Pages() {
+		idx.docLen[p.ID] = p.Length
+		total += p.Length
+		for term, tf := range p.Terms {
+			idx.postings[term] = append(idx.postings[term], posting{pageID: p.ID, tf: tf})
+		}
+	}
+	if idx.n > 0 {
+		idx.avgLen = total / float64(idx.n)
+	}
+	// Deterministic postings order (map iteration above is unordered).
+	for term := range idx.postings {
+		ps := idx.postings[term]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].pageID < ps[j].pageID })
+	}
+	return idx
+}
+
+// Corpus returns the indexed corpus.
+func (idx *Index) Corpus() *webcorpus.Corpus { return idx.corpus }
+
+// N returns the number of indexed pages.
+func (idx *Index) N() int { return idx.n }
+
+// DocFreq returns the number of pages containing the term.
+func (idx *Index) DocFreq(term string) int { return len(idx.postings[term]) }
+
+// idf is the BM25+ variant of inverse document frequency, floored at a
+// small positive value so very common terms still contribute a little.
+func (idx *Index) idf(term string) float64 {
+	df := float64(len(idx.postings[term]))
+	if df == 0 {
+		return 0
+	}
+	v := math.Log(1 + (float64(idx.n)-df+0.5)/(df+0.5))
+	if v < 0.01 {
+		return 0.01
+	}
+	return v
+}
+
+// Result is one ranked search result.
+type Result struct {
+	PageID int
+	Rank   int // 1-based, rank 1 most relevant (paper's convention)
+	Score  float64
+}
+
+// Search returns the top-k pages for the query by BM25 score. Ties break by
+// page ID for determinism. The query is normalized with the shared
+// tokenizer, so callers can pass raw strings.
+func (idx *Index) Search(query string, k int) []Result {
+	terms := textnorm.Tokenize(query)
+	if len(terms) == 0 || k <= 0 {
+		return nil
+	}
+	// Deduplicate query terms, keeping multiplicity as a weight.
+	qtf := make(map[string]float64, len(terms))
+	for _, t := range terms {
+		qtf[t]++
+	}
+	scores := make(map[int]float64)
+	for term, qw := range qtf {
+		idf := idx.idf(term)
+		if idf == 0 {
+			continue
+		}
+		for _, p := range idx.postings[term] {
+			norm := p.tf * (bm25K1 + 1) /
+				(p.tf + bm25K1*(1-bm25B+bm25B*idx.docLen[p.pageID]/idx.avgLen))
+			scores[p.pageID] += qw * idf * norm
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	results := make([]Result, 0, len(scores))
+	for id, s := range scores {
+		results = append(results, Result{PageID: id, Score: s})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].PageID < results[j].PageID
+	})
+	if len(results) > k {
+		results = results[:k]
+	}
+	for i := range results {
+		results[i].Rank = i + 1
+	}
+	return results
+}

@@ -1,0 +1,250 @@
+package search
+
+import (
+	"testing"
+	"testing/quick"
+
+	"websyn/internal/alias"
+	"websyn/internal/entity"
+	"websyn/internal/webcorpus"
+)
+
+// tinyCorpus builds a handcrafted corpus for focused ranking tests.
+func tinyCorpus(t *testing.T) *webcorpus.Corpus {
+	t.Helper()
+	cat, err := entity.Movies2008()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := alias.Build(cat, alias.MovieParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := webcorpus.Build(model, webcorpus.DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestIndexCounts(t *testing.T) {
+	c := tinyCorpus(t)
+	idx := NewIndex(c)
+	if idx.N() != c.Len() {
+		t.Fatalf("index has %d docs, corpus %d", idx.N(), c.Len())
+	}
+	if idx.Corpus() != c {
+		t.Fatal("Corpus() identity lost")
+	}
+}
+
+func TestSearchEmptyQuery(t *testing.T) {
+	idx := NewIndex(tinyCorpus(t))
+	if got := idx.Search("", 10); got != nil {
+		t.Fatalf("empty query returned %d results", len(got))
+	}
+	if got := idx.Search("!!!", 10); got != nil {
+		t.Fatalf("punctuation-only query returned %d results", len(got))
+	}
+	if got := idx.Search("dark knight", 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}
+
+func TestSearchUnknownTerms(t *testing.T) {
+	idx := NewIndex(tinyCorpus(t))
+	if got := idx.Search("zzyzzqx quux", 10); got != nil {
+		t.Fatalf("OOV query returned %d results", len(got))
+	}
+}
+
+func TestSearchRanksOwnPagesFirst(t *testing.T) {
+	c := tinyCorpus(t)
+	idx := NewIndex(c)
+	results := idx.Search("The Dark Knight", 10)
+	if len(results) != 10 {
+		t.Fatalf("got %d results", len(results))
+	}
+	// The canonical query's top results must overwhelmingly be the
+	// entity's own pages (the surrogate property, Def. 5).
+	own := 0
+	for _, r := range results {
+		if c.ByID(r.PageID).EntityID == 0 {
+			own++
+		}
+	}
+	if own < 8 {
+		t.Fatalf("only %d/10 top results belong to the entity", own)
+	}
+}
+
+func TestCanonicalTopKMostlyCorePages(t *testing.T) {
+	// Deep pages (trailer/showtimes) must mostly rank below the core pages
+	// for the bare canonical query, so they fall outside GA(u) and give
+	// hyponym queries somewhere to click outside the intersection.
+	c := tinyCorpus(t)
+	idx := NewIndex(c)
+	cat, err := entity.Movies2008()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deepInTop := 0
+	const checked = 20
+	for id := 0; id < checked; id++ {
+		results := idx.Search(cat.ByID(id).Canonical, 10)
+		for _, r := range results {
+			p := c.ByID(r.PageID)
+			if p.EntityID != id {
+				continue
+			}
+			switch p.Type {
+			case webcorpus.Trailer, webcorpus.Showtimes, webcorpus.Manual, webcorpus.Accessories:
+				deepInTop++
+			}
+		}
+	}
+	if avg := float64(deepInTop) / checked; avg > 1.5 {
+		t.Fatalf("deep pages average %.2f of top-10 per entity (max 1.5)", avg)
+	}
+}
+
+func TestSearchRanksAreDense(t *testing.T) {
+	idx := NewIndex(tinyCorpus(t))
+	results := idx.Search("indiana jones", 10)
+	for i, r := range results {
+		if r.Rank != i+1 {
+			t.Fatalf("result %d has rank %d", i, r.Rank)
+		}
+		if i > 0 && results[i-1].Score < r.Score {
+			t.Fatalf("scores not descending at %d", i)
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	idx := NewIndex(tinyCorpus(t))
+	a := idx.Search("batman movie", 10)
+	b := idx.Search("batman movie", 10)
+	if len(a) != len(b) {
+		t.Fatal("result count differs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSearchKLimits(t *testing.T) {
+	idx := NewIndex(tinyCorpus(t))
+	f := func(kRaw uint8) bool {
+		k := int(kRaw%30) + 1
+		results := idx.Search("dark knight review", k)
+		return len(results) <= k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDocFreq(t *testing.T) {
+	idx := NewIndex(tinyCorpus(t))
+	if idx.DocFreq("zzyzzqx") != 0 {
+		t.Fatal("OOV term has nonzero df")
+	}
+	if idx.DocFreq("movie") == 0 {
+		t.Fatal("common term has zero df")
+	}
+	// "the" should be extremely common (low idf floor kicks in).
+	if idx.idf("movie") <= 0 {
+		t.Fatal("idf must be positive for indexed terms")
+	}
+}
+
+func TestNewDataSurrogates(t *testing.T) {
+	c := tinyCorpus(t)
+	idx := NewIndex(c)
+	d, err := NewData(idx, []string{"The Dark Knight", "Iron Man"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.K() != 10 {
+		t.Fatalf("K = %d", d.K())
+	}
+	ga := d.Surrogates("the dark knight")
+	if len(ga) != 10 {
+		t.Fatalf("|GA| = %d", len(ga))
+	}
+	if d.Surrogates("unknown query") != nil {
+		t.Fatal("unknown query should have no surrogates")
+	}
+	top := d.Top("iron man")
+	if len(top) != 10 || top[0].Rank != 1 {
+		t.Fatalf("Top malformed: %v", top)
+	}
+}
+
+func TestNewDataErrors(t *testing.T) {
+	idx := NewIndex(tinyCorpus(t))
+	if _, err := NewData(idx, []string{"x"}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewData(idx, []string{"!!!"}, 10); err == nil {
+		t.Fatal("empty-normalizing input accepted")
+	}
+}
+
+func TestNewDataDuplicateInputsCollapse(t *testing.T) {
+	idx := NewIndex(tinyCorpus(t))
+	d, err := NewData(idx, []string{"Iron Man", "iron man", "IRON MAN!"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Queries()); got != 1 {
+		t.Fatalf("%d distinct queries, want 1", got)
+	}
+}
+
+func TestDataTuplesRoundTrip(t *testing.T) {
+	idx := NewIndex(tinyCorpus(t))
+	d, err := NewData(idx, []string{"The Dark Knight", "Iron Man", "Hancock"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := d.Tuples()
+	d2, err := NewDataFromTuples(tuples, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range d.Queries() {
+		a, b := d.Surrogates(q), d2.Surrogates(q)
+		if len(a) != len(b) {
+			t.Fatalf("surrogate count mismatch for %q", q)
+		}
+		for p := range a {
+			if !b[p] {
+				t.Fatalf("page %d missing after round trip", p)
+			}
+		}
+	}
+}
+
+func TestNewDataFromTuplesValidatesRank(t *testing.T) {
+	if _, err := NewDataFromTuples([]Tuple{{Query: "q", PageID: 1, Rank: 11}}, 10); err == nil {
+		t.Fatal("rank out of range accepted")
+	}
+	if _, err := NewDataFromTuples([]Tuple{{Query: "q", PageID: 1, Rank: 0}}, 10); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+}
+
+func BenchmarkSearchCanonical(b *testing.B) {
+	cat, _ := entity.Movies2008()
+	model, _ := alias.Build(cat, alias.MovieParams())
+	c, _ := webcorpus.Build(model, webcorpus.DefaultConfig(7))
+	idx := NewIndex(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = idx.Search("indiana jones and the kingdom of the crystal skull", 10)
+	}
+}

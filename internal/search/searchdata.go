@@ -1,0 +1,109 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"websyn/internal/textnorm"
+)
+
+// Tuple is one row of Search Data A: page p is the rank-r result for query
+// q (paper Section II.B). Queries are stored normalized.
+type Tuple struct {
+	Query  string
+	PageID int
+	Rank   int
+}
+
+// Data is Search Data A: for each input string u, the top-k result pages.
+// It implements the mapping function GA(u, P) of Eq. 1.
+type Data struct {
+	k       int
+	byQuery map[string][]Tuple
+}
+
+// NewData assembles Search Data by issuing each input string against the
+// index and keeping the top-k results, mirroring how the paper derives A
+// from the Bing Search API.
+func NewData(idx *Index, inputs []string, k int) (*Data, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("search: k must be positive, got %d", k)
+	}
+	d := &Data{k: k, byQuery: make(map[string][]Tuple, len(inputs))}
+	for _, u := range inputs {
+		norm := textnorm.Normalize(u)
+		if norm == "" {
+			return nil, fmt.Errorf("search: input %q normalizes to empty", u)
+		}
+		if _, dup := d.byQuery[norm]; dup {
+			continue
+		}
+		results := idx.Search(norm, k)
+		tuples := make([]Tuple, len(results))
+		for i, r := range results {
+			tuples[i] = Tuple{Query: norm, PageID: r.PageID, Rank: r.Rank}
+		}
+		d.byQuery[norm] = tuples
+	}
+	return d, nil
+}
+
+// NewDataFromTuples rebuilds Search Data from serialized tuples (the
+// file-based pipeline path).
+func NewDataFromTuples(tuples []Tuple, k int) (*Data, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("search: k must be positive, got %d", k)
+	}
+	d := &Data{k: k, byQuery: make(map[string][]Tuple)}
+	for _, t := range tuples {
+		if t.Rank < 1 || t.Rank > k {
+			return nil, fmt.Errorf("search: tuple rank %d outside [1,%d]", t.Rank, k)
+		}
+		d.byQuery[t.Query] = append(d.byQuery[t.Query], t)
+	}
+	for q := range d.byQuery {
+		ts := d.byQuery[q]
+		sort.Slice(ts, func(i, j int) bool { return ts[i].Rank < ts[j].Rank })
+	}
+	return d, nil
+}
+
+// K returns the surrogate cutoff.
+func (d *Data) K() int { return d.k }
+
+// Queries returns the input strings (normalized) in sorted order.
+func (d *Data) Queries() []string {
+	out := make([]string, 0, len(d.byQuery))
+	for q := range d.byQuery {
+		out = append(out, q)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Top returns the ranked tuples for the normalized query, or nil.
+func (d *Data) Top(query string) []Tuple { return d.byQuery[query] }
+
+// Surrogates returns GA(u, P): the set of top-k page IDs for the normalized
+// input string (Definition 5). The result is a fresh map each call.
+func (d *Data) Surrogates(query string) map[int]bool {
+	tuples := d.byQuery[query]
+	if len(tuples) == 0 {
+		return nil
+	}
+	set := make(map[int]bool, len(tuples))
+	for _, t := range tuples {
+		set[t.PageID] = true
+	}
+	return set
+}
+
+// Tuples flattens the data set in deterministic (query, rank) order, for
+// serialization.
+func (d *Data) Tuples() []Tuple {
+	var out []Tuple
+	for _, q := range d.Queries() {
+		out = append(out, d.byQuery[q]...)
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package search
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Index persistence.
+//
+// Rebuilding the corpus and re-inverting it is cheap for the simulation
+// sizes in this repository, but a real deployment mines against a fixed
+// crawl: the index is built once and shipped. WriteTo/ReadIndex implement
+// that path with a compact, versioned binary layout:
+//
+//	magic "WSIX", version byte,
+//	docCount uvarint, then docCount doc lengths (float64 bits uvarint),
+//	termCount uvarint, then per term:
+//	  term length uvarint, term bytes,
+//	  postings count uvarint, then (pageID delta uvarint, tf float64 bits).
+//
+// Page IDs within a postings list are delta-encoded (they are sorted), so
+// long lists of adjacent pages cost ~2 bytes per posting.
+
+var indexMagic = [4]byte{'W', 'S', 'I', 'X'}
+
+const indexVersion = 1
+
+// WriteTo serializes the index. The corpus itself is not serialized — an
+// index consumer only needs page IDs.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := cw.Write(scratch[:n])
+		return err
+	}
+
+	if _, err := cw.Write(indexMagic[:]); err != nil {
+		return cw.n, err
+	}
+	if _, err := cw.Write([]byte{indexVersion}); err != nil {
+		return cw.n, err
+	}
+	if err := writeUvarint(uint64(idx.n)); err != nil {
+		return cw.n, err
+	}
+	for _, dl := range idx.docLen {
+		if err := writeUvarint(math.Float64bits(dl)); err != nil {
+			return cw.n, err
+		}
+	}
+
+	terms := make([]string, 0, len(idx.postings))
+	for t := range idx.postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	if err := writeUvarint(uint64(len(terms))); err != nil {
+		return cw.n, err
+	}
+	for _, t := range terms {
+		if err := writeUvarint(uint64(len(t))); err != nil {
+			return cw.n, err
+		}
+		if _, err := cw.Write([]byte(t)); err != nil {
+			return cw.n, err
+		}
+		ps := idx.postings[t]
+		if err := writeUvarint(uint64(len(ps))); err != nil {
+			return cw.n, err
+		}
+		prev := 0
+		for _, p := range ps {
+			if err := writeUvarint(uint64(p.pageID - prev)); err != nil {
+				return cw.n, err
+			}
+			prev = p.pageID
+			if err := writeUvarint(math.Float64bits(p.tf)); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// countingWriter tracks written bytes for the io.WriterTo contract.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// indexReadLimits guard against corrupt headers.
+const (
+	maxIndexDocs  = 1 << 26
+	maxIndexTerms = 1 << 26
+	maxTermLen    = 1 << 12
+)
+
+// ReadIndex deserializes an index written by WriteTo. The returned index
+// has no attached corpus (Corpus() is nil): it can Search, which is all a
+// mining deployment needs.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("search: reading index magic: %w", err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("search: bad index magic %q", magic[:])
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("search: reading index version: %w", err)
+	}
+	if ver != indexVersion {
+		return nil, fmt.Errorf("search: unsupported index version %d", ver)
+	}
+
+	docCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("search: reading doc count: %w", err)
+	}
+	if docCount > maxIndexDocs {
+		return nil, fmt.Errorf("search: doc count %d exceeds limit", docCount)
+	}
+	idx := &Index{
+		postings: make(map[string][]posting),
+		docLen:   make([]float64, docCount),
+		n:        int(docCount),
+	}
+	total := 0.0
+	for i := range idx.docLen {
+		bits, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("search: reading doc length %d: %w", i, err)
+		}
+		idx.docLen[i] = math.Float64frombits(bits)
+		if idx.docLen[i] < 0 || math.IsNaN(idx.docLen[i]) {
+			return nil, fmt.Errorf("search: doc %d has invalid length", i)
+		}
+		total += idx.docLen[i]
+	}
+	if idx.n > 0 {
+		idx.avgLen = total / float64(idx.n)
+	}
+
+	termCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("search: reading term count: %w", err)
+	}
+	if termCount > maxIndexTerms {
+		return nil, fmt.Errorf("search: term count %d exceeds limit", termCount)
+	}
+	for t := uint64(0); t < termCount; t++ {
+		tlen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("search: term %d: reading length: %w", t, err)
+		}
+		if tlen > maxTermLen {
+			return nil, fmt.Errorf("search: term %d: length %d exceeds limit", t, tlen)
+		}
+		tb := make([]byte, tlen)
+		if _, err := io.ReadFull(br, tb); err != nil {
+			return nil, fmt.Errorf("search: term %d: reading bytes: %w", t, err)
+		}
+		pCount, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("search: term %q: reading postings count: %w", tb, err)
+		}
+		if pCount > docCount {
+			return nil, fmt.Errorf("search: term %q: %d postings exceed doc count", tb, pCount)
+		}
+		ps := make([]posting, 0, pCount)
+		prev := 0
+		for i := uint64(0); i < pCount; i++ {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("search: term %q: reading posting %d: %w", tb, i, err)
+			}
+			pageID := prev + int(delta)
+			if pageID >= int(docCount) {
+				return nil, fmt.Errorf("search: term %q: page ID %d out of range", tb, pageID)
+			}
+			prev = pageID
+			bits, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("search: term %q: reading tf %d: %w", tb, i, err)
+			}
+			tf := math.Float64frombits(bits)
+			if tf <= 0 || math.IsNaN(tf) || math.IsInf(tf, 0) {
+				return nil, fmt.Errorf("search: term %q: invalid tf", tb)
+			}
+			ps = append(ps, posting{pageID: pageID, tf: tf})
+		}
+		idx.postings[string(tb)] = ps
+	}
+	return idx, nil
+}

@@ -1,0 +1,98 @@
+package search
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	c := tinyCorpus(t)
+	idx := NewIndex(c)
+	var buf bytes.Buffer
+	n, err := idx.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != idx.N() {
+		t.Fatalf("doc count %d != %d", loaded.N(), idx.N())
+	}
+	// Search results must be identical for representative queries.
+	for _, q := range []string{
+		"the dark knight", "indiana jones", "madagascar 2",
+		"quantum of solace review", "youtube", "zzz unknown",
+	} {
+		a := idx.Search(q, 10)
+		b := loaded.Search(q, 10)
+		if len(a) != len(b) {
+			t.Fatalf("query %q: %d vs %d results", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].PageID != b[i].PageID || a[i].Rank != b[i].Rank {
+				t.Fatalf("query %q: result %d differs: %+v vs %+v", q, i, a[i], b[i])
+			}
+			if diff := a[i].Score - b[i].Score; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("query %q: score drift at %d", q, i)
+			}
+		}
+	}
+	// The reloaded index carries no corpus — only IDs.
+	if loaded.Corpus() != nil {
+		t.Fatal("reloaded index should have nil corpus")
+	}
+}
+
+func TestReadIndexRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("WSIX"),     // missing version
+		[]byte("WSIX\x02"), // wrong version
+		[]byte("WSIX\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"), // absurd doc count
+	}
+	for i, data := range cases {
+		if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestReadIndexRejectsTruncation(t *testing.T) {
+	idx := NewIndex(tinyCorpus(t))
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, frac := range []float64{0.1, 0.5, 0.9, 0.999} {
+		cut := int(float64(len(full)) * frac)
+		if _, err := ReadIndex(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d/%d accepted", cut, len(full))
+		}
+	}
+}
+
+func TestIndexSerializationSize(t *testing.T) {
+	// Delta-encoded postings should keep the index compact: well under
+	// 100 bytes per posting on this corpus.
+	c := tinyCorpus(t)
+	idx := NewIndex(c)
+	postings := 0
+	for _, ps := range idx.postings {
+		postings += len(ps)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	perPosting := float64(buf.Len()) / float64(postings)
+	if perPosting > 40 {
+		t.Fatalf("index costs %.1f bytes/posting", perPosting)
+	}
+}

@@ -1,0 +1,223 @@
+// Package stats provides the small statistical toolkit the reports and
+// diagnostics use: streaming summaries, quantiles, and log-scale histograms
+// for the heavy-tailed distributions (query frequency, click counts, node
+// degrees) the pipeline produces.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates streaming moments and extrema. The zero value is
+// ready to use.
+type Summary struct {
+	n        int
+	sum      float64
+	sumSq    float64
+	min, max float64
+}
+
+// Add folds one observation into the summary.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	s.sum += x
+	s.sumSq += x * x
+}
+
+// AddInt folds an integer observation.
+func (s *Summary) AddInt(x int) { s.Add(float64(x)) }
+
+// N returns the observation count.
+func (s *Summary) N() int { return s.n }
+
+// Sum returns the observation total.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Variance returns the population variance (0 when empty).
+func (s *Summary) Variance() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.n) - m*m
+	if v < 0 {
+		return 0 // float drift
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// String renders a one-line summary.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f",
+		s.n, s.Mean(), s.StdDev(), s.Min(), s.Max())
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation. It sorts a copy; the input is not modified. Returns 0 for
+// empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median is Quantile(xs, 0.5).
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// LogHistogram buckets positive integers into powers-of-two ranges:
+// [1,1], [2,3], [4,7], [8,15], ... — the natural shape for click counts
+// and degree distributions.
+type LogHistogram struct {
+	buckets []int
+	zero    int
+	total   int
+}
+
+// NewLogHistogram returns an empty histogram.
+func NewLogHistogram() *LogHistogram {
+	return &LogHistogram{}
+}
+
+// Add records one observation. Non-positive values land in the zero bucket.
+func (h *LogHistogram) Add(x int) {
+	h.total++
+	if x <= 0 {
+		h.zero++
+		return
+	}
+	b := 0
+	for v := x; v > 1; v >>= 1 {
+		b++
+	}
+	for len(h.buckets) <= b {
+		h.buckets = append(h.buckets, 0)
+	}
+	h.buckets[b]++
+}
+
+// Total returns the observation count.
+func (h *LogHistogram) Total() int { return h.total }
+
+// Zero returns the count of non-positive observations.
+func (h *LogHistogram) Zero() int { return h.zero }
+
+// Bucket returns the count of observations in [2^i, 2^(i+1)).
+func (h *LogHistogram) Bucket(i int) int {
+	if i < 0 || i >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[i]
+}
+
+// NumBuckets returns the number of allocated buckets.
+func (h *LogHistogram) NumBuckets() int { return len(h.buckets) }
+
+// String renders the histogram as an ASCII bar chart.
+func (h *LogHistogram) String() string {
+	var b strings.Builder
+	maxCount := h.zero
+	for _, c := range h.buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount == 0 {
+		return "(empty)\n"
+	}
+	row := func(label string, count int) {
+		bar := strings.Repeat("#", count*40/maxCount)
+		fmt.Fprintf(&b, "  %-12s %7d %s\n", label, count, bar)
+	}
+	if h.zero > 0 {
+		row("0", h.zero)
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo := 1 << i
+		hi := 1<<(i+1) - 1
+		if lo == hi {
+			row(fmt.Sprintf("%d", lo), c)
+		} else {
+			row(fmt.Sprintf("%d-%d", lo, hi), c)
+		}
+	}
+	return b.String()
+}
+
+// Gini computes the Gini coefficient of the non-negative values — the
+// pipeline's standard skew check for Zipf-shaped distributions (0 =
+// perfectly equal, →1 = maximally concentrated).
+func Gini(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var cum, total float64
+	for i, x := range sorted {
+		if x < 0 {
+			x = 0
+		}
+		cum += x * float64(i+1)
+		total += x
+	}
+	n := float64(len(sorted))
+	if total == 0 {
+		return 0
+	}
+	return (2*cum)/(n*total) - (n+1)/n
+}

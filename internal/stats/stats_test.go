@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("zero-value summary not zeroed")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.StdDev() != 2 {
+		t.Fatalf("StdDev = %v", s.StdDev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("range = [%v, %v]", s.Min(), s.Max())
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestSummaryAddInt(t *testing.T) {
+	var s Summary
+	s.AddInt(3)
+	s.AddInt(5)
+	if s.Sum() != 8 {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+}
+
+func TestSummaryNegativeValues(t *testing.T) {
+	var s Summary
+	s.Add(-5)
+	s.Add(5)
+	if s.Min() != -5 || s.Max() != 5 || s.Mean() != 0 {
+		t.Fatal("negative handling wrong")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Median(xs) != 3 {
+		t.Fatalf("median = %v", Median(xs))
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q25 = %v", got)
+	}
+	// Interpolation between points.
+	if got := Quantile([]float64{0, 10}, 0.5); got != 5 {
+		t.Fatalf("interpolated median = %v", got)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	// Clamping.
+	if Quantile(xs, -1) != 1 || Quantile(xs, 2) != 5 {
+		t.Fatal("clamping broken")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_ = Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestLogHistogramBuckets(t *testing.T) {
+	h := NewLogHistogram()
+	for _, x := range []int{0, 1, 1, 2, 3, 4, 7, 8, 100} {
+		h.Add(x)
+	}
+	if h.Total() != 9 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Zero() != 1 {
+		t.Fatalf("zero = %d", h.Zero())
+	}
+	if h.Bucket(0) != 2 { // 1,1
+		t.Fatalf("bucket 0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 2 { // 2,3
+		t.Fatalf("bucket 1 = %d", h.Bucket(1))
+	}
+	if h.Bucket(2) != 2 { // 4,7
+		t.Fatalf("bucket 2 = %d", h.Bucket(2))
+	}
+	if h.Bucket(3) != 1 { // 8
+		t.Fatalf("bucket 3 = %d", h.Bucket(3))
+	}
+	if h.Bucket(6) != 1 { // 100 in [64,127]
+		t.Fatalf("bucket 6 = %d", h.Bucket(6))
+	}
+	if h.Bucket(-1) != 0 || h.Bucket(99) != 0 {
+		t.Fatal("out-of-range buckets nonzero")
+	}
+}
+
+func TestLogHistogramString(t *testing.T) {
+	h := NewLogHistogram()
+	if !strings.Contains(h.String(), "empty") {
+		t.Fatal("empty histogram should say so")
+	}
+	h.Add(1)
+	h.Add(5)
+	s := h.String()
+	if !strings.Contains(s, "4-7") {
+		t.Fatalf("histogram render missing bucket label: %q", s)
+	}
+}
+
+func TestGini(t *testing.T) {
+	// Perfect equality.
+	if g := Gini([]float64{5, 5, 5, 5}); math.Abs(g) > 1e-9 {
+		t.Fatalf("equal Gini = %v", g)
+	}
+	// Maximal concentration approaches (n-1)/n.
+	g := Gini([]float64{0, 0, 0, 100})
+	if math.Abs(g-0.75) > 1e-9 {
+		t.Fatalf("concentrated Gini = %v, want 0.75", g)
+	}
+	if Gini(nil) != 0 || Gini([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate Gini not 0")
+	}
+}
+
+func TestGiniMonotoneInSkew(t *testing.T) {
+	flat := Gini([]float64{4, 5, 6})
+	skewed := Gini([]float64{1, 2, 12})
+	if skewed <= flat {
+		t.Fatalf("skewed Gini %v not above flat %v", skewed, flat)
+	}
+}
+
+// Property: quantile output is always within [min, max] of the input.
+func TestQuickQuantileBounds(t *testing.T) {
+	f := func(raw []uint16, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r)
+			if xs[i] < lo {
+				lo = xs[i]
+			}
+			if xs[i] > hi {
+				hi = xs[i]
+			}
+		}
+		q := float64(qRaw) / 255
+		v := Quantile(xs, q)
+		return v >= lo-1e-9 && v <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Gini is always within [0, 1) for non-negative input.
+func TestQuickGiniRange(t *testing.T) {
+	f := func(raw []uint16) bool {
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		g := Gini(xs)
+		return g >= -1e-9 && g < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram total always equals additions.
+func TestQuickHistogramTotal(t *testing.T) {
+	f := func(raw []int16) bool {
+		h := NewLogHistogram()
+		for _, r := range raw {
+			h.Add(int(r))
+		}
+		sum := h.Zero()
+		for i := 0; i < h.NumBuckets(); i++ {
+			sum += h.Bucket(i)
+		}
+		return sum == len(raw) && h.Total() == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package textnorm
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzNormalize drives arbitrary byte sequences through Normalize and
+// checks its contract: idempotent, lower-case alphanumeric words joined by
+// single spaces.
+func FuzzNormalize(f *testing.F) {
+	for _, seed := range []string{
+		"", "The Dark Knight", "Canon EOS-350D", "!!!", "日本語 test",
+		"a\tb\nc", "MiXeD CaSe 123", strings.Repeat("x", 300),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n := Normalize(s)
+		if Normalize(n) != n {
+			t.Fatalf("not idempotent: %q -> %q -> %q", s, n, Normalize(n))
+		}
+		if strings.Contains(n, "  ") || strings.HasPrefix(n, " ") || strings.HasSuffix(n, " ") {
+			t.Fatalf("whitespace not collapsed: %q", n)
+		}
+		for _, r := range n {
+			if r == ' ' {
+				continue
+			}
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+				t.Fatalf("non-alphanumeric rune %q survived in %q", r, n)
+			}
+			if unicode.IsUpper(r) {
+				t.Fatalf("upper-case rune %q survived in %q", r, n)
+			}
+		}
+	})
+}
+
+// FuzzEditDistanceAtMost cross-checks the banded distance against the full
+// dynamic program.
+func FuzzEditDistanceAtMost(f *testing.F) {
+	f.Add("kitten", "sitting", 2)
+	f.Add("", "abc", 1)
+	f.Add("same", "same", 0)
+	f.Fuzz(func(t *testing.T, a, b string, k int) {
+		if len(a) > 64 {
+			a = a[:64]
+		}
+		if len(b) > 64 {
+			b = b[:64]
+		}
+		k = k % 8
+		if k < 0 {
+			k = -k
+		}
+		want := EditDistance(a, b) <= k
+		if got := EditDistanceAtMost(a, b, k); got != want {
+			t.Fatalf("EditDistanceAtMost(%q, %q, %d) = %v, want %v", a, b, k, got, want)
+		}
+	})
+}

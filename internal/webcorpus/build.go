@@ -1,0 +1,486 @@
+package webcorpus
+
+import (
+	"fmt"
+	"sort"
+
+	"websyn/internal/alias"
+	"websyn/internal/entity"
+	"websyn/internal/rng"
+	"websyn/internal/textnorm"
+)
+
+// Config tunes corpus construction. Zero value is not useful; use
+// DefaultConfig.
+type Config struct {
+	// Seed drives the deterministic filler/alias-inclusion choices.
+	Seed uint64
+	// FillerPerPage is how many background vocabulary terms each page gets.
+	FillerPerPage int
+	// AliasIncludeShop et al. are the probabilities that a page of the
+	// given class carries any one informal alias of its entity — the
+	// "content creators list alternative names" mechanism from the paper's
+	// Section III.A.
+	AliasIncludeShop     float64
+	AliasIncludeForum    float64
+	AliasIncludeWiki     float64
+	AliasIncludeReview   float64
+	AliasIncludeOfficial float64
+	AliasIncludeDeep     float64
+}
+
+// DefaultConfig returns the corpus parameters used by the experiments.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:                 seed,
+		FillerPerPage:        10,
+		AliasIncludeShop:     0.95,
+		AliasIncludeForum:    0.95,
+		AliasIncludeWiki:     0.85,
+		AliasIncludeReview:   0.80,
+		AliasIncludeOfficial: 0.60,
+		AliasIncludeDeep:     0.70,
+	}
+}
+
+// aliasIncludeProb returns the alias-inclusion probability for a page type.
+func (cfg Config) aliasIncludeProb(t PageType) float64 {
+	switch t {
+	case Shop:
+		return cfg.AliasIncludeShop
+	case Forum:
+		return cfg.AliasIncludeForum
+	case Wiki:
+		return cfg.AliasIncludeWiki
+	case Review:
+		return cfg.AliasIncludeReview
+	case Official:
+		return cfg.AliasIncludeOfficial
+	case Trailer, Showtimes, Manual, Accessories, News:
+		return cfg.AliasIncludeDeep
+	default:
+		return 0.3
+	}
+}
+
+// Term weights within a page.
+const (
+	wTitleTerm  = 6.0 // canonical significant tokens
+	wScopeTerm  = 4.0 // brand / franchise tokens
+	wTypeTerm   = 3.0 // page-type vocabulary
+	wAliasTerm  = 2.0 // included informal alias tokens
+	wFillerTerm = 1.0 // background vocabulary
+	wMemberTerm = 1.5 // member listings on hub pages
+)
+
+// builder accumulates pages during construction.
+type builder struct {
+	cfg    Config
+	model  *alias.Model
+	src    *rng.Source
+	pages  []*Page
+	hosts  map[PageType]string
+	nHosts map[PageType]int
+}
+
+// Build constructs the corpus for the alias model's catalog.
+func Build(model *alias.Model, cfg Config) (*Corpus, error) {
+	b := &builder{
+		cfg:   cfg,
+		model: model,
+		src:   rng.New(cfg.Seed),
+		hosts: map[PageType]string{
+			Official: "www.%s-official.example", Wiki: "en.encyclopedia.example",
+			Review: "reviews.example", Shop: "shop%d.example", Forum: "forums.example",
+			News: "news.example", Trailer: "trailers.example", Showtimes: "showtimes.example",
+			Manual: "support.example", Accessories: "gadgetgear.example",
+			FranchiseHub: "fan-hub.example", BrandHub: "brands.example",
+			LineHub: "shopping-category.example", Sibling: "moviedb.example",
+			ActorPage: "celebs.example", Portal: "portal.example",
+			NoisePage: "web.example",
+		},
+		nHosts: map[PageType]int{},
+	}
+	cat := model.Catalog()
+	switch cat.Kind() {
+	case entity.Movie:
+		b.buildMovieDomain()
+	case entity.Camera:
+		b.buildCameraDomain()
+	case entity.Software:
+		b.buildSoftwareDomain()
+	default:
+		return nil, fmt.Errorf("webcorpus: unsupported catalog kind %v", cat.Kind())
+	}
+	b.buildNoisePages()
+
+	c := &Corpus{pages: b.pages, byURL: make(map[string]*Page, len(b.pages))}
+	for _, p := range c.pages {
+		if prev, dup := c.byURL[p.URL]; dup {
+			return nil, fmt.Errorf("webcorpus: URL collision %q (pages %d, %d)", p.URL, prev.ID, p.ID)
+		}
+		c.byURL[p.URL] = p
+	}
+	return c, nil
+}
+
+// newPage allocates a page, assigns its URL, and seeds type + filler vocab.
+func (b *builder) newPage(t PageType, entityID int, scope, slug string) *Page {
+	id := len(b.pages)
+	b.nHosts[t]++
+	host := b.hosts[t]
+	switch t {
+	case Official:
+		host = fmt.Sprintf(host, slug)
+	case Shop:
+		host = fmt.Sprintf(host, b.nHosts[t]%4+1)
+	}
+	p := &Page{
+		ID:       id,
+		URL:      fmt.Sprintf("http://%s/%s-%d", host, slug, id),
+		Type:     t,
+		EntityID: entityID,
+		Scope:    scope,
+		Terms:    make(map[string]float64),
+	}
+	p.addTerms(typeVocab[t], wTypeTerm)
+	for i := 0; i < b.cfg.FillerPerPage; i++ {
+		p.Terms[fillerVocab[b.src.Intn(len(fillerVocab))]] += wFillerTerm
+		p.Length += wFillerTerm
+	}
+	b.pages = append(b.pages, p)
+	return p
+}
+
+// entityPagePlan returns the page types an entity of the given popularity
+// rank receives. Popular entities have more than k surrogate pages (so the
+// top-k surrogate set is a strict subset and deep pages fall outside it);
+// tail entities have only a handful.
+func entityPagePlan(kind entity.Kind, popRank int) []PageType {
+	switch kind {
+	case entity.Movie:
+		// Every wide-release movie has a rich page neighbourhood on the real
+		// Web, so even tail movies carry more than k=10 core pages — GA(u)
+		// stays inside the entity's own pages, which is what lets popular
+		// synonyms reach IPC = k (paper Fig. 2 shows substantial coverage
+		// even at β=10). Deep pages (trailer/showtimes) are extra.
+		switch {
+		case popRank < 25:
+			return []PageType{Official, Wiki, Review, Review, Shop, Shop, Forum,
+				News, News, Forum, Shop, Review, Trailer, Showtimes, Trailer}
+		case popRank < 60:
+			return []PageType{Official, Wiki, Review, Review, Shop, Shop, Forum,
+				News, Forum, Shop, News, Trailer, Showtimes}
+		default:
+			return []PageType{Official, Wiki, Review, Shop, Shop, Forum, News,
+				Forum, Review, News, Shop, Trailer, Showtimes}
+		}
+	case entity.Camera:
+		// Cameras thin out much faster: feed-filler models barely exist on
+		// the Web beyond a spec page and a couple of listings. Tail GA(u)
+		// therefore contains foreign pages (line hubs, sibling models) —
+		// one reason camera mining is harder in Table I.
+		switch {
+		case popRank < 60:
+			return []PageType{Official, Wiki, Review, Review, Shop, Shop, Shop,
+				Forum, News, Forum, Shop, Review, Manual, Accessories}
+		case popRank < 300:
+			return []PageType{Official, Review, Shop, Shop, Forum, News, Shop,
+				Forum, Review, Manual, Accessories}
+		default:
+			return []PageType{Official, Review, Shop, Shop, Forum, News, Shop,
+				Review, Manual}
+		}
+	case entity.Software:
+		// Major software products all have rich neighbourhoods; download
+		// mirror pages are the dominant deep-page class.
+		switch {
+		case popRank < 20:
+			return []PageType{Official, Wiki, Review, Review, Forum, Forum,
+				News, News, Shop, Review, Forum, Download, Download, Manual}
+		default:
+			return []PageType{Official, Wiki, Review, Forum, News, Forum,
+				Shop, Review, News, Forum, Download, Manual}
+		}
+	}
+	return nil
+}
+
+// titleWeightFor returns the canonical-token weight for a page type: deep
+// pages dilute the entity name with their intent vocabulary, so they rank
+// below the core pages for the bare canonical query and fall outside the
+// top-k surrogate set — giving hyponym queries somewhere to click outside
+// GA(u) (the Figure 1(c) geometry).
+func titleWeightFor(t PageType) float64 {
+	switch t {
+	case Trailer, Showtimes, Manual, Accessories, Download:
+		return wTitleTerm * 0.6
+	default:
+		return wTitleTerm
+	}
+}
+
+// buildEntityPages emits the surrogate pages for one entity.
+func (b *builder) buildEntityPages(e *entity.Entity, domainFiller []string) {
+	canonTokens := textnorm.Tokenize(e.Canonical)
+	scopeTokens := b.scopeTokens(e)
+	slug := slugify(e.Canonical)
+
+	// Informal synonym aliases available for inclusion on pages.
+	syns := b.model.SynonymsOf(e.ID)
+
+	for _, t := range entityPagePlan(e.Kind, e.PopRank) {
+		p := b.newPage(t, e.ID, "", slug)
+		p.addTerms(canonTokens, titleWeightFor(t))
+		p.addTerms(scopeTokens, wScopeTerm)
+		// Domain flavour filler.
+		for i := 0; i < 4; i++ {
+			term := domainFiller[b.src.Intn(len(domainFiller))]
+			p.Terms[term] += wFillerTerm
+			p.Length += wFillerTerm
+		}
+		// Content creators include informal aliases with a type-dependent
+		// probability.
+		include := b.cfg.aliasIncludeProb(t)
+		for _, s := range syns {
+			if b.src.Bool(include) {
+				p.addTerms(textnorm.Tokenize(s), wAliasTerm)
+			}
+		}
+	}
+}
+
+// scopeTokens returns the brand or franchise tokens of the entity.
+func (b *builder) scopeTokens(e *entity.Entity) []string {
+	switch e.Kind {
+	case entity.Movie:
+		if e.Franchise != "" {
+			return textnorm.Tokenize(e.Franchise)
+		}
+	case entity.Camera:
+		return textnorm.Tokenize(e.Brand)
+	}
+	return nil
+}
+
+// buildMovieDomain emits entity pages, franchise hubs + siblings, and actor
+// pages.
+func (b *builder) buildMovieDomain() {
+	cat := b.model.Catalog()
+	franchises := map[string][]*entity.Entity{}
+	for _, e := range cat.All() {
+		b.buildEntityPages(e, movieFillerVocab)
+		if e.Franchise != "" {
+			key := textnorm.Normalize(e.Franchise)
+			franchises[key] = append(franchises[key], e)
+		}
+	}
+
+	// Franchise hubs and sibling pages, in deterministic order.
+	keys := make([]string, 0, len(franchises))
+	for k := range franchises {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		members := franchises[key]
+		hub := b.newPage(FranchiseHub, -1, key, slugify(key))
+		hub.addTerms(textnorm.Tokenize(key), wTitleTerm+2)
+		for _, m := range members {
+			hub.addTerms(textnorm.SignificantTokens(m.Canonical), wMemberTerm)
+		}
+		// Two to three sibling pages per franchise: the older movies
+		// hypernym queries also want.
+		nSiblings := 2 + b.src.Intn(2)
+		for i := 0; i < nSiblings; i++ {
+			s := b.newPage(Sibling, -1, key, slugify(key+" "+siblingTitles[i]))
+			s.addTerms(textnorm.Tokenize(key), wTitleTerm)
+			s.addTerms(textnorm.Tokenize(siblingTitles[i]), wTitleTerm)
+			s.addTerms([]string{"movie", "film"}, wTypeTerm)
+		}
+	}
+
+	// Actor pages for every actor entry in the universe.
+	for _, entry := range b.model.Entries() {
+		if entry.Label != alias.Related || entry.EntityID != -1 {
+			continue
+		}
+		if len(entry.Scope) < 6 || entry.Scope[:6] != "actor:" {
+			continue
+		}
+		name := entry.Scope[6:]
+		p := b.newPage(ActorPage, -1, entry.Scope, slugify(name))
+		p.addTerms(textnorm.Tokenize(name), wTitleTerm+2)
+		// The actor's filmography lightly mentions their movies.
+		for _, m := range movieTitlesOfActor(b.model, name) {
+			p.addTerms(textnorm.SignificantTokens(m), wMemberTerm)
+		}
+	}
+}
+
+// movieTitlesOfActor looks up the catalog titles an actor appears in via
+// the alias package's table (kept there to stay beside the Related entry
+// generation).
+func movieTitlesOfActor(m *alias.Model, actor string) []string {
+	var out []string
+	for _, title := range alias.ActorMovies(actor) {
+		if e := m.Catalog().ByNorm(title); e != nil {
+			out = append(out, e.Canonical)
+		}
+	}
+	return out
+}
+
+// buildCameraDomain emits entity pages, brand hubs, line hubs and portals.
+func (b *builder) buildCameraDomain() {
+	cat := b.model.Catalog()
+	type lineKey struct{ brand, line string }
+	brands := map[string][]*entity.Entity{}
+	lines := map[lineKey][]*entity.Entity{}
+	for _, e := range cat.All() {
+		b.buildEntityPages(e, cameraFillerVocab)
+		bKey := textnorm.Normalize(e.Brand)
+		brands[bKey] = append(brands[bKey], e)
+		if e.Line != "" {
+			lines[lineKey{bKey, textnorm.Normalize(e.Line)}] = append(
+				lines[lineKey{bKey, textnorm.Normalize(e.Line)}], e)
+		}
+	}
+
+	brandKeys := make([]string, 0, len(brands))
+	for k := range brands {
+		brandKeys = append(brandKeys, k)
+	}
+	sort.Strings(brandKeys)
+	for _, key := range brandKeys {
+		members := brands[key]
+		hub := b.newPage(BrandHub, -1, key, slugify(key))
+		hub.addTerms(textnorm.Tokenize(key), wTitleTerm+2)
+		hub.addTerms([]string{"camera", "digital"}, wScopeTerm)
+		// The brand hub lists a sample of the brand's models.
+		limit := 15
+		for i, m := range members {
+			if i >= limit {
+				break
+			}
+			hub.addTerms(textnorm.Tokenize(m.Model), wMemberTerm)
+		}
+	}
+
+	lineKeys := make([]lineKey, 0, len(lines))
+	for k := range lines {
+		lineKeys = append(lineKeys, k)
+	}
+	sort.Slice(lineKeys, func(i, j int) bool {
+		if lineKeys[i].brand != lineKeys[j].brand {
+			return lineKeys[i].brand < lineKeys[j].brand
+		}
+		return lineKeys[i].line < lineKeys[j].line
+	})
+	for _, key := range lineKeys {
+		members := lines[key]
+		hub := b.newPage(LineHub, -1, key.brand, slugify(key.brand+" "+key.line))
+		hub.addTerms(textnorm.Tokenize(key.brand), wScopeTerm)
+		hub.addTerms(textnorm.Tokenize(key.line), wTitleTerm)
+		limit := 20
+		for i, m := range members {
+			if i >= limit {
+				break
+			}
+			hub.addTerms(textnorm.Tokenize(m.Model), wMemberTerm)
+		}
+	}
+
+	// Category portals for the Related category queries.
+	for _, entry := range b.model.Entries() {
+		if entry.Label != alias.Related || entry.EntityID != -1 || entry.Scope != "category" {
+			continue
+		}
+		p := b.newPage(Portal, -1, "category", slugify(entry.Text))
+		p.addTerms(textnorm.Tokenize(entry.Text), wTitleTerm)
+		p.addTerms([]string{"camera", "digital", "reviews"}, wScopeTerm)
+	}
+}
+
+// buildSoftwareDomain emits entity pages, product hubs (version families)
+// and vendor hubs.
+func (b *builder) buildSoftwareDomain() {
+	cat := b.model.Catalog()
+	products := map[string][]*entity.Entity{}
+	vendors := map[string][]*entity.Entity{}
+	for _, e := range cat.All() {
+		b.buildEntityPages(e, softwareFillerVocab)
+		if e.Franchise != "" {
+			key := textnorm.Normalize(e.Franchise)
+			products[key] = append(products[key], e)
+		}
+		vKey := textnorm.Normalize(e.Brand)
+		vendors[vKey] = append(vendors[vKey], e)
+	}
+
+	productKeys := make([]string, 0, len(products))
+	for k := range products {
+		productKeys = append(productKeys, k)
+	}
+	sort.Strings(productKeys)
+	for _, key := range productKeys {
+		members := products[key]
+		hub := b.newPage(FranchiseHub, -1, key, slugify(key))
+		hub.addTerms(textnorm.Tokenize(key), wTitleTerm+2)
+		for _, m := range members {
+			hub.addTerms(textnorm.SignificantTokens(m.Canonical), wMemberTerm)
+		}
+		// Older versions of the product line (non-catalog siblings).
+		nSiblings := 1 + b.src.Intn(2)
+		for i := 0; i < nSiblings; i++ {
+			s := b.newPage(Sibling, -1, key, slugify(key+" "+siblingTitles[i]))
+			s.addTerms(textnorm.Tokenize(key), wTitleTerm)
+			s.addTerms(textnorm.Tokenize(siblingTitles[i]), wTitleTerm)
+			s.addTerms([]string{"software", "version"}, wTypeTerm)
+		}
+	}
+
+	vendorKeys := make([]string, 0, len(vendors))
+	for k := range vendors {
+		vendorKeys = append(vendorKeys, k)
+	}
+	sort.Strings(vendorKeys)
+	for _, key := range vendorKeys {
+		members := vendors[key]
+		hub := b.newPage(BrandHub, -1, key, slugify(key))
+		hub.addTerms(textnorm.Tokenize(key), wTitleTerm+2)
+		hub.addTerms([]string{"software", "products"}, wScopeTerm)
+		limit := 12
+		for i, m := range members {
+			if i >= limit {
+				break
+			}
+			hub.addTerms(textnorm.SignificantTokens(m.Canonical), wMemberTerm)
+		}
+	}
+
+	// Category portals for the Related category queries.
+	for _, entry := range b.model.Entries() {
+		if entry.Label != alias.Related || entry.EntityID != -1 || entry.Scope != "category" {
+			continue
+		}
+		p := b.newPage(Portal, -1, "category", slugify(entry.Text))
+		p.addTerms(textnorm.Tokenize(entry.Text), wTitleTerm)
+		p.addTerms([]string{"software", "download", "reviews"}, wScopeTerm)
+	}
+}
+
+// buildNoisePages emits one to two pages per noise query.
+func (b *builder) buildNoisePages() {
+	for i, text := range alias.NoiseTexts() {
+		p := b.newPage(NoisePage, -1, "noise:"+text, slugify(text))
+		p.addTerms(textnorm.Tokenize(text), wTitleTerm+4)
+		// The most popular noise destinations get a second page (mirror,
+		// login page, etc.).
+		if i < 20 {
+			p2 := b.newPage(NoisePage, -1, "noise:"+text, slugify(text+" login"))
+			p2.addTerms(textnorm.Tokenize(text), wTitleTerm+2)
+			p2.addTerms([]string{"login", "account"}, wTypeTerm)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package webcorpus builds the synthetic Web the simulation runs against.
+//
+// The paper's method needs two properties from the Web, both of which this
+// corpus reproduces:
+//
+//  1. Every entity has representative surrogate pages (official site, wiki
+//     entry, review pages, retailer listings, forum threads) that a search
+//     engine retrieves for the entity's canonical string.
+//  2. Content creators enrich pages with alternative names ("Digital REBEL
+//     XT", "350D" on an eBay listing), so queries using informal aliases
+//     retrieve those same surrogate pages — the bridge the miner exploits.
+//
+// Beyond entity pages the corpus contains the page neighbourhoods that give
+// the non-synonym query classes somewhere else to click: franchise and brand
+// hub pages plus sibling pages (hypernym targets), per-intent deep pages
+// such as trailer and manual pages (hyponym targets), actor pages and
+// category portals (related targets), and navigational noise pages.
+package webcorpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PageType classifies a page's role in the synthetic Web.
+type PageType int
+
+const (
+	// Official is the entity's own site (studio page, manufacturer spec
+	// page).
+	Official PageType = iota
+	// Wiki is the encyclopedia entry. Only sufficiently popular entities
+	// get one — the fact the Wikipedia baseline's coverage hinges on.
+	Wiki
+	// Review is a critic/review-site page (imdb-like, dpreview-like).
+	Review
+	// Shop is a retailer listing. Shop pages carry the most informal
+	// aliases (sellers maximize retrievability).
+	Shop
+	// Forum is a fan/user discussion thread, alias-rich.
+	Forum
+	// News is press coverage.
+	News
+	// Trailer is a movie's trailer/video deep page.
+	Trailer
+	// Showtimes is a movie's ticketing deep page.
+	Showtimes
+	// Manual is a camera's support/manual deep page.
+	Manual
+	// Accessories is a camera's battery/charger/accessory deep page.
+	Accessories
+	// FranchiseHub aggregates a movie franchise.
+	FranchiseHub
+	// BrandHub aggregates a camera brand.
+	BrandHub
+	// LineHub is a retailer category page for one product line.
+	LineHub
+	// Sibling is a page about a non-catalog member of a franchise (an older
+	// movie in the series) that hypernym queries click.
+	Sibling
+	// ActorPage is a celebrity page (the "Harrison Ford" Related target).
+	ActorPage
+	// Portal is a generic category portal ("digital camera reviews").
+	Portal
+	// NoisePage serves a background navigational query.
+	NoisePage
+	// Download is a software product's download/mirror deep page.
+	Download
+)
+
+// String returns a short lower-case name for the page type.
+func (t PageType) String() string {
+	names := [...]string{
+		"official", "wiki", "review", "shop", "forum", "news", "trailer",
+		"showtimes", "manual", "accessories", "franchisehub", "brandhub",
+		"linehub", "sibling", "actorpage", "portal", "noisepage", "download",
+	}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("pagetype(%d)", int(t))
+}
+
+// DeepFor reports whether the page type is a deep (sub-intent) page that a
+// refinement suffix targets. The click model uses it to route hyponym-query
+// clicks onto the matching deep page.
+func (t PageType) DeepFor(suffix string) bool {
+	switch suffix {
+	case "trailer", "soundtrack":
+		return t == Trailer
+	case "showtimes":
+		return t == Showtimes
+	case "dvd":
+		return t == Shop
+	case "review", "cast":
+		return t == Review
+	case "manual", "system requirements":
+		return t == Manual
+	case "price":
+		return t == Shop
+	case "battery", "charger", "accessories", "memory card":
+		return t == Accessories
+	case "download", "free download", "update", "trial":
+		return t == Download
+	}
+	return false
+}
+
+// Page is one synthetic Web page: a bag of weighted terms plus provenance
+// metadata the click model keys on. The miner never reads Terms — it sees
+// pages only as opaque IDs inside Search Data and Click Data, exactly as the
+// paper's method sees URLs.
+type Page struct {
+	ID       int
+	URL      string
+	Type     PageType
+	EntityID int    // owning entity, -1 for hubs/portals/noise
+	Scope    string // franchise/brand/actor/portal key, "" for entity pages
+
+	// Terms maps normalized term -> weight (a fractional term frequency).
+	Terms map[string]float64
+	// Length is the summed term weight, cached for BM25.
+	Length float64
+}
+
+// addTerms merges the normalized tokens of text into the page at the given
+// per-token weight.
+func (p *Page) addTerms(tokens []string, weight float64) {
+	for _, t := range tokens {
+		p.Terms[t] += weight
+		p.Length += weight
+	}
+}
+
+// Corpus is the immutable page collection.
+type Corpus struct {
+	pages []*Page
+	byURL map[string]*Page
+}
+
+// Len returns the number of pages.
+func (c *Corpus) Len() int { return len(c.pages) }
+
+// Pages returns all pages in ID order. Callers must not mutate.
+func (c *Corpus) Pages() []*Page { return c.pages }
+
+// ByID returns the page with the given ID, or nil.
+func (c *Corpus) ByID(id int) *Page {
+	if id < 0 || id >= len(c.pages) {
+		return nil
+	}
+	return c.pages[id]
+}
+
+// ByURL returns the page with the given URL, or nil.
+func (c *Corpus) ByURL(url string) *Page { return c.byURL[url] }
+
+// EntityPages returns the IDs of all pages owned by the entity, sorted.
+func (c *Corpus) EntityPages(entityID int) []int {
+	var out []int
+	for _, p := range c.pages {
+		if p.EntityID == entityID {
+			out = append(out, p.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// slugify converts a string into a URL path segment.
+func slugify(s string) string {
+	var b strings.Builder
+	lastDash := true
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
+}

@@ -1,0 +1,84 @@
+package webcorpus
+
+// Page-type vocabularies: the words a page of that type carries besides the
+// entity name. They serve two purposes: they let refinement queries
+// ("<name> trailer") rank the matching deep page above the entity's core
+// pages, and they dilute deep pages' entity-term share so deep pages rank
+// below core pages for the bare canonical query — which is what pushes them
+// outside the top-k surrogate set GA(u) and gives hyponym queries their
+// low intersecting click ratio.
+var typeVocab = map[PageType][]string{
+	Official:     {"official", "site", "home"},
+	Wiki:         {"encyclopedia", "article", "history", "plot", "references"},
+	Review:       {"review", "rating", "critic", "score", "cast", "verdict"},
+	Shop:         {"buy", "price", "shipping", "order", "deal", "dvd", "stock"},
+	Forum:        {"forum", "thread", "discussion", "posts", "replies"},
+	News:         {"news", "press", "report", "interview", "story"},
+	Trailer:      {"trailer", "video", "watch", "clip", "teaser", "soundtrack"},
+	Showtimes:    {"showtimes", "tickets", "theater", "times", "listings"},
+	Manual:       {"manual", "support", "download", "guide", "firmware", "instructions"},
+	Accessories:  {"accessories", "battery", "charger", "case", "memory", "card", "lens"},
+	FranchiseHub: {"series", "franchise", "movies", "saga", "collection"},
+	BrandHub:     {"official", "products", "cameras", "digital", "support"},
+	LineHub:      {"cameras", "category", "compare", "models", "digital", "shop"},
+	Sibling:      {"movie", "classic", "original", "film"},
+	ActorPage:    {"biography", "filmography", "photos", "actor", "celebrity", "news"},
+	Portal:       {"reviews", "best", "compare", "guide", "top", "ratings"},
+	NoisePage:    {"welcome", "login", "search", "popular", "free"},
+	Download:     {"download", "free", "mirror", "version", "install", "setup", "update", "trial"},
+}
+
+// softwareFillerVocab adds domain flavour to software pages.
+var softwareFillerVocab = []string{
+	"software", "program", "application", "version", "install", "windows",
+	"mac", "linux", "license", "features", "release", "patch", "update",
+	"system", "requirements", "user", "interface", "tools", "settings",
+	"game", "player", "multiplayer", "graphics", "performance",
+}
+
+// fillerVocab is the shared background vocabulary sprinkled onto every page.
+// It deliberately overlaps the noise-query token space ("games", "music",
+// "video", "news"), so background queries occasionally retrieve — and
+// accidentally click — entity pages. Those stray clicks are the IPC=1 haze
+// the paper's β threshold filters (Figure 2).
+var fillerVocab = []string{
+	"home", "page", "online", "free", "new", "2008", "top", "best",
+	"video", "photo", "gallery", "news", "update", "info", "contact",
+	"about", "help", "faq", "links", "music", "games", "fun", "cool",
+	"world", "official", "guide", "list", "archive", "blog", "share",
+	"comments", "community", "member", "sign", "email", "mobile",
+	"download", "upload", "media", "live", "today", "week", "year",
+	"popular", "featured", "latest", "special", "offer", "sale",
+	"store", "service", "quality", "details", "features", "full",
+	"read", "more", "click", "here", "view", "all", "search",
+	"results", "find", "great", "good", "big", "small", "fast",
+	"easy", "simple", "daily", "weekly", "local", "global", "hot",
+	"deal", "save", "win", "play", "watch", "listen", "learn",
+	"weather", "maps", "sports", "lyrics", "recipes", "jobs",
+	"hotels", "travel", "money", "health", "style", "tech",
+}
+
+// movieFillerVocab adds domain flavour to movie pages.
+var movieFillerVocab = []string{
+	"movie", "film", "cinema", "director", "starring", "premiere",
+	"box", "office", "scene", "screenplay", "studio", "actors",
+	"release", "rated", "runtime", "genre", "drama", "comedy",
+	"action", "adventure", "sequel", "blockbuster", "screening",
+}
+
+// cameraFillerVocab adds domain flavour to camera pages.
+var cameraFillerVocab = []string{
+	"camera", "digital", "megapixel", "zoom", "lens", "sensor",
+	"image", "photo", "shooting", "iso", "flash", "lcd", "screen",
+	"optical", "stabilization", "battery", "resolution", "compact",
+	"dslr", "pictures", "shutter", "aperture", "video", "mode",
+}
+
+// siblingTitles are the generic distinguishing tokens given to non-catalog
+// franchise members ("the original movie", "part one", ...). Each sibling
+// page combines the franchise tokens with one of these, so hypernym queries
+// see several plausible targets besides the catalog entity.
+var siblingTitles = []string{
+	"the original", "part one", "part two", "the first movie",
+	"classic trilogy", "box set collection", "the early years",
+}

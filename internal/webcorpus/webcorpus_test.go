@@ -1,0 +1,392 @@
+package webcorpus
+
+import (
+	"strings"
+	"testing"
+
+	"websyn/internal/alias"
+	"websyn/internal/entity"
+	"websyn/internal/textnorm"
+)
+
+func movieCorpus(t *testing.T) (*alias.Model, *Corpus) {
+	t.Helper()
+	cat, err := entity.Movies2008()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := alias.Build(cat, alias.MovieParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(model, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, c
+}
+
+func cameraCorpus(t *testing.T) (*alias.Model, *Corpus) {
+	t.Helper()
+	cat, err := entity.Cameras2008()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := alias.Build(cat, alias.CameraParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(model, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, c
+}
+
+func TestPageTypeString(t *testing.T) {
+	if Official.String() != "official" || NoisePage.String() != "noisepage" {
+		t.Fatal("PageType.String mismatch")
+	}
+	if PageType(99).String() == "" {
+		t.Fatal("unknown PageType should still stringify")
+	}
+}
+
+func TestDeepFor(t *testing.T) {
+	cases := []struct {
+		t      PageType
+		suffix string
+		want   bool
+	}{
+		{Trailer, "trailer", true},
+		{Showtimes, "showtimes", true},
+		{Manual, "manual", true},
+		{Accessories, "battery", true},
+		{Accessories, "memory card", true},
+		{Shop, "price", true},
+		{Shop, "dvd", true},
+		{Review, "review", true},
+		{Official, "trailer", false},
+		{Trailer, "manual", false},
+		{Wiki, "", false},
+	}
+	for _, c := range cases {
+		if got := c.t.DeepFor(c.suffix); got != c.want {
+			t.Errorf("%v.DeepFor(%q) = %v, want %v", c.t, c.suffix, got, c.want)
+		}
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"The Dark Knight": "the-dark-knight",
+		"Canon EOS-350D":  "canon-eos-350d",
+		"  spaced  out  ": "spaced-out",
+		"Mamma Mia!":      "mamma-mia",
+		"":                "",
+		"---":             "",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestUniqueURLsAndIDs(t *testing.T) {
+	_, c := movieCorpus(t)
+	urls := make(map[string]bool, c.Len())
+	for i, p := range c.Pages() {
+		if p.ID != i {
+			t.Fatalf("page %d has ID %d", i, p.ID)
+		}
+		if urls[p.URL] {
+			t.Fatalf("duplicate URL %q", p.URL)
+		}
+		urls[p.URL] = true
+		if c.ByURL(p.URL) != p {
+			t.Fatalf("ByURL(%q) mismatch", p.URL)
+		}
+	}
+}
+
+func TestByIDBounds(t *testing.T) {
+	_, c := movieCorpus(t)
+	if c.ByID(-1) != nil || c.ByID(c.Len()) != nil {
+		t.Fatal("out-of-range ByID should be nil")
+	}
+}
+
+func TestEveryEntityHasEnoughPages(t *testing.T) {
+	model, c := movieCorpus(t)
+	for _, e := range model.Catalog().All() {
+		pages := c.EntityPages(e.ID)
+		// Movies must all have more than k=10 core pages so GA(u) stays
+		// within the entity (the IPC=10 coverage mechanism).
+		if len(pages) <= 10 {
+			t.Fatalf("movie %q has only %d pages", e.Canonical, len(pages))
+		}
+	}
+}
+
+func TestCameraTailHasFewerPages(t *testing.T) {
+	model, c := cameraCorpus(t)
+	head, tail := 0, 0
+	for _, e := range model.Catalog().All() {
+		n := len(c.EntityPages(e.ID))
+		switch {
+		case e.PopRank < 60:
+			head += n
+		case e.PopRank >= 300:
+			tail += n
+		}
+	}
+	headAvg := float64(head) / 60
+	tailAvg := float64(tail) / float64(model.Catalog().Len()-300)
+	if headAvg <= tailAvg {
+		t.Fatalf("head cameras (%f pages avg) should outnumber tail (%f)", headAvg, tailAvg)
+	}
+}
+
+func TestPagesCarryCanonicalTokens(t *testing.T) {
+	model, c := movieCorpus(t)
+	for _, e := range model.Catalog().All()[:10] {
+		for _, pid := range c.EntityPages(e.ID) {
+			p := c.ByID(pid)
+			for _, tok := range textnorm.SignificantTokens(e.Canonical) {
+				if p.Terms[tok] == 0 {
+					t.Fatalf("page %d of %q missing canonical token %q", pid, e.Canonical, tok)
+				}
+			}
+		}
+	}
+}
+
+func TestDeepPageTitleWeightLower(t *testing.T) {
+	// The per-type canonical-token weight must be diluted for deep pages
+	// (the ranking-level consequence is asserted in the search package).
+	for _, deep := range []PageType{Trailer, Showtimes, Manual, Accessories} {
+		if titleWeightFor(deep) >= titleWeightFor(Official) {
+			t.Fatalf("deep type %v title weight not below core", deep)
+		}
+	}
+}
+
+func TestShopPagesCarryAliases(t *testing.T) {
+	// With AliasIncludeShop at 0.95, a popular entity's shop pages should
+	// contain at least one informal alias token that is absent from the
+	// canonical string ("content creators list alternative names").
+	model, c := cameraCorpus(t)
+	rebel := model.Catalog().ByNorm("canon eos 350d")
+	if rebel == nil {
+		t.Fatal("EOS 350D missing")
+	}
+	found := false
+	for _, pid := range c.EntityPages(rebel.ID) {
+		p := c.ByID(pid)
+		if p.Type == Shop && p.Terms["rebel"] > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no shop page of the EOS 350D carries the token \"rebel\"")
+	}
+}
+
+func TestFranchiseHubsExist(t *testing.T) {
+	model, c := movieCorpus(t)
+	hubs := map[string]bool{}
+	siblings := 0
+	for _, p := range c.Pages() {
+		switch p.Type {
+		case FranchiseHub:
+			hubs[p.Scope] = true
+		case Sibling:
+			siblings++
+		}
+	}
+	if !hubs["indiana jones"] || !hubs["batman"] {
+		t.Fatalf("missing franchise hubs: %v", hubs)
+	}
+	if siblings < len(hubs)*2 {
+		t.Fatalf("only %d sibling pages for %d franchises", siblings, len(hubs))
+	}
+	_ = model
+}
+
+func TestBrandAndLineHubsExist(t *testing.T) {
+	_, c := cameraCorpus(t)
+	brandHubs, lineHubs := 0, 0
+	for _, p := range c.Pages() {
+		switch p.Type {
+		case BrandHub:
+			brandHubs++
+		case LineHub:
+			lineHubs++
+		}
+	}
+	if brandHubs < 15 {
+		t.Fatalf("only %d brand hubs", brandHubs)
+	}
+	if lineHubs < 10 {
+		t.Fatalf("only %d line hubs", lineHubs)
+	}
+}
+
+func TestActorPagesExist(t *testing.T) {
+	_, c := movieCorpus(t)
+	count := 0
+	for _, p := range c.Pages() {
+		if p.Type == ActorPage {
+			count++
+			if !strings.HasPrefix(p.Scope, "actor:") {
+				t.Fatalf("actor page scope %q", p.Scope)
+			}
+		}
+	}
+	if count < 50 {
+		t.Fatalf("only %d actor pages", count)
+	}
+}
+
+func TestNoisePagesCoverNoiseQueries(t *testing.T) {
+	_, c := movieCorpus(t)
+	scopes := map[string]bool{}
+	for _, p := range c.Pages() {
+		if p.Type == NoisePage {
+			scopes[p.Scope] = true
+		}
+	}
+	for _, q := range alias.NoiseTexts() {
+		if !scopes["noise:"+q] {
+			t.Fatalf("no noise page for query %q", q)
+		}
+	}
+}
+
+func TestPageLengthConsistent(t *testing.T) {
+	_, c := movieCorpus(t)
+	for _, p := range c.Pages()[:200] {
+		sum := 0.0
+		for _, w := range p.Terms {
+			sum += w
+		}
+		if diff := sum - p.Length; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("page %d length %f != term sum %f", p.ID, p.Length, sum)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	_, c1 := movieCorpus(t)
+	_, c2 := movieCorpus(t)
+	if c1.Len() != c2.Len() {
+		t.Fatal("corpus sizes differ across builds")
+	}
+	for i := range c1.Pages() {
+		a, b := c1.ByID(i), c2.ByID(i)
+		if a.URL != b.URL || a.Length != b.Length || len(a.Terms) != len(b.Terms) {
+			t.Fatalf("page %d differs across builds", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDifferentFiller(t *testing.T) {
+	cat, _ := entity.Movies2008()
+	model, _ := alias.Build(cat, alias.MovieParams())
+	c1, err := Build(model, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Build(model, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range c1.Pages() {
+		if len(c1.ByID(i).Terms) == len(c2.ByID(i).Terms) {
+			same++
+		}
+	}
+	if same == c1.Len() {
+		t.Fatal("different seeds produced byte-identical corpora (filler not seeded?)")
+	}
+}
+
+func softwareCorpus(t *testing.T) (*alias.Model, *Corpus) {
+	t.Helper()
+	cat, err := entity.Software2008()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := alias.Build(cat, alias.SoftwareParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(model, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, c
+}
+
+func TestSoftwareDomainPages(t *testing.T) {
+	model, c := softwareCorpus(t)
+	downloads, productHubs, vendorHubs := 0, 0, 0
+	for _, p := range c.Pages() {
+		switch p.Type {
+		case Download:
+			downloads++
+			if p.EntityID < 0 {
+				t.Fatal("download page without entity")
+			}
+		case FranchiseHub:
+			productHubs++
+		case BrandHub:
+			vendorHubs++
+		}
+	}
+	if downloads < model.Catalog().Len() {
+		t.Fatalf("only %d download pages for %d products", downloads, model.Catalog().Len())
+	}
+	if productHubs == 0 || vendorHubs == 0 {
+		t.Fatalf("hubs missing: %d product, %d vendor", productHubs, vendorHubs)
+	}
+}
+
+func TestSoftwareEntityPagesCarryCodenames(t *testing.T) {
+	model, c := softwareCorpus(t)
+	leopard := model.Catalog().ByNorm("apple mac os x 10 5")
+	if leopard == nil {
+		t.Fatal("Mac OS X 10.5 missing")
+	}
+	found := false
+	for _, pid := range c.EntityPages(leopard.ID) {
+		if c.ByID(pid).Terms["leopard"] > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no page of Mac OS X 10.5 carries the codename token")
+	}
+}
+
+func TestDownloadDeepFor(t *testing.T) {
+	if !Download.DeepFor("download") || !Download.DeepFor("free download") {
+		t.Fatal("Download should serve download refinements")
+	}
+	if Download.DeepFor("review") {
+		t.Fatal("Download should not serve review refinements")
+	}
+}
+
+func TestAliasIncludeProbCoversTypes(t *testing.T) {
+	cfg := DefaultConfig(1)
+	for _, pt := range []PageType{Official, Wiki, Review, Shop, Forum, News,
+		Trailer, Showtimes, Manual, Accessories, FranchiseHub, NoisePage} {
+		p := cfg.aliasIncludeProb(pt)
+		if p < 0 || p > 1 {
+			t.Fatalf("aliasIncludeProb(%v) = %v", pt, p)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package wiki
+
+import (
+	"testing"
+
+	"websyn/internal/alias"
+	"websyn/internal/entity"
+)
+
+func movieModel(t *testing.T) *alias.Model {
+	t.Helper()
+	cat, err := entity.Movies2008()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := alias.Build(cat, alias.MovieParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func cameraModel(t *testing.T) *alias.Model {
+	t.Helper()
+	cat, err := entity.Cameras2008()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := alias.Build(cat, alias.CameraParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigFor(t *testing.T) {
+	if _, err := ConfigFor(entity.Movie, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConfigFor(entity.Camera, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConfigFor(entity.Kind(9), 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestMovieCoverageBand(t *testing.T) {
+	m := movieModel(t)
+	b := Build(m, MovieConfig(3))
+	ratio := float64(b.Articles()) / float64(m.Catalog().Len())
+	// The paper's movie row: 96% hit ratio. Allow a band.
+	if ratio < 0.90 || ratio > 1.0 {
+		t.Fatalf("movie article coverage %.2f outside [0.90, 1.0]", ratio)
+	}
+}
+
+func TestCameraCoverageBand(t *testing.T) {
+	m := cameraModel(t)
+	b := Build(m, CameraConfig(3))
+	ratio := float64(b.Articles()) / float64(m.Catalog().Len())
+	// The paper's camera row: 11.5% hit ratio. Allow a band.
+	if ratio < 0.07 || ratio > 0.17 {
+		t.Fatalf("camera article coverage %.3f outside [0.07, 0.17]", ratio)
+	}
+}
+
+func TestCoverageFollowsPopularity(t *testing.T) {
+	m := cameraModel(t)
+	b := Build(m, CameraConfig(3))
+	headCovered, tailCovered := 0, 0
+	head, tail := 0, 0
+	for _, e := range m.Catalog().All() {
+		if e.PopRank < 100 {
+			head++
+			if b.HasArticle(e.ID) {
+				headCovered++
+			}
+		} else if e.PopRank >= 500 {
+			tail++
+			if b.HasArticle(e.ID) {
+				tailCovered++
+			}
+		}
+	}
+	headRatio := float64(headCovered) / float64(head)
+	tailRatio := float64(tailCovered) / float64(tail)
+	if headRatio <= tailRatio {
+		t.Fatalf("head coverage %.2f not above tail %.2f", headRatio, tailRatio)
+	}
+}
+
+func TestRedirectsAreTrueSynonyms(t *testing.T) {
+	// The baseline is high-precision by construction: every redirect must
+	// be oracle-true.
+	for _, m := range []*alias.Model{movieModel(t), cameraModel(t)} {
+		cfg, err := ConfigFor(m.Catalog().Kind(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := Build(m, cfg)
+		for _, e := range m.Catalog().All() {
+			for _, s := range b.SynonymsOf(e.ID) {
+				if !m.IsSynonym(e.ID, s) {
+					t.Fatalf("redirect %q of %q is not a true synonym", s, e.Canonical)
+				}
+			}
+		}
+	}
+}
+
+func TestRedirectCountsBounded(t *testing.T) {
+	m := movieModel(t)
+	cfg := MovieConfig(3)
+	b := Build(m, cfg)
+	for _, e := range m.Catalog().All() {
+		n := len(b.SynonymsOf(e.ID))
+		if n > cfg.MaxRedirects {
+			t.Fatalf("%q has %d redirects (max %d)", e.Canonical, n, cfg.MaxRedirects)
+		}
+	}
+}
+
+func TestNoArticleNoSynonyms(t *testing.T) {
+	m := cameraModel(t)
+	b := Build(m, CameraConfig(3))
+	for _, e := range m.Catalog().All() {
+		if !b.HasArticle(e.ID) && b.SynonymsOf(e.ID) != nil {
+			t.Fatalf("%q has redirects without an article", e.Canonical)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	m := movieModel(t)
+	b1 := Build(m, MovieConfig(5))
+	b2 := Build(m, MovieConfig(5))
+	if b1.Articles() != b2.Articles() {
+		t.Fatal("article counts differ across builds")
+	}
+	for _, e := range m.Catalog().All() {
+		s1, s2 := b1.SynonymsOf(e.ID), b2.SynonymsOf(e.ID)
+		if len(s1) != len(s2) {
+			t.Fatalf("redirect counts differ for %q", e.Canonical)
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("redirects differ for %q", e.Canonical)
+			}
+		}
+	}
+}
+
+func TestSeedChangesSampling(t *testing.T) {
+	m := movieModel(t)
+	b1 := Build(m, MovieConfig(1))
+	b2 := Build(m, MovieConfig(2))
+	diff := false
+	for _, e := range m.Catalog().All() {
+		s1, s2 := b1.SynonymsOf(e.ID), b2.SynonymsOf(e.ID)
+		if len(s1) != len(s2) {
+			diff = true
+			break
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical baselines")
+	}
+}

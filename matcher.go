@@ -1,0 +1,64 @@
+package websyn
+
+import (
+	"io"
+
+	"websyn/internal/match"
+)
+
+// Matching re-exports: the downstream fuzzy query matcher.
+type (
+	// MatchDictionary is the compiled synonym dictionary for query
+	// matching.
+	MatchDictionary = match.Dictionary
+	// DictEntry is one dictionary payload.
+	DictEntry = match.Entry
+	// QueryMatch is one entity mention found in a query.
+	QueryMatch = match.Match
+	// Segmentation is a full query-segmentation result.
+	Segmentation = match.Segmentation
+	// FuzzyIndex is the trigram index for whole-string fuzzy lookup.
+	FuzzyIndex = match.FuzzyIndex
+	// FuzzyHit is one fuzzy-lookup result.
+	FuzzyHit = match.FuzzyHit
+)
+
+// LoadDictionary reads a dictionary serialized with
+// MatchDictionary.WriteTSV.
+func LoadDictionary(r io.Reader) (*MatchDictionary, error) {
+	return match.ReadTSV(r)
+}
+
+// NewMatchDictionary returns an empty dictionary (for callers assembling
+// their own strings).
+func NewMatchDictionary() *MatchDictionary { return match.NewDictionary() }
+
+// BuildDictionary compiles the catalog's canonical strings plus the mined
+// synonyms into a fuzzy-match dictionary — the artifact the paper's whole
+// pipeline exists to produce. Mined entries are scored by their evidence:
+// score = ICR * min(IPC, k)/k, scaled under the canonical score of 1.
+func (s *Simulation) BuildDictionary(results []*MineResult) *MatchDictionary {
+	d := match.NewDictionary()
+	for _, e := range s.Catalog.All() {
+		d.Add(e.Canonical, match.Entry{EntityID: e.ID, Score: 1.0, Source: "canonical"})
+	}
+	k := float64(s.Options.SurrogateK)
+	for _, r := range results {
+		ent := s.Catalog.ByNorm(r.Norm)
+		if ent == nil {
+			continue
+		}
+		for _, ev := range r.Evidence {
+			if !ev.Accepted {
+				continue
+			}
+			strength := float64(ev.IPC)
+			if strength > k {
+				strength = k
+			}
+			score := 0.99 * ev.ICR * (strength / k)
+			d.Add(ev.Candidate, match.Entry{EntityID: ent.ID, Score: score, Source: "mined"})
+		}
+	}
+	return d
+}

@@ -1,0 +1,269 @@
+// Package websyn is a from-scratch reproduction of "Fuzzy Matching of Web
+// Queries to Structured Data" (Cheng, Lauw, Paparizos; ICDE 2010): an
+// offline, data-driven miner that discovers entity synonyms from Web search
+// and click logs, plus the complete simulation substrate the original
+// proprietary pipeline ran on and the evaluation harness reproducing the
+// paper's Figures 2-3 and Table I.
+//
+// The package is a facade: it wires the internal packages together and
+// re-exports their primary types, so typical use is three calls:
+//
+//	sim, err := websyn.NewSimulation(websyn.Options{Dataset: websyn.Movies})
+//	miner, err := sim.NewMiner(websyn.MinerConfig{IPC: 4, ICR: 0.1})
+//	result := miner.Mine("Indiana Jones and the Kingdom of the Crystal Skull")
+//	fmt.Println(result.Synonyms) // e.g. [indiana jones 4 indy 4 ...]
+//
+// See the examples/ directory for end-to-end programs and cmd/experiments
+// for the harness that regenerates the paper's evaluation.
+package websyn
+
+import (
+	"fmt"
+
+	"websyn/internal/alias"
+	"websyn/internal/clickgraph"
+	"websyn/internal/clicklog"
+	"websyn/internal/core"
+	"websyn/internal/entity"
+	"websyn/internal/eval"
+	"websyn/internal/randomwalk"
+	"websyn/internal/search"
+	"websyn/internal/webcorpus"
+	"websyn/internal/wiki"
+)
+
+// Re-exported types: the public names of the pipeline's building blocks.
+type (
+	// Entity is one structured-data row (movie, camera).
+	Entity = entity.Entity
+	// Catalog is an immutable entity collection (data set D1 or D2).
+	Catalog = entity.Catalog
+	// AliasModel is the generative ground truth / labeling oracle.
+	AliasModel = alias.Model
+	// Corpus is the synthetic Web.
+	Corpus = webcorpus.Corpus
+	// Page is one synthetic Web page.
+	Page = webcorpus.Page
+	// Index is the BM25 search engine over the corpus.
+	Index = search.Index
+	// SearchData is Search Data A: top-k results per input string.
+	SearchData = search.Data
+	// ClickLog is Click Data L: aggregated (query, page, clicks).
+	ClickLog = clicklog.Log
+	// ClickGraph is the bipartite query-URL click graph.
+	ClickGraph = clickgraph.Graph
+	// Miner is the paper's two-phase synonym miner.
+	Miner = core.Miner
+	// MinerConfig holds the β (IPC) and γ (ICR) thresholds.
+	MinerConfig = core.Config
+	// MineResult is the per-input mining output with evidence.
+	MineResult = core.Result
+	// Evidence is one candidate's IPC/ICR record.
+	Evidence = core.Evidence
+	// WikiBaseline is the Wikipedia-redirect comparison system.
+	WikiBaseline = wiki.Baseline
+	// Walker is the random-walk comparison system ("Walk(0.8)").
+	Walker = randomwalk.Walker
+	// WalkerConfig tunes the random walk.
+	WalkerConfig = randomwalk.Config
+)
+
+// Dataset selects one of the paper's two data sets.
+type Dataset int
+
+const (
+	// Movies is D1: titles of 100 top-grossing 2008 movies.
+	Movies Dataset = iota
+	// Cameras is D2: 882 canonical digital-camera names.
+	Cameras
+	// SoftwareProducts is D3, an extension data set: 80 software products
+	// and games of the 2008 era — the paper's third motivating domain
+	// ("Mac OS X" = "Leopard").
+	SoftwareProducts
+)
+
+// String returns the data-set name used in reports.
+func (d Dataset) String() string {
+	switch d {
+	case Movies:
+		return "Movies"
+	case Cameras:
+		return "Cameras"
+	case SoftwareProducts:
+		return "Software"
+	default:
+		return fmt.Sprintf("dataset(%d)", int(d))
+	}
+}
+
+// Options configures a simulation build.
+type Options struct {
+	// Dataset picks D1 (Movies) or D2 (Cameras).
+	Dataset Dataset
+	// Seed drives every random choice in the pipeline; identical seeds
+	// yield bit-identical simulations. 0 means DefaultSeed.
+	Seed uint64
+	// Impressions is the number of simulated query impressions; 0 means
+	// the data set's default (enough log volume for the tail behaviour the
+	// paper's Table I depends on).
+	Impressions int
+	// SurrogateK is the top-k cutoff for Search Data; 0 means 10, the
+	// paper's setting.
+	SurrogateK int
+}
+
+// DefaultSeed is the seed used when Options.Seed is zero.
+const DefaultSeed = 20100301 // ICDE 2010, Long Beach, March 1
+
+// defaultImpressions per data set: cameras need a larger log so the
+// (non-dead) tail still accumulates evidence.
+const (
+	defaultMovieImpressions    = 100000
+	defaultCameraImpressions   = 400000
+	defaultSoftwareImpressions = 80000
+)
+
+// Simulation is a fully built pipeline: catalog, ground truth, Web corpus,
+// search engine, Search Data and Click Data.
+type Simulation struct {
+	Options Options
+	Catalog *Catalog
+	Model   *AliasModel
+	Corpus  *Corpus
+	Index   *Index
+	Search  *SearchData
+	Log     *ClickLog
+}
+
+// NewSimulation builds the complete substrate for the selected data set.
+func NewSimulation(opt Options) (*Simulation, error) {
+	if opt.Seed == 0 {
+		opt.Seed = DefaultSeed
+	}
+	if opt.SurrogateK == 0 {
+		opt.SurrogateK = 10
+	}
+
+	var (
+		cat    *entity.Catalog
+		params alias.Params
+		err    error
+	)
+	switch opt.Dataset {
+	case Movies:
+		cat, err = entity.Movies2008()
+		params = alias.MovieParams()
+		if opt.Impressions == 0 {
+			opt.Impressions = defaultMovieImpressions
+		}
+	case Cameras:
+		cat, err = entity.Cameras2008()
+		params = alias.CameraParams()
+		if opt.Impressions == 0 {
+			opt.Impressions = defaultCameraImpressions
+		}
+	case SoftwareProducts:
+		cat, err = entity.Software2008()
+		params = alias.SoftwareParams()
+		if opt.Impressions == 0 {
+			opt.Impressions = defaultSoftwareImpressions
+		}
+	default:
+		return nil, fmt.Errorf("websyn: unknown dataset %v", opt.Dataset)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("websyn: building catalog: %w", err)
+	}
+
+	model, err := alias.Build(cat, params)
+	if err != nil {
+		return nil, fmt.Errorf("websyn: building alias model: %w", err)
+	}
+	corpus, err := webcorpus.Build(model, webcorpus.DefaultConfig(opt.Seed+1))
+	if err != nil {
+		return nil, fmt.Errorf("websyn: building corpus: %w", err)
+	}
+	idx := search.NewIndex(corpus)
+	sd, err := search.NewData(idx, cat.Canonicals(), opt.SurrogateK)
+	if err != nil {
+		return nil, fmt.Errorf("websyn: building search data: %w", err)
+	}
+	log, err := clicklog.Simulate(model, idx, clicklog.DefaultSimConfig(opt.Seed+2, opt.Impressions))
+	if err != nil {
+		return nil, fmt.Errorf("websyn: simulating click log: %w", err)
+	}
+	return &Simulation{
+		Options: opt,
+		Catalog: cat,
+		Model:   model,
+		Corpus:  corpus,
+		Index:   idx,
+		Search:  sd,
+		Log:     log,
+	}, nil
+}
+
+// NewMiner builds the paper's miner over this simulation's data sets.
+func (s *Simulation) NewMiner(cfg MinerConfig) (*Miner, error) {
+	return core.NewMiner(s.Search, s.Log, cfg)
+}
+
+// SearchDataK rebuilds Search Data A with a different surrogate cutoff k,
+// reusing the already-built index — the knob behind the k-sweep ablation.
+func (s *Simulation) SearchDataK(k int) (*SearchData, error) {
+	return search.NewData(s.Index, s.Catalog.Canonicals(), k)
+}
+
+// NewMinerWith builds a miner over explicit Search Data (e.g. from
+// SearchDataK or from logs loaded off disk) and this simulation's click
+// log.
+func (s *Simulation) NewMinerWith(sd *SearchData, cfg MinerConfig) (*Miner, error) {
+	return core.NewMiner(sd, s.Log, cfg)
+}
+
+// NewWalker builds the random-walk baseline over the same click graph the
+// miner uses.
+func (s *Simulation) NewWalker(cfg WalkerConfig) (*Walker, error) {
+	return randomwalk.NewWalker(clickgraph.Build(s.Log), cfg)
+}
+
+// DefaultWalkerConfig re-exports the baseline's defaults (self-transition
+// 0.8, the paper's "Walk(0.8)").
+func DefaultWalkerConfig() WalkerConfig { return randomwalk.DefaultConfig() }
+
+// DefaultMinerConfig re-exports the paper's chosen operating point
+// (IPC 4, ICR 0.1).
+func DefaultMinerConfig() MinerConfig { return core.DefaultConfig() }
+
+// NewWiki builds the Wikipedia-redirect baseline for this data set.
+func (s *Simulation) NewWiki() (*WikiBaseline, error) {
+	cfg, err := wiki.ConfigFor(s.Catalog.Kind(), s.Options.Seed+3)
+	if err != nil {
+		return nil, err
+	}
+	return wiki.Build(s.Model, cfg), nil
+}
+
+// MineAll mines every canonical string of the data set at the given
+// thresholds and returns per-input results in catalog order.
+func (s *Simulation) MineAll(cfg MinerConfig) ([]*MineResult, error) {
+	m, err := s.NewMiner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.MineAll(s.Catalog.Canonicals()), nil
+}
+
+// Judged metrics re-exports.
+type (
+	// SynonymOutput is a judged per-entity synonym listing.
+	SynonymOutput = eval.Output
+	// PrecisionReport carries plain and weighted precision.
+	PrecisionReport = eval.PrecisionReport
+	// Fig2Point is one Figure 2 operating point.
+	Fig2Point = eval.Fig2Point
+	// Fig3Point is one Figure 3 operating point.
+	Fig3Point = eval.Fig3Point
+	// Table1Row is one Table I row.
+	Table1Row = eval.Table1Row
+)

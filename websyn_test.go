@@ -1,0 +1,349 @@
+package websyn
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Cached simulations: full-scale substrates are built once per test binary.
+var (
+	movieOnce  sync.Once
+	movieSim   *Simulation
+	movieErr   error
+	cameraOnce sync.Once
+	cameraSim  *Simulation
+	cameraErr  error
+)
+
+func movies(t testing.TB) *Simulation {
+	t.Helper()
+	movieOnce.Do(func() {
+		movieSim, movieErr = NewSimulation(Options{Dataset: Movies})
+	})
+	if movieErr != nil {
+		t.Fatal(movieErr)
+	}
+	return movieSim
+}
+
+func cameras(t testing.TB) *Simulation {
+	t.Helper()
+	cameraOnce.Do(func() {
+		cameraSim, cameraErr = NewSimulation(Options{Dataset: Cameras})
+	})
+	if cameraErr != nil {
+		t.Fatal(cameraErr)
+	}
+	return cameraSim
+}
+
+func TestDatasetString(t *testing.T) {
+	if Movies.String() != "Movies" || Cameras.String() != "Cameras" {
+		t.Fatal("Dataset.String mismatch")
+	}
+}
+
+func TestNewSimulationRejectsUnknownDataset(t *testing.T) {
+	if _, err := NewSimulation(Options{Dataset: Dataset(9)}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestSimulationComponentsWired(t *testing.T) {
+	sim := movies(t)
+	if sim.Catalog == nil || sim.Model == nil || sim.Corpus == nil ||
+		sim.Index == nil || sim.Search == nil || sim.Log == nil {
+		t.Fatal("simulation has nil components")
+	}
+	if sim.Catalog.Len() != 100 {
+		t.Fatalf("movie catalog size %d", sim.Catalog.Len())
+	}
+	if sim.Log.TotalImpressions() != 100000 {
+		t.Fatalf("default movie impressions %d", sim.Log.TotalImpressions())
+	}
+	if sim.Search.K() != 10 {
+		t.Fatalf("default surrogate k %d", sim.Search.K())
+	}
+}
+
+func TestSimulationDeterministicBySeed(t *testing.T) {
+	a, err := NewSimulation(Options{Dataset: Movies, Seed: 5, Impressions: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSimulation(Options{Dataset: Movies, Seed: 5, Impressions: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Log.TotalClicks() != b.Log.TotalClicks() {
+		t.Fatal("same seed produced different logs")
+	}
+	c, err := NewSimulation(Options{Dataset: Movies, Seed: 6, Impressions: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Log.TotalClicks() == c.Log.TotalClicks() && a.Log.TotalImpressions() == c.Log.TotalImpressions() {
+		// Impressions are fixed; click totals colliding across seeds is
+		// astronomically unlikely.
+		t.Fatal("different seeds produced identical click totals")
+	}
+}
+
+func TestMineRecoverNicknames(t *testing.T) {
+	sim := movies(t)
+	miner, err := sim.NewMiner(DefaultMinerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := miner.Mine("Indiana Jones and the Kingdom of the Crystal Skull")
+	if !r.Hit() {
+		t.Fatal("no synonyms mined for Indiana Jones 4")
+	}
+	joined := strings.Join(r.Synonyms, "|")
+	if !strings.Contains(joined, "indiana jones 4") && !strings.Contains(joined, "indy 4") {
+		t.Fatalf("numeric sequel forms missing from %v", r.Synonyms)
+	}
+}
+
+func TestMineRebelXT(t *testing.T) {
+	sim := cameras(t)
+	miner, err := sim.NewMiner(DefaultMinerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := miner.Mine("Canon EOS 350D")
+	joined := strings.Join(r.Synonyms, "|")
+	// The paper's marquee example: a market nickname with zero textual
+	// overlap must be recovered from the logs.
+	if !strings.Contains(joined, "rebel xt") {
+		t.Fatalf("digital rebel xt not recovered: %v", r.Synonyms)
+	}
+}
+
+func TestRefinementsRejectedByICR(t *testing.T) {
+	sim := movies(t)
+	miner, err := sim.NewMiner(DefaultMinerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := miner.Mine("Indiana Jones and the Kingdom of the Crystal Skull")
+	ev, ok := r.EvidenceFor("indiana jones 4 trailer")
+	if !ok {
+		t.Skip("trailer refinement not in candidate set this seed")
+	}
+	if ev.ICR >= 0.3 {
+		t.Fatalf("trailer refinement ICR %.2f too high — deep-page geometry broken", ev.ICR)
+	}
+}
+
+func TestTable1ShapeInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table I in -short mode")
+	}
+	x := NewExperiments(movies(t), cameras(t))
+	rows, err := x.Table1(DefaultTable1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	get := func(dataset, system string) Table1Row {
+		for _, r := range rows {
+			if r.Dataset == dataset && r.System == system {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s missing", dataset, system)
+		return Table1Row{}
+	}
+
+	musUs, musWiki, musWalk := get("Movies", "Us"), get("Movies", "Wiki"), get("Movies", "Walk(0.8)")
+	camUs, camWiki, camWalk := get("Cameras", "Us"), get("Cameras", "Wiki"), get("Cameras", "Walk(0.8)")
+
+	// Invariant 1: every system hits nearly all movies...
+	for _, r := range []Table1Row{musUs, musWiki, musWalk} {
+		if r.HitRatio < 0.9 {
+			t.Errorf("movies %s hit ratio %.2f < 0.9", r.System, r.HitRatio)
+		}
+	}
+	// ...but only Us keeps a high hit ratio on the camera tail.
+	if camUs.HitRatio < 0.8 || camUs.HitRatio > 0.95 {
+		t.Errorf("cameras Us hit ratio %.2f outside [0.8, 0.95] (paper: 0.87)", camUs.HitRatio)
+	}
+	if camWiki.HitRatio > 0.2 {
+		t.Errorf("cameras Wiki hit ratio %.2f — should collapse (paper: 0.115)", camWiki.HitRatio)
+	}
+	if camWalk.HitRatio > 0.75 || camWalk.HitRatio < 0.4 {
+		t.Errorf("cameras Walk hit ratio %.2f outside [0.4, 0.75] (paper: 0.54)", camWalk.HitRatio)
+	}
+
+	// Invariant 2: Us creates the most synonyms on both data sets.
+	if musUs.Synonyms <= musWiki.Synonyms || musUs.Synonyms <= musWalk.Synonyms {
+		t.Errorf("movies Us (%d) must out-expand Wiki (%d) and Walk (%d)",
+			musUs.Synonyms, musWiki.Synonyms, musWalk.Synonyms)
+	}
+	if camUs.Synonyms <= camWiki.Synonyms || camUs.Synonyms <= camWalk.Synonyms {
+		t.Errorf("cameras Us (%d) must out-expand Wiki (%d) and Walk (%d)",
+			camUs.Synonyms, camWiki.Synonyms, camWalk.Synonyms)
+	}
+	// Invariant 3: the camera gap is dramatic (paper: 586% vs 165%/179%).
+	if camUs.Expansion < 2*camWiki.Expansion {
+		t.Errorf("cameras Us expansion %.0f%% not ≫ Wiki %.0f%%",
+			camUs.Expansion*100, camWiki.Expansion*100)
+	}
+}
+
+func TestFigure2Monotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Figure 2 in -short mode")
+	}
+	x := NewExperiments(movies(t), nil)
+	points, err := x.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(Figure2Betas()) {
+		t.Fatalf("%d points", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		// β decreases along the slice: coverage must not decrease.
+		if points[i].Coverage < points[i-1].Coverage-1e-9 {
+			t.Errorf("coverage decreased from β=%d to β=%d", points[i-1].Beta, points[i].Beta)
+		}
+		if points[i].Syns < points[i-1].Syns {
+			t.Errorf("synonym count decreased from β=%d to β=%d", points[i-1].Beta, points[i].Beta)
+		}
+	}
+	// Precision at the strictest threshold must beat the loosest.
+	if points[0].Precision <= points[len(points)-1].Precision {
+		t.Errorf("precision at β=10 (%.2f) not above β=2 (%.2f)",
+			points[0].Precision, points[len(points)-1].Precision)
+	}
+	// Paper band: >= 60% coverage increase even at β=10.
+	if points[0].Coverage < 0.6 {
+		t.Errorf("coverage at β=10 = %.2f, want >= 0.6", points[0].Coverage)
+	}
+}
+
+func TestFigure3GammaTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Figure 3 in -short mode")
+	}
+	x := NewExperiments(movies(t), nil)
+	points, err := x.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within each β series: γ decreases along the slice, so coverage must
+	// not decrease; and the strictest γ must beat the loosest on weighted
+	// precision.
+	series := map[int][]Fig3Point{}
+	for _, p := range points {
+		series[p.Beta] = append(series[p.Beta], p)
+	}
+	for beta, ps := range series {
+		for i := 1; i < len(ps); i++ {
+			if ps[i].Coverage < ps[i-1].Coverage-1e-9 {
+				t.Errorf("β=%d: coverage decreased at γ=%g", beta, ps[i].Gamma)
+			}
+		}
+		first, last := ps[0], ps[len(ps)-1]
+		if first.Weighted <= last.Weighted {
+			t.Errorf("β=%d: weighted precision at γ=%.2f (%.2f) not above γ=%.2f (%.2f)",
+				beta, first.Gamma, first.Weighted, last.Gamma, last.Weighted)
+		}
+	}
+	// Across series at equal γ: larger β is more precise.
+	if series[6][0].Weighted <= series[2][0].Weighted {
+		t.Errorf("β=6 series (%.2f) not above β=2 series (%.2f) at γ=0.9",
+			series[6][0].Weighted, series[2][0].Weighted)
+	}
+}
+
+func TestSoftwareGenerality(t *testing.T) {
+	// The D3 extension domain runs through the untouched pipeline and
+	// recovers the paper's own codename example.
+	sim, err := NewSimulation(Options{Dataset: SoftwareProducts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Catalog.Len() != 80 {
+		t.Fatalf("software catalog size %d", sim.Catalog.Len())
+	}
+	miner, err := sim.NewMiner(DefaultMinerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := miner.Mine("Apple Mac OS X 10.5")
+	joined := strings.Join(r.Synonyms, "|")
+	if !strings.Contains(joined, "leopard") {
+		t.Fatalf("codename 'leopard' not mined: %v", r.Synonyms)
+	}
+	r = miner.Mine("Grand Theft Auto IV")
+	joined = strings.Join(r.Synonyms, "|")
+	if !strings.Contains(joined, "gta 4") && !strings.Contains(joined, "gta iv") {
+		t.Fatalf("gta short forms not mined: %v", r.Synonyms)
+	}
+}
+
+func TestBuildDictionaryEndToEnd(t *testing.T) {
+	sim := movies(t)
+	results, err := sim.MineAll(DefaultMinerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := sim.BuildDictionary(results)
+	if dict.Len() <= sim.Catalog.Len() {
+		t.Fatalf("dictionary has only %d entries", dict.Len())
+	}
+	// The paper's motivating query resolves through a mined alias.
+	seg := dict.Segment("indy 4 near san fran")
+	if len(seg.Matches) != 1 {
+		t.Fatalf("segmentation = %+v", seg)
+	}
+	ent := sim.Catalog.ByID(seg.Matches[0].EntityID)
+	if ent.Canonical != "Indiana Jones and the Kingdom of the Crystal Skull" {
+		t.Fatalf("matched %q", ent.Canonical)
+	}
+	if seg.Remainder != "near san fran" {
+		t.Fatalf("remainder %q", seg.Remainder)
+	}
+}
+
+func TestSearchDataKRebuild(t *testing.T) {
+	sim := movies(t)
+	sd, err := sim.SearchDataK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.K() != 5 {
+		t.Fatalf("K = %d", sd.K())
+	}
+	u := sim.Catalog.ByID(0).Norm()
+	if got := len(sd.Surrogates(u)); got != 5 {
+		t.Fatalf("|GA| = %d with k=5", got)
+	}
+	m, err := sim.NewMinerWith(sd, DefaultMinerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := m.Mine(u); len(r.Surrogates) != 5 {
+		t.Fatalf("miner saw %d surrogates", len(r.Surrogates))
+	}
+}
+
+func TestExperimentsRequireSimulations(t *testing.T) {
+	x := NewExperiments(nil, nil)
+	if _, err := x.Figure2(); err == nil {
+		t.Fatal("Figure2 without movies accepted")
+	}
+	if _, err := x.Figure3(); err == nil {
+		t.Fatal("Figure3 without movies accepted")
+	}
+	rows, err := x.Table1(DefaultTable1Config())
+	if err != nil || len(rows) != 0 {
+		t.Fatal("Table1 with no simulations should be empty")
+	}
+}
