@@ -10,6 +10,7 @@ package websyn
 // both times the pipeline and reprints the paper's evaluation.
 
 import (
+	"fmt"
 	"testing"
 
 	"websyn/internal/eval"
@@ -256,4 +257,100 @@ func BenchmarkDictionarySegment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = dict.Segment("showtimes for indy 4 near san francisco tonight")
 	}
+}
+
+// ---- Serving-layer benchmarks ----
+
+// serveQueries builds a query mix over the movie catalog: every
+// canonical title crossed with common suffixes.
+func serveQueries(b *testing.B, n int) []string {
+	sim := movies(b)
+	suffixes := []string{" showtimes", " tickets", " dvd", " review", ""}
+	ents := sim.Catalog.All()
+	out := make([]string, n)
+	for i := range out {
+		e := ents[i%len(ents)]
+		out[i] = e.Canonical + suffixes[i%len(suffixes)]
+	}
+	return out
+}
+
+// BenchmarkServeMatch contrasts the cached and uncached single-query
+// paths of the serving layer. A skewed query mix (every query repeats)
+// makes the LRU effective, as production traffic would.
+func BenchmarkServeMatch(b *testing.B) {
+	snap := movieSnapshot(b)
+	queries := serveQueries(b, 200)
+
+	b.Run("uncached", func(b *testing.B) {
+		s := NewMatchServer(snap, ServeConfig{CacheSize: -1})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = s.Match(queries[i%len(queries)])
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		s := NewMatchServer(snap, ServeConfig{CacheSize: 4096})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = s.Match(queries[i%len(queries)])
+		}
+	})
+}
+
+// BenchmarkServeBatch contrasts sequential and pooled batch matching:
+// the /match/batch worker pool's throughput win on a 256-query request.
+// The cache is disabled so the benchmark measures segmentation
+// throughput, not cache hits.
+func BenchmarkServeBatch(b *testing.B) {
+	snap := movieSnapshot(b)
+	queries := serveQueries(b, 256)
+
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			s := NewMatchServer(snap, ServeConfig{CacheSize: -1, BatchWorkers: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = s.MatchBatch(queries)
+			}
+			b.StopTimer()
+			qps := float64(b.N) * float64(len(queries)) / b.Elapsed().Seconds()
+			b.ReportMetric(qps, "queries/s")
+		})
+	}
+}
+
+// BenchmarkFuzzyLookup contrasts the flat and sharded trigram indexes on
+// whole-string fuzzy lookups of misspelled queries.
+func BenchmarkFuzzyLookup(b *testing.B) {
+	snap := movieSnapshot(b)
+	queries := []string{
+		"madagascar2", "darkknight", "quantom of solace",
+		"indiana jnes", "kungfu panda", "iron mann",
+	}
+	b.Run("flat", func(b *testing.B) {
+		fi := snap.Dict.NewFuzzyIndex(snap.MinSim)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = fi.Lookup(queries[i%len(queries)], 5)
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		sfi := snap.Dict.NewShardedFuzzyIndex(snap.MinSim, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = sfi.Lookup(queries[i%len(queries)], 5)
+		}
+	})
+	b.Run("sharded-parallel", func(b *testing.B) {
+		sfi := snap.Dict.NewShardedFuzzyIndex(snap.MinSim, 0)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				_ = sfi.Lookup(queries[i%len(queries)], 5)
+				i++
+			}
+		})
+	})
 }

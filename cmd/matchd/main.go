@@ -4,199 +4,112 @@
 //
 // Endpoints:
 //
-//	GET /match?q=<query>   — segment the query against the dictionary
-//	GET /synonyms?u=<name> — list the mined synonyms of a canonical string
-//	GET /healthz           — liveness
+//	GET  /match?q=<query>   — segment the query against the dictionary
+//	POST /match/batch       — segment many queries in one request
+//	GET  /fuzzy?q=<query>   — whole-string fuzzy lookup
+//	GET  /synonyms?u=<name> — list the mined synonyms of a canonical string
+//	GET  /statsz            — cache, dictionary and latency stats
+//	GET  /healthz           — liveness
 //
-// Usage:
+// The expensive part — simulating the logs and mining the dictionary — is
+// offline work. Production startup loads a prebuilt snapshot (see
+// cmd/dictbuild) and is ready in milliseconds:
 //
-//	matchd [-addr :8080] [-dataset movies|cameras] [-ipc 4] [-icr 0.1]
+//	matchd -snapshot dict.snap
+//
+// Without -snapshot, matchd mines at startup (slow, for development):
+//
+//	matchd [-dataset movies|cameras|software] [-ipc 4] [-icr 0.1] [-seed N]
+//
+// Mine-at-startup can also persist its work for next time and exit:
+//
+//	matchd -dataset movies -write-snapshot dict.snap
+//
+// Serving knobs: [-addr :8080] [-cache 4096] [-batch-workers N]
+// [-max-batch 1024] [-shards N] [-fuzzy-limit 5] [-min-sim 0.55]
 package main
 
 import (
-	"encoding/json"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
-	"strings"
 	"time"
 
 	"websyn"
-	"websyn/internal/textnorm"
 )
-
-// server bundles the immutable matching state.
-type server struct {
-	sim   *websyn.Simulation
-	dict  *websyn.MatchDictionary
-	fuzzy *websyn.FuzzyIndex
-	syns  map[string][]string // canonical norm -> mined synonyms
-}
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		dataset = flag.String("dataset", "movies", "data set: movies or cameras")
-		ipc     = flag.Int("ipc", 4, "IPC threshold β")
-		icr     = flag.Float64("icr", 0.1, "ICR threshold γ")
-		seed    = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		snapshotPath  = flag.String("snapshot", "", "start from this snapshot file instead of mining")
+		writeSnapshot = flag.String("write-snapshot", "", "mine, write a snapshot to this path, and exit")
+		dataset       = flag.String("dataset", "movies", "data set to mine when not using -snapshot: movies, cameras or software")
+		ipc           = flag.Int("ipc", 4, "IPC threshold β (mining)")
+		icr           = flag.Float64("icr", 0.1, "ICR threshold γ (mining)")
+		seed          = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+		cacheSize     = flag.Int("cache", 0, "request-cache capacity in entries (0 = default 4096, negative = disabled)")
+		batchWorkers  = flag.Int("batch-workers", 0, "worker-pool size for /match/batch (0 = GOMAXPROCS)")
+		maxBatch      = flag.Int("max-batch", 0, "max queries per /match/batch request (0 = default 1024)")
+		shards        = flag.Int("shards", 0, "fuzzy-index shard count (0 = GOMAXPROCS)")
+		fuzzyLimit    = flag.Int("fuzzy-limit", 5, "max hits returned by /fuzzy")
+		minSim        = flag.Float64("min-sim", 0, "fuzzy similarity threshold override (0 = snapshot's value)")
 	)
 	flag.Parse()
 
-	var ds websyn.Dataset
-	switch strings.ToLower(*dataset) {
-	case "movies", "d1":
-		ds = websyn.Movies
-	case "cameras", "d2":
-		ds = websyn.Cameras
-	default:
-		log.Fatalf("unknown dataset %q", *dataset)
-	}
-
+	var (
+		snap *websyn.Snapshot
+		err  error
+	)
 	start := time.Now()
-	log.Printf("building %v simulation and mining dictionary...", ds)
-	sim, err := websyn.NewSimulation(websyn.Options{Dataset: ds, Seed: *seed})
-	if err != nil {
-		log.Fatal(err)
+	if *snapshotPath != "" {
+		snap, err = websyn.ReadSnapshotFile(*snapshotPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded snapshot %s (%s, %d dictionary entries) in %v",
+			*snapshotPath, snap.Dataset, snap.Dict.Len(), time.Since(start).Round(time.Millisecond))
+	} else {
+		snap, err = mineSnapshot(*dataset, *ipc, *icr, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("mined %s dictionary: %d entries in %v",
+			snap.Dataset, snap.Dict.Len(), time.Since(start).Round(time.Millisecond))
 	}
-	results, err := sim.MineAll(websyn.MinerConfig{IPC: *ipc, ICR: *icr})
-	if err != nil {
-		log.Fatal(err)
-	}
-	s := &server{
-		sim:  sim,
-		dict: sim.BuildDictionary(results),
-		syns: make(map[string][]string, len(results)),
-	}
-	s.fuzzy = s.dict.NewFuzzyIndex(0.55)
-	for _, r := range results {
-		s.syns[r.Norm] = r.Synonyms
-	}
-	log.Printf("dictionary ready: %d entries in %v", s.dict.Len(), time.Since(start).Round(time.Millisecond))
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /match", s.handleMatch)
-	mux.HandleFunc("GET /fuzzy", s.handleFuzzy)
-	mux.HandleFunc("GET /synonyms", s.handleSynonyms)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+	if *writeSnapshot != "" {
+		if err := snap.WriteFile(*writeSnapshot); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote snapshot %s", *writeSnapshot)
+		return
+	}
+
+	s := websyn.NewMatchServer(snap, websyn.ServeConfig{
+		CacheSize:    *cacheSize,
+		BatchWorkers: *batchWorkers,
+		MaxBatch:     *maxBatch,
+		FuzzyShards:  *shards,
+		FuzzyLimit:   *fuzzyLimit,
+		MinSim:       *minSim,
 	})
-
-	log.Printf("listening on %s", *addr)
+	log.Printf("serving ready in %v, listening on %s", time.Since(start).Round(time.Millisecond), *addr)
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      mux,
+		Handler:      s.Handler(),
 		ReadTimeout:  5 * time.Second,
-		WriteTimeout: 10 * time.Second,
+		WriteTimeout: 30 * time.Second,
 	}
 	log.Fatal(srv.ListenAndServe())
 }
 
-// matchResponse is the JSON shape of /match.
-type matchResponse struct {
-	Query     string        `json:"query"`
-	Matches   []matchedSpan `json:"matches"`
-	Remainder string        `json:"remainder"`
-}
-
-type matchedSpan struct {
-	Canonical string  `json:"canonical"`
-	EntityID  int     `json:"entity_id"`
-	Span      string  `json:"span"`
-	Score     float64 `json:"score"`
-	Source    string  `json:"source"`
-	Corrected bool    `json:"corrected,omitempty"`
-}
-
-func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		http.Error(w, "missing q parameter", http.StatusBadRequest)
-		return
+// mineSnapshot runs the offline pipeline in-process: simulation, miner,
+// dictionary compilation.
+func mineSnapshot(dataset string, ipc int, icr float64, seed uint64) (*websyn.Snapshot, error) {
+	ds, err := websyn.ParseDataset(dataset)
+	if err != nil {
+		return nil, err
 	}
-	seg := s.dict.Segment(q)
-	resp := matchResponse{Query: seg.Query, Remainder: seg.Remainder}
-	for _, m := range seg.Matches {
-		ent := s.sim.Catalog.ByID(m.EntityID)
-		if ent == nil {
-			continue
-		}
-		resp.Matches = append(resp.Matches, matchedSpan{
-			Canonical: ent.Canonical,
-			EntityID:  m.EntityID,
-			Span:      m.Text,
-			Score:     m.Score,
-			Source:    m.Source,
-			Corrected: m.Corrected,
-		})
-	}
-	writeJSON(w, resp)
-}
-
-// fuzzyResponse is the JSON shape of /fuzzy.
-type fuzzyResponse struct {
-	Query string     `json:"query"`
-	Hits  []fuzzyHit `json:"hits"`
-}
-
-type fuzzyHit struct {
-	Text       string  `json:"text"`
-	Similarity float64 `json:"similarity"`
-	Canonical  string  `json:"canonical"`
-	EntityID   int     `json:"entity_id"`
-}
-
-func (s *server) handleFuzzy(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		http.Error(w, "missing q parameter", http.StatusBadRequest)
-		return
-	}
-	resp := fuzzyResponse{Query: q}
-	for _, h := range s.fuzzy.Lookup(q, 5) {
-		if len(h.Entries) == 0 {
-			continue
-		}
-		ent := s.sim.Catalog.ByID(h.Entries[0].EntityID)
-		if ent == nil {
-			continue
-		}
-		resp.Hits = append(resp.Hits, fuzzyHit{
-			Text:       h.Text,
-			Similarity: h.Similarity,
-			Canonical:  ent.Canonical,
-			EntityID:   ent.ID,
-		})
-	}
-	writeJSON(w, resp)
-}
-
-// synonymsResponse is the JSON shape of /synonyms.
-type synonymsResponse struct {
-	Input    string   `json:"input"`
-	Synonyms []string `json:"synonyms"`
-}
-
-func (s *server) handleSynonyms(w http.ResponseWriter, r *http.Request) {
-	u := r.URL.Query().Get("u")
-	if u == "" {
-		http.Error(w, "missing u parameter", http.StatusBadRequest)
-		return
-	}
-	ent := s.sim.Catalog.ByNorm(textnorm.Normalize(u))
-	if ent == nil {
-		http.Error(w, "unknown canonical string", http.StatusNotFound)
-		return
-	}
-	writeJSON(w, synonymsResponse{Input: ent.Canonical, Synonyms: s.syns[ent.Norm()]})
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("encoding response: %v", err)
-	}
+	log.Printf("building %v simulation and mining dictionary (use -snapshot for fast startup)...", ds)
+	return websyn.MineSnapshot(ds, websyn.MinerConfig{IPC: ipc, ICR: icr}, seed, 0)
 }

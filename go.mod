@@ -1,0 +1,3 @@
+module websyn
+
+go 1.24

@@ -30,17 +30,23 @@ type FuzzyIndex struct {
 // dictionary. minSim is the Dice-similarity acceptance threshold
 // (0.5–0.8 are sensible; higher is stricter).
 func (d *Dictionary) NewFuzzyIndex(minSim float64) *FuzzyIndex {
+	return newFuzzyIndexOver(d, d.Strings(), minSim)
+}
+
+// newFuzzyIndexOver indexes an explicit subset of dictionary strings —
+// the building block behind both the whole-dictionary index and each
+// shard of a ShardedFuzzyIndex.
+func newFuzzyIndexOver(d *Dictionary, strings []string, minSim float64) *FuzzyIndex {
 	if minSim <= 0 {
 		minSim = 0.6
 	}
 	fi := &FuzzyIndex{
-		dict:   d,
-		grams:  make(map[string][]int),
-		minSim: minSim,
+		dict:    d,
+		strings: strings,
+		grams:   make(map[string][]int),
+		minSim:  minSim,
 	}
-	collected := d.Strings()
-	fi.strings = collected
-	for i, s := range collected {
+	for i, s := range strings {
 		seen := map[string]bool{}
 		for _, g := range textnorm.CharNGrams(s, fuzzyGramSize) {
 			if !seen[g] {
@@ -70,31 +76,31 @@ func (fi *FuzzyIndex) Lookup(query string, limit int) []FuzzyHit {
 	if norm == "" {
 		return nil
 	}
+	qGrams := distinctGrams(norm)
+	// Very short queries produce no trigram; fall back to exact lookup.
+	if len(qGrams) == 0 {
+		return exactFallback(fi.dict, norm)
+	}
+	hits := fi.scan(norm, qGrams)
+	sortHits(hits)
+	return truncateHits(hits, limit)
+}
+
+// scan is the per-index candidate generation and verification step over
+// this index's strings only. qGrams must be the distinct trigrams of the
+// already-normalized query. Results are unsorted.
+func (fi *FuzzyIndex) scan(norm string, qGrams []string) []FuzzyHit {
 	// Candidate generation: count shared trigrams per indexed string.
 	counts := make(map[int]int)
-	qGrams := textnorm.CharNGrams(norm, fuzzyGramSize)
-	seen := map[string]bool{}
 	for _, g := range qGrams {
-		if seen[g] {
-			continue
-		}
-		seen[g] = true
 		for _, idx := range fi.grams[g] {
 			counts[idx]++
 		}
 	}
-	// Very short queries produce no trigram; fall back to exact lookup.
-	if len(qGrams) == 0 {
-		if es := fi.dict.Lookup(norm); es != nil {
-			return []FuzzyHit{{Text: norm, Similarity: 1, Entries: es}}
-		}
-		return nil
-	}
-
 	// Prune: a Dice similarity of s over multisets of sizes a and b needs
 	// at least s*(a+b)/2 common grams; with b unknown, require at least
 	// s*a/2 shared distinct grams as a cheap lower bound.
-	minShared := int(fi.minSim * float64(len(seen)) / 2)
+	minShared := int(fi.minSim * float64(len(qGrams)) / 2)
 	var hits []FuzzyHit
 	for idx, shared := range counts {
 		if shared < minShared {
@@ -111,12 +117,48 @@ func (fi *FuzzyIndex) Lookup(query string, limit int) []FuzzyHit {
 			Entries:    fi.dict.Lookup(s),
 		})
 	}
+	return hits
+}
+
+// distinctGrams returns the deduplicated character trigrams of a
+// normalized string, preserving first-occurrence order.
+func distinctGrams(norm string) []string {
+	grams := textnorm.CharNGrams(norm, fuzzyGramSize)
+	if len(grams) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(grams))
+	out := grams[:0]
+	for _, g := range grams {
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// exactFallback resolves trigram-less (very short) queries through the
+// exact dictionary.
+func exactFallback(d *Dictionary, norm string) []FuzzyHit {
+	if es := d.Lookup(norm); es != nil {
+		return []FuzzyHit{{Text: norm, Similarity: 1, Entries: es}}
+	}
+	return nil
+}
+
+// sortHits orders hits best-similarity first, ties broken by text.
+func sortHits(hits []FuzzyHit) {
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].Similarity != hits[j].Similarity {
 			return hits[i].Similarity > hits[j].Similarity
 		}
 		return hits[i].Text < hits[j].Text
 	})
+}
+
+// truncateHits applies the caller's limit (0 = no limit).
+func truncateHits(hits []FuzzyHit, limit int) []FuzzyHit {
 	if limit > 0 && len(hits) > limit {
 		hits = hits[:limit]
 	}
@@ -126,10 +168,16 @@ func (fi *FuzzyIndex) Lookup(query string, limit int) []FuzzyHit {
 // BestEntity resolves a query to a single entity through the fuzzy index,
 // preferring exact dictionary hits. The second result reports success.
 func (fi *FuzzyIndex) BestEntity(query string) (Entry, bool) {
-	if es := fi.dict.Lookup(query); len(es) > 0 {
+	return bestEntity(fi.dict, fi.Lookup, query)
+}
+
+// bestEntity is the shared flat/sharded resolution policy: exact
+// dictionary hit first, then the top fuzzy hit's best entry.
+func bestEntity(d *Dictionary, lookup func(string, int) []FuzzyHit, query string) (Entry, bool) {
+	if es := d.Lookup(query); len(es) > 0 {
 		return es[0], true
 	}
-	hits := fi.Lookup(query, 1)
+	hits := lookup(query, 1)
 	if len(hits) == 0 || len(hits[0].Entries) == 0 {
 		return Entry{}, false
 	}

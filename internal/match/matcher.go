@@ -54,7 +54,13 @@ func (s *Segmentation) Best() *Match {
 // (with per-token typo correction when the exact token is unknown), and
 // resolves each span to its best entry.
 func (d *Dictionary) Segment(query string) *Segmentation {
-	tokens := textnorm.Tokenize(query)
+	return d.SegmentTokens(textnorm.Tokenize(query))
+}
+
+// SegmentTokens is Segment for callers that already hold the normalized
+// token sequence (e.g. a serving tier that tokenized once for its cache
+// key). The tokens slice is retained by the result.
+func (d *Dictionary) SegmentTokens(tokens []string) *Segmentation {
 	seg := &Segmentation{Query: strings.Join(tokens, " "), Tokens: tokens}
 	used := make([]bool, len(tokens))
 

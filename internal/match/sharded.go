@@ -1,0 +1,105 @@
+package match
+
+import (
+	"runtime"
+	"sync"
+
+	"websyn/internal/textnorm"
+)
+
+// ShardedFuzzyIndex partitions the trigram index across independent
+// shards. Each shard owns a disjoint subset of the dictionary strings
+// with its own posting-list map, so a lookup touches several small maps
+// instead of one large one and the verification work fans out across
+// cores. Under concurrent serving load the shards also keep lookups from
+// contending on a single set of posting lists in cache.
+type ShardedFuzzyIndex struct {
+	dict   *Dictionary
+	shards []*FuzzyIndex
+}
+
+// NewShardedFuzzyIndex builds a fuzzy index over every dictionary string,
+// partitioned round-robin into the given number of shards. shards <= 0
+// picks GOMAXPROCS. minSim is the Dice-similarity acceptance threshold,
+// as in NewFuzzyIndex.
+func (d *Dictionary) NewShardedFuzzyIndex(minSim float64, shards int) *ShardedFuzzyIndex {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	all := d.Strings()
+	if shards > len(all) {
+		shards = len(all)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	parts := make([][]string, shards)
+	for i, s := range all {
+		parts[i%shards] = append(parts[i%shards], s)
+	}
+	sfi := &ShardedFuzzyIndex{dict: d, shards: make([]*FuzzyIndex, shards)}
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sfi.shards[i] = newFuzzyIndexOver(d, parts[i], minSim)
+		}(i)
+	}
+	wg.Wait()
+	return sfi
+}
+
+// Shards returns the number of partitions.
+func (sfi *ShardedFuzzyIndex) Shards() int { return len(sfi.shards) }
+
+// Len returns the total number of indexed strings across all shards.
+func (sfi *ShardedFuzzyIndex) Len() int {
+	n := 0
+	for _, sh := range sfi.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Lookup finds the dictionary strings globally similar to the query,
+// best first, up to limit (0 = no limit). Shards are scanned in
+// parallel and their hits merged; results are identical to an unsharded
+// FuzzyIndex.Lookup at the same threshold.
+func (sfi *ShardedFuzzyIndex) Lookup(query string, limit int) []FuzzyHit {
+	norm := textnorm.Normalize(query)
+	if norm == "" {
+		return nil
+	}
+	qGrams := distinctGrams(norm)
+	if len(qGrams) == 0 {
+		return exactFallback(sfi.dict, norm)
+	}
+	var hits []FuzzyHit
+	if len(sfi.shards) == 1 {
+		hits = sfi.shards[0].scan(norm, qGrams)
+	} else {
+		parts := make([][]FuzzyHit, len(sfi.shards))
+		var wg sync.WaitGroup
+		for i, sh := range sfi.shards {
+			wg.Add(1)
+			go func(i int, sh *FuzzyIndex) {
+				defer wg.Done()
+				parts[i] = sh.scan(norm, qGrams)
+			}(i, sh)
+		}
+		wg.Wait()
+		for _, p := range parts {
+			hits = append(hits, p...)
+		}
+	}
+	sortHits(hits)
+	return truncateHits(hits, limit)
+}
+
+// BestEntity resolves a query to a single entity through the sharded
+// index, preferring exact dictionary hits. The second result reports
+// success.
+func (sfi *ShardedFuzzyIndex) BestEntity(query string) (Entry, bool) {
+	return bestEntity(sfi.dict, sfi.Lookup, query)
+}

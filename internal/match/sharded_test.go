@@ -1,0 +1,112 @@
+package match
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// shardedFixture compiles a dictionary large enough to spread across
+// shards.
+func shardedFixture() *Dictionary {
+	d := NewDictionary()
+	for i := 0; i < 40; i++ {
+		d.Add(fmt.Sprintf("madagascar episode %d", i), Entry{EntityID: i, Score: 1, Source: "canonical"})
+		d.Add(fmt.Sprintf("kung fu panda %d", i), Entry{EntityID: 100 + i, Score: 1, Source: "canonical"})
+	}
+	d.Add("madagascar escape 2 africa", Entry{EntityID: 500, Score: 1, Source: "canonical"})
+	d.Add("iron man", Entry{EntityID: 501, Score: 1, Source: "canonical"})
+	d.Add("up", Entry{EntityID: 502, Score: 1, Source: "canonical"})
+	return d
+}
+
+func TestShardedLookupMatchesUnsharded(t *testing.T) {
+	d := shardedFixture()
+	flat := d.NewFuzzyIndex(0.55)
+	for _, shards := range []int{1, 2, 3, 7} {
+		sfi := d.NewShardedFuzzyIndex(0.55, shards)
+		if sfi.Len() != flat.Len() {
+			t.Fatalf("shards=%d: Len %d, want %d", shards, sfi.Len(), flat.Len())
+		}
+		for _, q := range []string{
+			"madagascar2", "kungfu panda 3", "iron mann", "madagascar africa",
+			"up", "zz", "", "completely unrelated query",
+		} {
+			want := flat.Lookup(q, 0)
+			got := sfi.Lookup(q, 0)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("shards=%d Lookup(%q):\n got %v\nwant %v", shards, q, got, want)
+			}
+		}
+	}
+}
+
+func TestShardedLookupLimit(t *testing.T) {
+	d := shardedFixture()
+	sfi := d.NewShardedFuzzyIndex(0.55, 4)
+	hits := sfi.Lookup("madagascar episode", 3)
+	if len(hits) != 3 {
+		t.Fatalf("limit ignored: %d hits", len(hits))
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Similarity > hits[i-1].Similarity {
+			t.Fatalf("hits out of order: %v", hits)
+		}
+	}
+}
+
+func TestShardedBestEntity(t *testing.T) {
+	d := shardedFixture()
+	sfi := d.NewShardedFuzzyIndex(0.55, 4)
+	e, ok := sfi.BestEntity("iron man")
+	if !ok || e.EntityID != 501 {
+		t.Fatalf("exact BestEntity = %+v, %v", e, ok)
+	}
+	e, ok = sfi.BestEntity("iron mann")
+	if !ok || e.EntityID != 501 {
+		t.Fatalf("fuzzy BestEntity = %+v, %v", e, ok)
+	}
+	if _, ok := sfi.BestEntity("qqqqqqq"); ok {
+		t.Fatal("BestEntity matched garbage")
+	}
+}
+
+func TestShardedDefaultsAndSmallDictionaries(t *testing.T) {
+	d := NewDictionary()
+	d.Add("solo", Entry{EntityID: 1, Score: 1, Source: "canonical"})
+	sfi := d.NewShardedFuzzyIndex(0, 16) // more shards than strings
+	if sfi.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want clamp to 1", sfi.Shards())
+	}
+	if hits := sfi.Lookup("solo", 0); len(hits) != 1 || hits[0].Text != "solo" {
+		t.Fatalf("lookup on clamped index: %v", hits)
+	}
+
+	empty := NewDictionary()
+	esfi := empty.NewShardedFuzzyIndex(0.6, 0)
+	if hits := esfi.Lookup("anything", 0); hits != nil {
+		t.Fatalf("empty dictionary returned hits: %v", hits)
+	}
+}
+
+func TestShardedLookupConcurrent(t *testing.T) {
+	d := shardedFixture()
+	sfi := d.NewShardedFuzzyIndex(0.55, 4)
+	want := sfi.Lookup("madagascar2", 5)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				got := sfi.Lookup("madagascar2", 5)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("concurrent lookup diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// lruCache is a fixed-capacity LRU request cache. It is safe for
+// concurrent use; hit/miss counters are maintained for /statsz.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // key -> element whose Value is *cacheEntry
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type cacheEntry struct {
+	key string
+	val MatchResult
+}
+
+// newLRU returns a cache holding at most capacity entries. capacity <= 0
+// returns nil — a nil *lruCache is a valid always-miss cache, which is
+// how caching is disabled.
+func newLRU(capacity int) *lruCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached result for key, marking it most recently used.
+func (c *lruCache) Get(key string) (MatchResult, bool) {
+	if c == nil {
+		return MatchResult{}, false
+	}
+	c.mu.Lock()
+	el, ok := c.items[key]
+	var val MatchResult
+	if ok {
+		c.ll.MoveToFront(el)
+		// Copy under the lock: Put may update this entry in place.
+		val = el.Value.(*cacheEntry).val
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return MatchResult{}, false
+	}
+	c.hits.Add(1)
+	return val, true
+}
+
+// Put stores the result under key, evicting the least recently used
+// entry when full.
+func (c *lruCache) Put(key string, val MatchResult) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheEntry).key)
+			c.evictions.Add(1)
+		}
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+}
+
+// Len returns the current number of cached entries.
+func (c *lruCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is the cache section of /statsz.
+type CacheStats struct {
+	Capacity  int     `json:"capacity"`
+	Size      int     `json:"size"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// Stats returns a point-in-time view of the cache counters.
+func (c *lruCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	s := CacheStats{
+		Capacity:  c.cap,
+		Size:      c.Len(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}

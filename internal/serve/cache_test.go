@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := newLRU(2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", MatchResult{Query: "a"})
+	c.Put("b", MatchResult{Query: "b"})
+	if r, ok := c.Get("a"); !ok || r.Query != "a" {
+		t.Fatalf("Get(a) = %+v, %v", r, ok)
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	c.Put("c", MatchResult{Query: "c"})
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a was evicted despite recent use")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 hits, 2 misses, 1 eviction", st)
+	}
+	if st.HitRate != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", st.HitRate)
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := newLRU(2)
+	c.Put("a", MatchResult{Query: "a", Remainder: "old"})
+	c.Put("a", MatchResult{Query: "a", Remainder: "new"})
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after double Put, want 1", c.Len())
+	}
+	if r, _ := c.Get("a"); r.Remainder != "new" {
+		t.Fatalf("Put did not update: %+v", r)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRU(0) // nil cache: always miss, never panic
+	if c != nil {
+		t.Fatal("capacity 0 should return nil cache")
+	}
+	c.Put("a", MatchResult{})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if st := c.Stats(); st.Capacity != 0 || st.Hits != 0 {
+		t.Fatalf("disabled cache stats = %+v", st)
+	}
+}
+
+// TestLRUConcurrent hammers the cache from many goroutines; run with
+// -race this verifies the locking discipline, and the invariant checks
+// verify no entry is lost or corrupted under contention.
+func TestLRUConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 2000
+		capacity   = 64
+	)
+	c := newLRU(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("q%d", (g*31+i)%128)
+				if r, ok := c.Get(key); ok {
+					if r.Query != key {
+						t.Errorf("cache returned %q for key %q", r.Query, key)
+						return
+					}
+				} else {
+					c.Put(key, MatchResult{Query: key})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > capacity {
+		t.Fatalf("cache grew to %d, capacity %d", n, capacity)
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	// Every cached value must still map key -> matching payload.
+	for i := 0; i < 128; i++ {
+		key := fmt.Sprintf("q%d", i)
+		if r, ok := c.Get(key); ok && r.Query != key {
+			t.Fatalf("corrupted entry: key %q holds %q", key, r.Query)
+		}
+	}
+}

@@ -1,0 +1,405 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"websyn/internal/match"
+	"websyn/internal/textnorm"
+)
+
+// Config tunes a Server. The zero value picks sensible production
+// defaults; see each field.
+type Config struct {
+	// CacheSize is the LRU request-cache capacity in entries. 0 means
+	// DefaultCacheSize; negative disables caching.
+	CacheSize int
+	// BatchWorkers bounds the worker pool a /match/batch request fans
+	// out on. 0 means GOMAXPROCS.
+	BatchWorkers int
+	// MaxBatch is the largest number of queries one /match/batch request
+	// may carry. 0 means DefaultMaxBatch.
+	MaxBatch int
+	// FuzzyShards is the number of partitions of the trigram fuzzy
+	// index. 0 means GOMAXPROCS.
+	FuzzyShards int
+	// FuzzyLimit is the number of hits /fuzzy returns. 0 means 5.
+	FuzzyLimit int
+	// MinSim overrides the snapshot's Dice-similarity threshold when
+	// positive.
+	MinSim float64
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultCacheSize = 4096
+	DefaultMaxBatch  = 1024
+)
+
+// withDefaults resolves zero values.
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = DefaultCacheSize
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.FuzzyLimit <= 0 {
+		c.FuzzyLimit = 5
+	}
+	return c
+}
+
+// Server is the online matching tier: immutable dictionary state plus a
+// request cache and counters. All methods are safe for concurrent use.
+type Server struct {
+	cfg        Config
+	dataset    string
+	dict       *match.Dictionary
+	fuzzy      *match.ShardedFuzzyIndex
+	canonicals []string       // entity ID -> canonical string
+	byNorm     map[string]int // canonical norm -> entity ID
+	synonyms   map[string][]string
+	cache      *lruCache
+	start      time.Time
+
+	matchLat latencyRecorder
+	batchLat latencyRecorder
+
+	matchReqs    atomic.Uint64
+	batchReqs    atomic.Uint64
+	batchQueries atomic.Uint64
+	fuzzyReqs    atomic.Uint64
+	synReqs      atomic.Uint64
+}
+
+// NewServer builds the serving state from a snapshot: the sharded fuzzy
+// index is constructed here (it is cheap relative to mining and not part
+// of the snapshot format).
+func NewServer(snap *Snapshot, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	minSim := snap.MinSim
+	if cfg.MinSim > 0 {
+		minSim = cfg.MinSim
+	}
+	s := &Server{
+		cfg:        cfg,
+		dataset:    snap.Dataset,
+		dict:       snap.Dict,
+		fuzzy:      snap.Dict.NewShardedFuzzyIndex(minSim, cfg.FuzzyShards),
+		canonicals: snap.Canonicals,
+		byNorm:     make(map[string]int, len(snap.Canonicals)),
+		synonyms:   snap.Synonyms,
+		cache:      newLRU(cfg.CacheSize),
+		start:      time.Now(),
+	}
+	for id, c := range snap.Canonicals {
+		s.byNorm[textnorm.Normalize(c)] = id
+	}
+	return s
+}
+
+// MatchResult is the JSON shape of one matched query (/match, and one
+// element of /match/batch).
+type MatchResult struct {
+	Query     string        `json:"query"`
+	Matches   []MatchedSpan `json:"matches"`
+	Remainder string        `json:"remainder"`
+	// Cached reports whether this response came from the request cache.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// MatchedSpan is one entity mention inside a matched query.
+type MatchedSpan struct {
+	Canonical string  `json:"canonical"`
+	EntityID  int     `json:"entity_id"`
+	Span      string  `json:"span"`
+	Score     float64 `json:"score"`
+	Source    string  `json:"source"`
+	Corrected bool    `json:"corrected,omitempty"`
+}
+
+// Match segments one query against the dictionary, consulting the
+// request cache first. The cache key is the normalized query, so "Indy 4"
+// and "indy   4" share an entry.
+func (s *Server) Match(query string) MatchResult {
+	tokens := textnorm.Tokenize(query)
+	key := strings.Join(tokens, " ")
+	if res, ok := s.cache.Get(key); ok {
+		res.Cached = true
+		return res.detach()
+	}
+	res := s.segment(tokens)
+	s.cache.Put(key, res.detach())
+	return res
+}
+
+// detach returns the result with its Matches slice detached from any
+// shared backing array, so neither callers mutating a returned result
+// nor the cache can corrupt the other.
+func (r MatchResult) detach() MatchResult {
+	r.Matches = append([]MatchedSpan(nil), r.Matches...)
+	return r
+}
+
+// segment runs the uncached match path over already-normalized tokens.
+func (s *Server) segment(tokens []string) MatchResult {
+	seg := s.dict.SegmentTokens(tokens)
+	res := MatchResult{Query: seg.Query, Remainder: seg.Remainder}
+	for _, m := range seg.Matches {
+		if m.EntityID < 0 || m.EntityID >= len(s.canonicals) {
+			continue
+		}
+		res.Matches = append(res.Matches, MatchedSpan{
+			Canonical: s.canonicals[m.EntityID],
+			EntityID:  m.EntityID,
+			Span:      m.Text,
+			Score:     m.Score,
+			Source:    m.Source,
+			Corrected: m.Corrected,
+		})
+	}
+	return res
+}
+
+// MatchBatch segments many queries with a bounded worker pool, returning
+// results in input order.
+func (s *Server) MatchBatch(queries []string) []MatchResult {
+	out := make([]MatchResult, len(queries))
+	workers := s.cfg.BatchWorkers
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			out[i] = s.Match(q)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				out[i] = s.Match(queries[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Handler returns the HTTP API:
+//
+//	GET  /match?q=<query>   — segment one query
+//	POST /match/batch       — segment many queries (JSON body)
+//	GET  /fuzzy?q=<query>   — whole-string fuzzy lookup
+//	GET  /synonyms?u=<name> — mined synonyms of a canonical string
+//	GET  /statsz            — cache, dictionary and latency stats
+//	GET  /healthz           — liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /match", s.handleMatch)
+	mux.HandleFunc("POST /match/batch", s.handleBatch)
+	mux.HandleFunc("GET /fuzzy", s.handleFuzzy)
+	mux.HandleFunc("GET /synonyms", s.handleSynonyms)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	s.matchReqs.Add(1)
+	t0 := time.Now()
+	res := s.Match(q)
+	s.matchLat.observe(time.Since(t0))
+	writeJSON(w, res)
+}
+
+// BatchRequest is the JSON body of POST /match/batch.
+type BatchRequest struct {
+	Queries []string `json:"queries"`
+}
+
+// BatchResponse is the JSON shape of POST /match/batch.
+type BatchResponse struct {
+	Count   int           `json:"count"`
+	Results []MatchResult `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	// Scale the body cap with the configured batch size (queries are
+	// short; 512 bytes each is generous) so a raised -max-batch is not
+	// silently capped by a byte limit.
+	limit := int64(1<<20) + 512*int64(s.cfg.MaxBatch)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) == 0 {
+		http.Error(w, "empty queries array", http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), s.cfg.MaxBatch),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	s.batchReqs.Add(1)
+	s.batchQueries.Add(uint64(len(req.Queries)))
+	t0 := time.Now()
+	results := s.MatchBatch(req.Queries)
+	s.batchLat.observe(time.Since(t0))
+	writeJSON(w, BatchResponse{Count: len(results), Results: results})
+}
+
+// FuzzyResult is the JSON shape of /fuzzy.
+type FuzzyResult struct {
+	Query string     `json:"query"`
+	Hits  []FuzzyHit `json:"hits"`
+}
+
+// FuzzyHit is one whole-string fuzzy hit.
+type FuzzyHit struct {
+	Text       string  `json:"text"`
+	Similarity float64 `json:"similarity"`
+	Canonical  string  `json:"canonical"`
+	EntityID   int     `json:"entity_id"`
+}
+
+func (s *Server) handleFuzzy(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	s.fuzzyReqs.Add(1)
+	res := FuzzyResult{Query: q}
+	for _, h := range s.fuzzy.Lookup(q, s.cfg.FuzzyLimit) {
+		if len(h.Entries) == 0 {
+			continue
+		}
+		id := h.Entries[0].EntityID
+		if id < 0 || id >= len(s.canonicals) {
+			continue
+		}
+		res.Hits = append(res.Hits, FuzzyHit{
+			Text:       h.Text,
+			Similarity: h.Similarity,
+			Canonical:  s.canonicals[id],
+			EntityID:   id,
+		})
+	}
+	writeJSON(w, res)
+}
+
+// SynonymsResult is the JSON shape of /synonyms.
+type SynonymsResult struct {
+	Input    string   `json:"input"`
+	Synonyms []string `json:"synonyms"`
+}
+
+func (s *Server) handleSynonyms(w http.ResponseWriter, r *http.Request) {
+	u := r.URL.Query().Get("u")
+	if u == "" {
+		http.Error(w, "missing u parameter", http.StatusBadRequest)
+		return
+	}
+	s.synReqs.Add(1)
+	norm := textnorm.Normalize(u)
+	id, ok := s.byNorm[norm]
+	if !ok {
+		http.Error(w, "unknown canonical string", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, SynonymsResult{Input: s.canonicals[id], Synonyms: s.synonyms[norm]})
+}
+
+// Stats is the JSON shape of /statsz.
+type Stats struct {
+	Dataset       string  `json:"dataset"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Dictionary    struct {
+		Entries      int `json:"entries"`
+		Entities     int `json:"entities"`
+		FuzzyStrings int `json:"fuzzy_strings"`
+		FuzzyShards  int `json:"fuzzy_shards"`
+	} `json:"dictionary"`
+	Cache    CacheStats `json:"cache"`
+	Requests struct {
+		Match        uint64 `json:"match"`
+		Batch        uint64 `json:"batch"`
+		BatchQueries uint64 `json:"batch_queries"`
+		Fuzzy        uint64 `json:"fuzzy"`
+		Synonyms     uint64 `json:"synonyms"`
+	} `json:"requests"`
+	Latency struct {
+		Match LatencyStats `json:"match"`
+		Batch LatencyStats `json:"batch"`
+	} `json:"latency"`
+}
+
+// Stats returns a point-in-time view of the server's counters.
+func (s *Server) Stats() Stats {
+	var st Stats
+	st.Dataset = s.dataset
+	st.UptimeSeconds = time.Since(s.start).Seconds()
+	st.Dictionary.Entries = s.dict.Len()
+	st.Dictionary.Entities = len(s.canonicals)
+	st.Dictionary.FuzzyStrings = s.fuzzy.Len()
+	st.Dictionary.FuzzyShards = s.fuzzy.Shards()
+	st.Cache = s.cache.Stats()
+	st.Requests.Match = s.matchReqs.Load()
+	st.Requests.Batch = s.batchReqs.Load()
+	st.Requests.BatchQueries = s.batchQueries.Load()
+	st.Requests.Fuzzy = s.fuzzyReqs.Load()
+	st.Requests.Synonyms = s.synReqs.Load()
+	st.Latency.Match = s.matchLat.snapshot()
+	st.Latency.Batch = s.batchLat.snapshot()
+	return st
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("serve: encoding response: %v", err)
+	}
+}

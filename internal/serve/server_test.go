@@ -1,0 +1,347 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testServer(cfg Config) *Server {
+	return NewServer(testSnapshot(), cfg)
+}
+
+func TestMatchUsesCache(t *testing.T) {
+	s := testServer(Config{CacheSize: 16})
+	first := s.Match("indy 4 showtimes")
+	if first.Cached {
+		t.Fatal("first request claimed a cache hit")
+	}
+	if len(first.Matches) == 0 || first.Matches[0].EntityID != 0 {
+		t.Fatalf("unexpected match: %+v", first)
+	}
+	second := s.Match("Indy   4 showtimes") // same normalized key
+	if !second.Cached {
+		t.Fatal("second request missed the cache")
+	}
+	second.Cached = false
+	if !jsonEqual(t, first, second) {
+		t.Fatalf("cached response diverged:\n%+v\n%+v", first, second)
+	}
+	st := s.cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("cache stats = %+v", st)
+	}
+}
+
+func TestMatchCacheDisabled(t *testing.T) {
+	s := testServer(Config{CacheSize: -1})
+	s.Match("indy 4")
+	if r := s.Match("indy 4"); r.Cached {
+		t.Fatal("disabled cache produced a hit")
+	}
+}
+
+func TestMatchBatchOrderAndResults(t *testing.T) {
+	s := testServer(Config{BatchWorkers: 4})
+	queries := make([]string, 150)
+	for i := range queries {
+		switch i % 3 {
+		case 0:
+			queries[i] = fmt.Sprintf("indy 4 tickets %d", i)
+		case 1:
+			queries[i] = fmt.Sprintf("madagascar 2 %d", i)
+		default:
+			queries[i] = fmt.Sprintf("nothing here %d", i)
+		}
+	}
+	got := s.MatchBatch(queries)
+	if len(got) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(got), len(queries))
+	}
+	for i, r := range got {
+		want := s.Match(queries[i])
+		want.Cached = false
+		r.Cached = false
+		if !jsonEqual(t, want, r) {
+			t.Fatalf("result %d diverged:\n got %+v\nwant %+v", i, r, want)
+		}
+	}
+}
+
+func TestHTTPMatch(t *testing.T) {
+	ts := httptest.NewServer(testServer(Config{}).Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/match?q=indy+4+near+san+francisco")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var mr MatchResult
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Matches) != 1 || mr.Matches[0].Span != "indy 4" {
+		t.Fatalf("bad match payload: %+v", mr)
+	}
+	if mr.Remainder != "near san francisco" {
+		t.Fatalf("remainder %q", mr.Remainder)
+	}
+
+	if resp, err := http.Get(ts.URL + "/match"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("missing q: status %d", resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPBatch(t *testing.T) {
+	srv := testServer(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Acceptance: >= 100 queries in one request, per-query segmentations.
+	queries := make([]string, 120)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("madagascar 2 dvd %d", i)
+	}
+	body, _ := json.Marshal(BatchRequest{Queries: queries})
+	resp, err := http.Post(ts.URL+"/match/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Count != 120 || len(br.Results) != 120 {
+		t.Fatalf("count %d, %d results", br.Count, len(br.Results))
+	}
+	for i, r := range br.Results {
+		if len(r.Matches) == 0 || r.Matches[0].EntityID != 1 {
+			t.Fatalf("result %d unmatched: %+v", i, r)
+		}
+	}
+
+	// Error paths.
+	for _, tc := range []struct {
+		name, body string
+		status     int
+	}{
+		{"bad json", "{", http.StatusBadRequest},
+		{"empty", `{"queries":[]}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+"/match/batch", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+
+	// Over the batch limit.
+	small := NewServer(testSnapshot(), Config{MaxBatch: 10})
+	ts2 := httptest.NewServer(small.Handler())
+	defer ts2.Close()
+	resp2, err := http.Post(ts2.URL+"/match/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: status %d", resp2.StatusCode)
+	}
+
+	// Over the byte limit (scales with MaxBatch: 1MB + 512*10 here).
+	huge, _ := json.Marshal(BatchRequest{Queries: []string{strings.Repeat("x ", 1<<20)}})
+	resp3, err := http.Post(ts2.URL+"/match/batch", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d", resp3.StatusCode)
+	}
+}
+
+// TestMatchResultIsolatedFromCache guards against callers mutating a
+// returned result corrupting the cache (and vice versa).
+func TestMatchResultIsolatedFromCache(t *testing.T) {
+	s := testServer(Config{CacheSize: 16})
+	first := s.Match("indy 4")
+	if len(first.Matches) == 0 {
+		t.Fatal("no match")
+	}
+	first.Matches[0].Canonical = "MUTATED"
+
+	second := s.Match("indy 4")
+	if !second.Cached {
+		t.Fatal("expected cache hit")
+	}
+	if second.Matches[0].Canonical == "MUTATED" {
+		t.Fatal("caller mutation leaked into the cache")
+	}
+	second.Matches[0].Canonical = "MUTATED AGAIN"
+	if third := s.Match("indy 4"); third.Matches[0].Canonical == "MUTATED AGAIN" {
+		t.Fatal("mutation of a cache-hit result leaked into the cache")
+	}
+}
+
+func TestHTTPFuzzyAndSynonyms(t *testing.T) {
+	ts := httptest.NewServer(testServer(Config{}).Handler())
+	defer ts.Close()
+
+	var fr FuzzyResult
+	getJSON(t, ts.URL+"/fuzzy?q=madagascar2", &fr)
+	if len(fr.Hits) < 2 || fr.Hits[0].Text != "madagascar" || fr.Hits[1].Text != "madagascar 2" {
+		t.Fatalf("fuzzy hits: %+v", fr.Hits)
+	}
+	if fr.Hits[0].EntityID != 2 || fr.Hits[1].EntityID != 1 {
+		t.Fatalf("fuzzy hit entities: %+v", fr.Hits)
+	}
+
+	var sr SynonymsResult
+	getJSON(t, ts.URL+"/synonyms?u=Madagascar:+Escape+2+Africa", &sr)
+	if sr.Input != "Madagascar: Escape 2 Africa" || len(sr.Synonyms) != 1 {
+		t.Fatalf("synonyms: %+v", sr)
+	}
+
+	resp, err := http.Get(ts.URL + "/synonyms?u=unknown+title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown canonical: status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPStatsz(t *testing.T) {
+	srv := testServer(Config{CacheSize: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/match?q=indy+4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	body, _ := json.Marshal(BatchRequest{Queries: []string{"madagascar 2", "indy 4"}})
+	resp, err := http.Post(ts.URL+"/match/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var st Stats
+	getJSON(t, ts.URL+"/statsz", &st)
+	if st.Dataset != "Movies" {
+		t.Errorf("dataset %q", st.Dataset)
+	}
+	if st.Requests.Match != 3 || st.Requests.Batch != 1 || st.Requests.BatchQueries != 2 {
+		t.Errorf("request counters: %+v", st.Requests)
+	}
+	if st.Cache.Hits < 2 {
+		t.Errorf("cache hits %d, want >= 2", st.Cache.Hits)
+	}
+	if st.Latency.Match.Count != 3 || st.Latency.Match.MeanMicros <= 0 {
+		t.Errorf("match latency: %+v", st.Latency.Match)
+	}
+	if st.Dictionary.Entries == 0 || st.Dictionary.FuzzyShards == 0 {
+		t.Errorf("dictionary stats: %+v", st.Dictionary)
+	}
+}
+
+// TestServerConcurrentMixedLoad drives every endpoint concurrently; with
+// -race this is the cache-under-concurrency acceptance test at the HTTP
+// layer.
+func TestServerConcurrentMixedLoad(t *testing.T) {
+	srv := testServer(Config{CacheSize: 32, BatchWorkers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	queries := []string{"indy 4", "madagascar 2", "crystal skull dvd", "unrelated"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				q := queries[(g+i)%len(queries)]
+				resp, err := http.Get(ts.URL + "/match?q=" + strings.ReplaceAll(q, " ", "+"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if i%10 == 0 {
+					body, _ := json.Marshal(BatchRequest{Queries: queries})
+					resp, err := http.Post(ts.URL+"/match/batch", "application/json", bytes.NewReader(body))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := srv.Stats()
+	if st.Requests.Match != 240 {
+		t.Fatalf("match requests %d, want 240", st.Requests.Match)
+	}
+	if st.Cache.Hits == 0 {
+		t.Fatal("no cache hits under repeated identical queries")
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// jsonEqual compares two values by JSON encoding (ignores nil-vs-empty
+// slice distinctions the handlers don't care about).
+func jsonEqual(t *testing.T, a, b any) bool {
+	t.Helper()
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Equal(ja, jb)
+}

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyRecorder accumulates request latencies lock-free.
+type latencyRecorder struct {
+	count    atomic.Uint64
+	sumNanos atomic.Uint64
+	maxNanos atomic.Uint64
+}
+
+// observe records one request duration.
+func (l *latencyRecorder) observe(d time.Duration) {
+	n := uint64(d.Nanoseconds())
+	l.count.Add(1)
+	l.sumNanos.Add(n)
+	for {
+		cur := l.maxNanos.Load()
+		if n <= cur || l.maxNanos.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// LatencyStats is one endpoint's latency section of /statsz.
+type LatencyStats struct {
+	Count       uint64  `json:"count"`
+	MeanMicros  float64 `json:"mean_us"`
+	MaxMicros   float64 `json:"max_us"`
+	TotalMillis float64 `json:"total_ms"`
+}
+
+// snapshot returns a point-in-time view of the recorder.
+func (l *latencyRecorder) snapshot() LatencyStats {
+	count := l.count.Load()
+	sum := l.sumNanos.Load()
+	s := LatencyStats{
+		Count:       count,
+		MaxMicros:   float64(l.maxNanos.Load()) / 1e3,
+		TotalMillis: float64(sum) / 1e6,
+	}
+	if count > 0 {
+		s.MeanMicros = float64(sum) / float64(count) / 1e3
+	}
+	return s
+}

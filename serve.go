@@ -1,0 +1,77 @@
+package websyn
+
+import (
+	"io"
+
+	"websyn/internal/match"
+	"websyn/internal/serve"
+)
+
+// Serving re-exports: the online tier over the mined dictionary.
+type (
+	// Snapshot is the versioned on-disk bundle of serving state
+	// (dictionary + entity table + synonyms).
+	Snapshot = serve.Snapshot
+	// MatchServer is the online matching tier: cache, batch pool,
+	// sharded fuzzy index, HTTP handlers.
+	MatchServer = serve.Server
+	// ServeConfig tunes a MatchServer.
+	ServeConfig = serve.Config
+	// ServeStats is the /statsz payload.
+	ServeStats = serve.Stats
+	// MatchResult is the JSON shape of one matched query.
+	MatchResult = serve.MatchResult
+	// ShardedFuzzyIndex is the partitioned trigram index for concurrent
+	// whole-string fuzzy lookup.
+	ShardedFuzzyIndex = match.ShardedFuzzyIndex
+)
+
+// DefaultFuzzyMinSim is the Dice-similarity threshold snapshots are
+// built with unless overridden.
+const DefaultFuzzyMinSim = 0.55
+
+// NewMatchServer builds the online tier from a snapshot.
+func NewMatchServer(snap *Snapshot, cfg ServeConfig) *MatchServer {
+	return serve.NewServer(snap, cfg)
+}
+
+// ReadSnapshot loads a serving snapshot written with Snapshot.WriteTo.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) { return serve.ReadSnapshot(r) }
+
+// ReadSnapshotFile loads a serving snapshot from a file.
+func ReadSnapshotFile(path string) (*Snapshot, error) { return serve.ReadSnapshotFile(path) }
+
+// MineSnapshot runs the offline pipeline end to end — simulation, miner,
+// snapshot compilation — the one-call form behind cmd/dictbuild and
+// matchd's mine-at-startup mode. minSim <= 0 means DefaultFuzzyMinSim.
+func MineSnapshot(ds Dataset, cfg MinerConfig, seed uint64, minSim float64) (*Snapshot, error) {
+	sim, err := NewSimulation(Options{Dataset: ds, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	results, err := sim.MineAll(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.BuildSnapshot(results, minSim), nil
+}
+
+// BuildSnapshot compiles mined results into a serving snapshot: the
+// dictionary via BuildDictionary, the entity table, and the per-entity
+// synonym listing. minSim <= 0 means DefaultFuzzyMinSim.
+func (s *Simulation) BuildSnapshot(results []*MineResult, minSim float64) *Snapshot {
+	if minSim <= 0 {
+		minSim = DefaultFuzzyMinSim
+	}
+	snap := &Snapshot{
+		Dataset:    s.Options.Dataset.String(),
+		MinSim:     minSim,
+		Canonicals: s.Catalog.Canonicals(),
+		Synonyms:   make(map[string][]string, len(results)),
+		Dict:       s.BuildDictionary(results),
+	}
+	for _, r := range results {
+		snap.Synonyms[r.Norm] = r.Synonyms
+	}
+	return snap
+}

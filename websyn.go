@@ -19,6 +19,7 @@ package websyn
 
 import (
 	"fmt"
+	"strings"
 
 	"websyn/internal/alias"
 	"websyn/internal/clickgraph"
@@ -81,6 +82,22 @@ const (
 	// ("Mac OS X" = "Leopard").
 	SoftwareProducts
 )
+
+// ParseDataset resolves a user-facing data-set name — "movies"/"d1",
+// "cameras"/"d2" or "software"/"d3", case-insensitive. Commands share it
+// so flag parsing stays consistent across binaries.
+func ParseDataset(name string) (Dataset, error) {
+	switch strings.ToLower(name) {
+	case "movies", "d1":
+		return Movies, nil
+	case "cameras", "d2":
+		return Cameras, nil
+	case "software", "d3":
+		return SoftwareProducts, nil
+	default:
+		return 0, fmt.Errorf("websyn: unknown dataset %q", name)
+	}
+}
 
 // String returns the data-set name used in reports.
 func (d Dataset) String() string {
