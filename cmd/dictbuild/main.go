@@ -59,7 +59,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote %s: %d dictionary entries, %d entities, %d bytes in %v",
-		*out, snap.Dict.Len(), len(snap.Canonicals), info.Size(),
+	grams := 0
+	if snap.Fuzzy != nil {
+		grams = len(snap.Fuzzy.Grams)
+	}
+	log.Printf("wrote %s: %d dictionary entries, %d entities, %d fuzzy trigrams, %d bytes in %v",
+		*out, snap.Dict.Len(), len(snap.Canonicals), grams, info.Size(),
 		time.Since(start).Round(time.Millisecond))
 }

@@ -46,9 +46,10 @@ func newTrieNode() *trieNode {
 
 // Dictionary is the compiled synonym dictionary.
 type Dictionary struct {
-	root  *trieNode
-	size  int
-	vocab map[string]bool // every token appearing in any dictionary string
+	root    *trieNode
+	size    int             // (string, entity) pairs
+	strings int             // distinct strings
+	vocab   map[string]bool // every token appearing in any dictionary string
 }
 
 // NewDictionary returns an empty dictionary.
@@ -83,12 +84,20 @@ func (d *Dictionary) Add(text string, e Entry) {
 			return
 		}
 	}
+	if len(node.entries) == 0 {
+		d.strings++
+	}
 	node.entries = append(node.entries, e)
 	d.size++
 }
 
 // Len returns the number of (string, entity) pairs.
 func (d *Dictionary) Len() int { return d.size }
+
+// DistinctStrings returns the number of distinct dictionary strings —
+// len(Strings()) without walking the trie. The fuzzy-index loaders use it
+// to reject a packed posting file built against a different dictionary.
+func (d *Dictionary) DistinctStrings() int { return d.strings }
 
 // HasToken reports whether tok occurs in any dictionary string.
 func (d *Dictionary) HasToken(tok string) bool { return d.vocab[tok] }

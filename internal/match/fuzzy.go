@@ -1,7 +1,11 @@
 package match
 
 import (
+	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"unicode/utf8"
 
 	"websyn/internal/textnorm"
 )
@@ -13,17 +17,53 @@ import (
 // tokenize cleanly onto it ("madagascar2", "kungfu panda", "cannon eos").
 // Dictionary strings are indexed by character trigrams; a query retrieves
 // candidates sharing enough trigrams and ranks them by n-gram Dice
-// similarity, optionally confirmed by banded edit distance.
+// similarity.
+//
+// The index is *packed*: trigrams are interned to dense gram IDs and the
+// posting lists live in two contiguous int32 slabs (string index +
+// in-string multiplicity) addressed through an offsets array. Because the
+// postings carry multiplicities, a scan accumulates the exact multiset
+// gram intersection in a reusable scratch array and computes the Dice
+// similarity directly — no per-query maps and no re-gramming of candidate
+// strings. Per-string gram counts prune hopeless candidates before any
+// arithmetic, and top-k selection uses a bounded heap instead of sorting
+// every qualifying hit.
 
 // fuzzyGramSize is the character n-gram width of the index.
 const fuzzyGramSize = 3
 
-// FuzzyIndex is a character-trigram index over dictionary strings.
+// FuzzyIndex is a packed character-trigram index over dictionary strings.
 type FuzzyIndex struct {
 	dict    *Dictionary
-	strings []string         // indexed normalized strings
-	grams   map[string][]int // trigram -> string indexes (ascending)
+	strings []string // indexed normalized strings
 	minSim  float64
+
+	// Packed posting lists. gramID and grams may be shared read-only
+	// across the shards of a ShardedFuzzyIndex built from a PackedFuzzy.
+	gramID   map[string]int32 // trigram -> dense gram ID
+	grams    []string         // gram ID -> trigram
+	offsets  []int32          // gram g's postings: postings[offsets[g]:offsets[g+1]]
+	postings []int32          // string indexes, ascending within each gram's list
+	mults    []int32          // parallel to postings: gram multiplicity in the string
+
+	// Per-string pruning tables.
+	gramLen  []int32 // total (multiset) trigram count of the string
+	distinct []int32 // distinct trigram count of the string
+
+	// verified counts candidates that survived every prune and had their
+	// exact similarity computed — the cost the prunes exist to bound.
+	verified atomic.Int64
+
+	scratch sync.Pool // *fuzzyScratch
+}
+
+// fuzzyScratch is the reusable per-lookup state of one index: shared-gram
+// accumulators indexed by string, plus the list of touched strings so a
+// scan resets only what it wrote.
+type fuzzyScratch struct {
+	acc     []int32 // Σ min(query multiplicity, string multiplicity) over shared grams
+	shared  []int32 // distinct shared gram count
+	touched []int32 // string indexes with shared > 0
 }
 
 // NewFuzzyIndex builds the trigram index over every string in the
@@ -33,29 +73,77 @@ func (d *Dictionary) NewFuzzyIndex(minSim float64) *FuzzyIndex {
 	return newFuzzyIndexOver(d, d.Strings(), minSim)
 }
 
+// normMinSim resolves the default acceptance threshold.
+func normMinSim(minSim float64) float64 {
+	if minSim <= 0 {
+		return 0.6
+	}
+	return minSim
+}
+
 // newFuzzyIndexOver indexes an explicit subset of dictionary strings —
 // the building block behind both the whole-dictionary index and each
 // shard of a ShardedFuzzyIndex.
 func newFuzzyIndexOver(d *Dictionary, strings []string, minSim float64) *FuzzyIndex {
-	if minSim <= 0 {
-		minSim = 0.6
-	}
 	fi := &FuzzyIndex{
-		dict:    d,
-		strings: strings,
-		grams:   make(map[string][]int),
-		minSim:  minSim,
+		dict:     d,
+		strings:  strings,
+		minSim:   normMinSim(minSim),
+		gramID:   make(map[string]int32),
+		gramLen:  make([]int32, len(strings)),
+		distinct: make([]int32, len(strings)),
 	}
+	// Accumulate per-gram posting lists, then flatten them into the two
+	// slabs. Gram IDs are assigned in first-occurrence order over the
+	// string list, so the packed layout is deterministic for a given
+	// string order.
+	var perGramIdx, perGramMult [][]int32
 	for i, s := range strings {
-		seen := map[string]bool{}
-		for _, g := range textnorm.CharNGrams(s, fuzzyGramSize) {
-			if !seen[g] {
-				seen[g] = true
-				fi.grams[g] = append(fi.grams[g], i)
+		gs := textnorm.CharNGrams(s, fuzzyGramSize)
+		fi.gramLen[i] = int32(len(gs))
+		dcount := int32(0)
+		for _, g := range gs {
+			id, ok := fi.gramID[g]
+			if !ok {
+				id = int32(len(fi.grams))
+				fi.gramID[g] = id
+				fi.grams = append(fi.grams, g)
+				perGramIdx = append(perGramIdx, nil)
+				perGramMult = append(perGramMult, nil)
 			}
+			if lst := perGramIdx[id]; len(lst) > 0 && lst[len(lst)-1] == int32(i) {
+				perGramMult[id][len(lst)-1]++
+				continue
+			}
+			perGramIdx[id] = append(perGramIdx[id], int32(i))
+			perGramMult[id] = append(perGramMult[id], 1)
+			dcount++
 		}
+		fi.distinct[i] = dcount
 	}
+	total := 0
+	for _, lst := range perGramIdx {
+		total += len(lst)
+	}
+	fi.offsets = make([]int32, len(fi.grams)+1)
+	fi.postings = make([]int32, 0, total)
+	fi.mults = make([]int32, 0, total)
+	for id := range perGramIdx {
+		fi.offsets[id] = int32(len(fi.postings))
+		fi.postings = append(fi.postings, perGramIdx[id]...)
+		fi.mults = append(fi.mults, perGramMult[id]...)
+	}
+	fi.offsets[len(fi.grams)] = int32(len(fi.postings))
+	fi.initScratch()
 	return fi
+}
+
+// initScratch wires the scratch pool to this index's string count.
+func (fi *FuzzyIndex) initScratch() {
+	n := len(fi.strings)
+	fi.scratch.New = func() any {
+		return &fuzzyScratch{acc: make([]int32, n), shared: make([]int32, n)}
+	}
 }
 
 // Len returns the number of indexed strings.
@@ -68,6 +156,134 @@ type FuzzyHit struct {
 	Entries    []Entry // the string's dictionary payloads, best first
 }
 
+// scoredHit is the internal pre-materialization form of a hit: the
+// dictionary payloads are only resolved for the final top-k.
+type scoredHit struct {
+	text string
+	sim  float64
+}
+
+// hitBetter reports whether a ranks strictly before b: higher similarity
+// first, ties broken by ascending text. Texts are distinct within an
+// index, so this is a total order and result order is deterministic.
+func hitBetter(a, b scoredHit) bool {
+	if a.sim != b.sim {
+		return a.sim > b.sim
+	}
+	return a.text < b.text
+}
+
+// queryGram is one distinct trigram of a query with its multiplicity.
+type queryGram struct {
+	text  string
+	count int32
+}
+
+// linearDedupMax bounds the slice-scan deduplication in queryGrams;
+// past it a map takes over so adversarially long queries stay O(n).
+const linearDedupMax = 64
+
+// queryGrams returns the distinct trigrams of an already-normalized query
+// with multiplicities, plus the total (multiset) gram count. For ASCII
+// queries — the overwhelmingly common case — gram strings are substrings
+// of norm and no per-gram allocation happens. Deduplication is a linear
+// scan while the distinct set is small (real queries always are), which
+// beats a map allocation per lookup; a map takes over past
+// linearDedupMax so a megabyte query cannot go quadratic.
+func queryGrams(norm string) ([]queryGram, int) {
+	ascii := true
+	for i := 0; i < len(norm); i++ {
+		if norm[i] >= utf8.RuneSelf {
+			ascii = false
+			break
+		}
+	}
+	var out []queryGram
+	var index map[string]int32 // gram -> position in out, once past the cutoff
+	total := 0
+	add := func(g string) {
+		total++
+		if index != nil {
+			if j, ok := index[g]; ok {
+				out[j].count++
+				return
+			}
+			index[g] = int32(len(out))
+			out = append(out, queryGram{text: g, count: 1})
+			return
+		}
+		for i := range out {
+			if out[i].text == g {
+				out[i].count++
+				return
+			}
+		}
+		if len(out) >= linearDedupMax {
+			index = make(map[string]int32, 2*len(out))
+			for i := range out {
+				index[out[i].text] = int32(i)
+			}
+			index[g] = int32(len(out))
+		}
+		out = append(out, queryGram{text: g, count: 1})
+	}
+	if ascii {
+		if len(norm) < fuzzyGramSize {
+			return nil, 0
+		}
+		out = make([]queryGram, 0, min(len(norm)-fuzzyGramSize+1, 4*linearDedupMax))
+		for i := 0; i+fuzzyGramSize <= len(norm); i++ {
+			add(norm[i : i+fuzzyGramSize])
+		}
+		return out, total
+	}
+	gs := textnorm.CharNGrams(norm, fuzzyGramSize)
+	if len(gs) == 0 {
+		return nil, 0
+	}
+	out = make([]queryGram, 0, min(len(gs), 4*linearDedupMax))
+	for _, g := range gs {
+		add(g)
+	}
+	return out, total
+}
+
+// minSharedGrams is the candidate-generation prune: a Dice similarity of
+// s over gram multisets of sizes a and b needs at least s*(a+b)/2 common
+// grams, and with b unknown at least s*a/2 — so a candidate must share
+// at least ceil(s*a/2) grams of the query multiset. The ceiling (rather
+// than truncation) is the tightest integer bound: a shared count strictly
+// below s*a/2 can never verify.
+//
+// The bound governs the MULTISET intersection. Only when every query
+// gram is distinct does it also bound the distinct shared-gram count
+// (the two coincide there) — scan checks that before applying the
+// distinct-count prunes, because a string like "aaaaaaa" can clear the
+// multiset bound through multiplicity while sharing a single distinct
+// gram.
+func minSharedGrams(minSim float64, qTotal int) int32 {
+	ms := int32(math.Ceil(minSim * float64(qTotal) / 2))
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// lengthWindow bounds the (multiset) gram count of any string that can
+// reach minSim against a query of qTotal grams: the Dice numerator is at
+// most 2*min(a,b), so b must lie within [a*s/(2-s), a*(2-s)/s]. One gram
+// of slack on each side absorbs float rounding; the exact similarity test
+// decides the boundary.
+func lengthWindow(minSim float64, qTotal int) (lo, hi int32) {
+	a := float64(qTotal)
+	lo = int32(math.Floor(a*minSim/(2-minSim))) - 1
+	hi = int32(math.Ceil(a*(2-minSim)/minSim)) + 1
+	if lo < 1 {
+		lo = 1
+	}
+	return lo, hi
+}
+
 // Lookup finds the dictionary strings globally similar to the query,
 // best first, up to limit (0 = no limit). Exact hits rank first with
 // similarity 1.
@@ -76,66 +292,147 @@ func (fi *FuzzyIndex) Lookup(query string, limit int) []FuzzyHit {
 	if norm == "" {
 		return nil
 	}
-	qGrams := distinctGrams(norm)
+	qGrams, qTotal := queryGrams(norm)
 	// Very short queries produce no trigram; fall back to exact lookup.
 	if len(qGrams) == 0 {
 		return exactFallback(fi.dict, norm)
 	}
-	hits := fi.scan(norm, qGrams)
-	sortHits(hits)
-	return truncateHits(hits, limit)
+	cands := fi.scan(qGrams, len(qGrams), qTotal, nil)
+	return materializeHits(fi.dict, selectTop(cands, limit))
 }
 
 // scan is the per-index candidate generation and verification step over
 // this index's strings only. qGrams must be the distinct trigrams of the
-// already-normalized query. Results are unsorted.
-func (fi *FuzzyIndex) scan(norm string, qGrams []string) []FuzzyHit {
-	// Candidate generation: count shared trigrams per indexed string.
-	counts := make(map[int]int)
-	for _, g := range qGrams {
-		for _, idx := range fi.grams[g] {
-			counts[idx]++
-		}
+// already-normalized query (qDistinct = len(qGrams); qTotal = multiset
+// total). Qualifying (text, similarity) pairs are appended to out,
+// unsorted.
+func (fi *FuzzyIndex) scan(qGrams []queryGram, qDistinct, qTotal int, out []scoredHit) []scoredHit {
+	sc := fi.scratch.Get().(*fuzzyScratch)
+	defer fi.scratch.Put(sc)
+
+	// minAcc bounds the multiset intersection — always sound. The
+	// distinct-count prunes (minShared against the per-string distinct
+	// table and the accumulated distinct shared count) are only valid
+	// when the query's grams are all distinct, i.e. the two intersection
+	// counts coincide; repeated-gram queries fall back to the multiset
+	// bound alone.
+	minAcc := minSharedGrams(fi.minSim, qTotal)
+	minShared := int32(0)
+	if qDistinct == qTotal {
+		minShared = minAcc
 	}
-	// Prune: a Dice similarity of s over multisets of sizes a and b needs
-	// at least s*(a+b)/2 common grams; with b unknown, require at least
-	// s*a/2 shared distinct grams as a cheap lower bound.
-	minShared := int(fi.minSim * float64(len(qGrams)) / 2)
-	var hits []FuzzyHit
-	for idx, shared := range counts {
-		if shared < minShared {
+	lo, hi := lengthWindow(fi.minSim, qTotal)
+
+	// Candidate generation: walk each query gram's posting list,
+	// accumulating the exact multiset intersection. Strings that cannot
+	// pass the distinct-count or length prune are skipped before they
+	// cost a scratch write.
+	touched := sc.touched[:0]
+	for _, qg := range qGrams {
+		id, ok := fi.gramID[qg.text]
+		if !ok {
 			continue
 		}
-		s := fi.strings[idx]
-		sim := textnorm.NGramSimilarity(norm, s, fuzzyGramSize)
+		for k := fi.offsets[id]; k < fi.offsets[id+1]; k++ {
+			idx := fi.postings[k]
+			if fi.distinct[idx] < minShared || fi.gramLen[idx] < lo || fi.gramLen[idx] > hi {
+				continue
+			}
+			if sc.shared[idx] == 0 {
+				touched = append(touched, idx)
+			}
+			sc.shared[idx]++
+			m := fi.mults[k]
+			if m > qg.count {
+				m = qg.count
+			}
+			sc.acc[idx] += m
+		}
+	}
+	sc.touched = touched // keep grown capacity for the next lookup
+
+	// Verification: the accumulated intersection IS the Dice numerator,
+	// so the similarity is exact — no re-gramming of the candidate.
+	verified := int64(0)
+	for _, idx := range touched {
+		shared, acc := sc.shared[idx], sc.acc[idx]
+		sc.shared[idx], sc.acc[idx] = 0, 0
+		if shared < minShared || acc < minAcc {
+			continue
+		}
+		verified++
+		sim := 2 * float64(acc) / float64(qTotal+int(fi.gramLen[idx]))
 		if sim < fi.minSim {
 			continue
 		}
-		hits = append(hits, FuzzyHit{
-			Text:       s,
-			Similarity: sim,
-			Entries:    fi.dict.Lookup(s),
-		})
+		out = append(out, scoredHit{text: fi.strings[idx], sim: sim})
 	}
-	return hits
+	fi.verified.Add(verified)
+	return out
 }
 
-// distinctGrams returns the deduplicated character trigrams of a
-// normalized string, preserving first-occurrence order.
-func distinctGrams(norm string) []string {
-	grams := textnorm.CharNGrams(norm, fuzzyGramSize)
-	if len(grams) == 0 {
-		return nil
+// selectTop orders candidates best-first and keeps at most limit
+// (0 = no limit). When the candidate set is larger than the limit, a
+// bounded heap of size limit replaces the full sort, so Lookup(q, 1)
+// never sorts hundreds of hits. The kept set and its order are identical
+// to a full sort followed by truncation (hitBetter is a total order).
+func selectTop(cands []scoredHit, limit int) []scoredHit {
+	if limit <= 0 || len(cands) <= limit {
+		sort.Slice(cands, func(i, j int) bool { return hitBetter(cands[i], cands[j]) })
+		return cands
 	}
-	seen := make(map[string]bool, len(grams))
-	out := grams[:0]
-	for _, g := range grams {
-		if !seen[g] {
-			seen[g] = true
-			out = append(out, g)
+	// Min-heap on hitBetter with the *worst* kept candidate at the root.
+	worse := func(a, b scoredHit) bool { return hitBetter(b, a) }
+	h := make([]scoredHit, 0, limit)
+	for _, c := range cands {
+		if len(h) < limit {
+			h = append(h, c)
+			for i := len(h) - 1; i > 0; { // sift up
+				p := (i - 1) / 2
+				if !worse(h[i], h[p]) {
+					break
+				}
+				h[i], h[p] = h[p], h[i]
+				i = p
+			}
+			continue
+		}
+		if !hitBetter(c, h[0]) {
+			continue
+		}
+		h[0] = c
+		for i := 0; ; { // sift down
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(h) && worse(h[l], h[m]) {
+				m = l
+			}
+			if r < len(h) && worse(h[r], h[m]) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
 		}
 	}
-	return out
+	sort.Slice(h, func(i, j int) bool { return hitBetter(h[i], h[j]) })
+	return h
+}
+
+// materializeHits resolves the selected candidates' dictionary payloads —
+// deferred to after top-k selection so losing candidates never pay for an
+// entry lookup.
+func materializeHits(d *Dictionary, cands []scoredHit) []FuzzyHit {
+	if len(cands) == 0 {
+		return nil
+	}
+	hits := make([]FuzzyHit, len(cands))
+	for i, c := range cands {
+		hits[i] = FuzzyHit{Text: c.text, Similarity: c.sim, Entries: d.Lookup(c.text)}
+	}
+	return hits
 }
 
 // exactFallback resolves trigram-less (very short) queries through the
@@ -145,24 +442,6 @@ func exactFallback(d *Dictionary, norm string) []FuzzyHit {
 		return []FuzzyHit{{Text: norm, Similarity: 1, Entries: es}}
 	}
 	return nil
-}
-
-// sortHits orders hits best-similarity first, ties broken by text.
-func sortHits(hits []FuzzyHit) {
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Similarity != hits[j].Similarity {
-			return hits[i].Similarity > hits[j].Similarity
-		}
-		return hits[i].Text < hits[j].Text
-	})
-}
-
-// truncateHits applies the caller's limit (0 = no limit).
-func truncateHits(hits []FuzzyHit, limit int) []FuzzyHit {
-	if limit > 0 && len(hits) > limit {
-		hits = hits[:limit]
-	}
-	return hits
 }
 
 // BestEntity resolves a query to a single entity through the fuzzy index,

@@ -2,8 +2,10 @@ package match
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -69,4 +71,145 @@ func ReadTSV(r io.Reader) (*Dictionary, error) {
 		return nil, fmt.Errorf("match: reading dictionary: %w", err)
 	}
 	return d, nil
+}
+
+// Packed fuzzy-index serialization: a uvarint-framed binary layout the
+// serve snapshot embeds as its own section.
+//
+//	string count, gram count,
+//	per gram: uvarint length + UTF-8 bytes,
+//	per gram: posting count, then per posting:
+//	  string-index delta (first posting: the index itself; postings are
+//	  strictly ascending, so deltas stay small), multiplicity.
+//
+// Delta coding keeps the common case — a gram appearing once in each of
+// a run of nearby strings — at two bytes per posting.
+
+// maxPackedGrams bounds the gram count read from a file; a larger prefix
+// means a corrupt file and must not drive an allocation.
+const maxPackedGrams = 1 << 26
+
+// WriteBinary serializes the packed index.
+func (p *PackedFuzzy) WriteBinary(w io.Writer) error {
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := w.Write(scratch[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(p.NumStrings)); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(p.Grams))); err != nil {
+		return err
+	}
+	for _, g := range p.Grams {
+		if err := writeUvarint(uint64(len(g))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, g); err != nil {
+			return err
+		}
+	}
+	for g := range p.Grams {
+		start, end := p.Offsets[g], p.Offsets[g+1]
+		if err := writeUvarint(uint64(end - start)); err != nil {
+			return err
+		}
+		prev := int32(0)
+		for k := start; k < end; k++ {
+			if err := writeUvarint(uint64(p.Postings[k] - prev)); err != nil {
+				return err
+			}
+			prev = p.Postings[k]
+			if err := writeUvarint(uint64(p.Mults[k])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadPackedFuzzy loads a packed index serialized by WriteBinary. The
+// reader should implement io.ByteReader (bufio.Reader does) — otherwise
+// it is wrapped, and bytes past the packed section may be consumed.
+func ReadPackedFuzzy(r io.Reader) (*PackedFuzzy, error) {
+	br, ok := r.(interface {
+		io.Reader
+		io.ByteReader
+	})
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+
+	numStrings, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("match: reading packed string count: %w", err)
+	}
+	numGrams, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("match: reading packed gram count: %w", err)
+	}
+	if numGrams > maxPackedGrams {
+		return nil, fmt.Errorf("match: packed gram count %d exceeds limit", numGrams)
+	}
+	// Capacity hints are capped: a corrupt count prefix must not drive a
+	// huge allocation before the snapshot checksum can reject the file.
+	p := &PackedFuzzy{
+		NumStrings: int(numStrings),
+		Grams:      make([]string, 0, min(numGrams, 1<<20)),
+		Offsets:    make([]int32, 1, min(numGrams, 1<<20)+1),
+	}
+	for i := uint64(0); i < numGrams; i++ {
+		n, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("match: reading packed gram %d: %w", i, err)
+		}
+		// Grams are fixed-width character n-grams; anything long is corrupt.
+		if n > 64 {
+			return nil, fmt.Errorf("match: packed gram length %d exceeds limit", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("match: reading packed gram %d: %w", i, err)
+		}
+		p.Grams = append(p.Grams, string(buf))
+	}
+	for g := uint64(0); g < numGrams; g++ {
+		cnt, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("match: reading posting count for gram %d: %w", g, err)
+		}
+		if cnt > numStrings {
+			return nil, fmt.Errorf("match: gram %d posting count %d exceeds string count %d", g, cnt, numStrings)
+		}
+		prev := int32(0)
+		for k := uint64(0); k < cnt; k++ {
+			delta, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("match: reading posting %d of gram %d: %w", k, g, err)
+			}
+			// Postings are strictly ascending (delta 0 is only the first
+			// posting's index 0), and the sum is checked in uint64 so an
+			// oversized delta cannot wrap int32 into a bogus valid index.
+			next := uint64(prev) + delta
+			if (k > 0 && delta == 0) || delta > math.MaxInt32 || next >= numStrings || next > math.MaxInt32 {
+				return nil, fmt.Errorf("match: posting %d of gram %d out of range", k, g)
+			}
+			idx := int32(next)
+			prev = idx
+			mult, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("match: reading multiplicity %d of gram %d: %w", k, g, err)
+			}
+			if mult < 1 || mult > 1<<30 {
+				return nil, fmt.Errorf("match: multiplicity %d of gram %d out of range", k, g)
+			}
+			p.Postings = append(p.Postings, idx)
+			p.Mults = append(p.Mults, int32(mult))
+		}
+		p.Offsets = append(p.Offsets, int32(len(p.Postings)))
+	}
+	return p, nil
 }

@@ -7,15 +7,42 @@ import (
 	"websyn/internal/textnorm"
 )
 
-// ShardedFuzzyIndex partitions the trigram index across independent
-// shards. Each shard owns a disjoint subset of the dictionary strings
-// with its own posting-list map, so a lookup touches several small maps
-// instead of one large one and the verification work fans out across
-// cores. Under concurrent serving load the shards also keep lookups from
-// contending on a single set of posting lists in cache.
+// ShardedFuzzyIndex partitions the packed trigram index across
+// independent shards. Each shard owns a disjoint subset of the dictionary
+// strings with its own posting slabs, so a lookup touches several small
+// gram tables instead of one large one and the verification work fans out
+// across cores. Under concurrent serving load the shards also keep
+// lookups from contending on a single set of posting lists in cache.
 type ShardedFuzzyIndex struct {
 	dict   *Dictionary
 	shards []*FuzzyIndex
+}
+
+// shardCount resolves the shard count against the string count: shards
+// <= 0 picks GOMAXPROCS, and there is never more than one shard per
+// string (nor fewer than one shard).
+func shardCount(shards, strings int) int {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > strings {
+		shards = strings
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// partitionStrings deals the string list round-robin into shardCount
+// parts — the one assignment rule shared by the direct builder and the
+// packed-snapshot loader, so both produce identical shards.
+func partitionStrings(all []string, shards int) [][]string {
+	parts := make([][]string, shards)
+	for i, s := range all {
+		parts[i%shards] = append(parts[i%shards], s)
+	}
+	return parts
 }
 
 // NewShardedFuzzyIndex builds a fuzzy index over every dictionary string,
@@ -23,20 +50,9 @@ type ShardedFuzzyIndex struct {
 // picks GOMAXPROCS. minSim is the Dice-similarity acceptance threshold,
 // as in NewFuzzyIndex.
 func (d *Dictionary) NewShardedFuzzyIndex(minSim float64, shards int) *ShardedFuzzyIndex {
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
-	}
 	all := d.Strings()
-	if shards > len(all) {
-		shards = len(all)
-	}
-	if shards < 1 {
-		shards = 1
-	}
-	parts := make([][]string, shards)
-	for i, s := range all {
-		parts[i%shards] = append(parts[i%shards], s)
-	}
+	shards = shardCount(shards, len(all))
+	parts := partitionStrings(all, shards)
 	sfi := &ShardedFuzzyIndex{dict: d, shards: make([]*FuzzyIndex, shards)}
 	var wg sync.WaitGroup
 	for i := range parts {
@@ -64,37 +80,37 @@ func (sfi *ShardedFuzzyIndex) Len() int {
 
 // Lookup finds the dictionary strings globally similar to the query,
 // best first, up to limit (0 = no limit). Shards are scanned in
-// parallel and their hits merged; results are identical to an unsharded
-// FuzzyIndex.Lookup at the same threshold.
+// parallel and their candidates merged through one top-k selection;
+// results are identical to an unsharded FuzzyIndex.Lookup at the same
+// threshold.
 func (sfi *ShardedFuzzyIndex) Lookup(query string, limit int) []FuzzyHit {
 	norm := textnorm.Normalize(query)
 	if norm == "" {
 		return nil
 	}
-	qGrams := distinctGrams(norm)
+	qGrams, qTotal := queryGrams(norm)
 	if len(qGrams) == 0 {
 		return exactFallback(sfi.dict, norm)
 	}
-	var hits []FuzzyHit
+	var cands []scoredHit
 	if len(sfi.shards) == 1 {
-		hits = sfi.shards[0].scan(norm, qGrams)
+		cands = sfi.shards[0].scan(qGrams, len(qGrams), qTotal, nil)
 	} else {
-		parts := make([][]FuzzyHit, len(sfi.shards))
+		parts := make([][]scoredHit, len(sfi.shards))
 		var wg sync.WaitGroup
 		for i, sh := range sfi.shards {
 			wg.Add(1)
 			go func(i int, sh *FuzzyIndex) {
 				defer wg.Done()
-				parts[i] = sh.scan(norm, qGrams)
+				parts[i] = sh.scan(qGrams, len(qGrams), qTotal, nil)
 			}(i, sh)
 		}
 		wg.Wait()
 		for _, p := range parts {
-			hits = append(hits, p...)
+			cands = append(cands, p...)
 		}
 	}
-	sortHits(hits)
-	return truncateHits(hits, limit)
+	return materializeHits(sfi.dict, selectTop(cands, limit))
 }
 
 // BestEntity resolves a query to a single entity through the sharded

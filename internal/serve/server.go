@@ -84,20 +84,35 @@ type Server struct {
 	synReqs      atomic.Uint64
 }
 
-// NewServer builds the serving state from a snapshot: the sharded fuzzy
-// index is constructed here (it is cheap relative to mining and not part
-// of the snapshot format).
+// NewServer builds the serving state from a snapshot. When the snapshot
+// embeds a packed fuzzy index (format version 2) the shards are rebuilt
+// from its posting slabs with pure array work; otherwise — version 1
+// snapshots, or mine-at-startup — the index is constructed from the
+// dictionary here.
 func NewServer(snap *Snapshot, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	minSim := snap.MinSim
 	if cfg.MinSim > 0 {
 		minSim = cfg.MinSim
 	}
+	var fuzzy *match.ShardedFuzzyIndex
+	if snap.Fuzzy != nil {
+		var err error
+		fuzzy, err = snap.Dict.NewShardedFuzzyIndexFromPacked(snap.Fuzzy, minSim, cfg.FuzzyShards)
+		if err != nil {
+			// A checksummed snapshot should never get here; fall back to
+			// a clean rebuild rather than refusing to serve.
+			log.Printf("serve: rebuilding fuzzy index, embedded one unusable: %v", err)
+		}
+	}
+	if fuzzy == nil {
+		fuzzy = snap.Dict.NewShardedFuzzyIndex(minSim, cfg.FuzzyShards)
+	}
 	s := &Server{
 		cfg:        cfg,
 		dataset:    snap.Dataset,
 		dict:       snap.Dict,
-		fuzzy:      snap.Dict.NewShardedFuzzyIndex(minSim, cfg.FuzzyShards),
+		fuzzy:      fuzzy,
 		canonicals: snap.Canonicals,
 		byNorm:     make(map[string]int, len(snap.Canonicals)),
 		synonyms:   snap.Synonyms,

@@ -53,6 +53,10 @@ type Snapshot struct {
 	Synonyms map[string][]string
 	// Dict is the compiled synonym dictionary.
 	Dict *match.Dictionary
+	// Fuzzy is the precomputed packed trigram index over Dict's strings
+	// (version 2 snapshots). When nil — a version 1 snapshot, or a
+	// builder that skipped it — servers rebuild the index from Dict.
+	Fuzzy *match.PackedFuzzy
 }
 
 // Snapshot file layout (all integers uvarint unless noted, all strings
@@ -67,16 +71,21 @@ type Snapshot struct {
 //	dictionary distinct-string count, then per string:
 //	  text string, entry count, then per entry:
 //	    entityID, score float64 bits (fixed 8 bytes), source string,
+//	[version >= 2] packed fuzzy-index presence byte (0 or 1), then when
+//	  present the packed index in match.PackedFuzzy binary layout,
 //	CRC-32 (IEEE) of everything above (fixed 4 bytes, big endian).
 //
 // The version byte is bumped on any incompatible layout change; readers
-// reject versions they don't know. The trailing checksum catches
-// truncated or corrupted files before a server boots on bad data.
+// reject versions they don't know, but version 1 files (no fuzzy
+// section) stay readable — servers rebuild the index from the
+// dictionary. The trailing checksum catches truncated or corrupted
+// files before a server boots on bad data.
 
 var snapshotMagic = [4]byte{'W', 'S', 'N', 'P'}
 
-// SnapshotVersion is the current snapshot layout version.
-const SnapshotVersion = 1
+// SnapshotVersion is the current snapshot layout version. Version 2
+// added the embedded packed fuzzy index.
+const SnapshotVersion = 2
 
 // crcWriter hashes every byte it forwards.
 type crcWriter struct {
@@ -95,6 +104,12 @@ func (cw *crcWriter) Write(p []byte) (int, error) {
 // WriteTo serializes the snapshot. It returns the number of bytes
 // written.
 func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	return s.writeTo(w, SnapshotVersion)
+}
+
+// writeTo serializes a specific layout version — version 1 omits the
+// fuzzy section. Tests use it to exercise backward-compatible reads.
+func (s *Snapshot) writeTo(w io.Writer, version byte) (int64, error) {
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw, sum: crc32.NewIEEE()}
 	var scratch [binary.MaxVarintLen64]byte
@@ -120,7 +135,7 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 	if _, err := cw.Write(snapshotMagic[:]); err != nil {
 		return cw.n, err
 	}
-	if _, err := cw.Write([]byte{SnapshotVersion}); err != nil {
+	if _, err := cw.Write([]byte{version}); err != nil {
 		return cw.n, err
 	}
 	if err := writeString(s.Dataset); err != nil {
@@ -185,6 +200,21 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 				return cw.n, err
 			}
 			if err := writeString(e.Source); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+
+	if version >= 2 {
+		if s.Fuzzy == nil {
+			if _, err := cw.Write([]byte{0}); err != nil {
+				return cw.n, err
+			}
+		} else {
+			if _, err := cw.Write([]byte{1}); err != nil {
+				return cw.n, err
+			}
+			if err := s.Fuzzy.WriteBinary(cw); err != nil {
 				return cw.n, err
 			}
 		}
@@ -263,8 +293,8 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: reading snapshot version: %w", err)
 	}
-	if ver != SnapshotVersion {
-		return nil, fmt.Errorf("serve: snapshot version %d, this binary reads %d", ver, SnapshotVersion)
+	if ver < 1 || ver > SnapshotVersion {
+		return nil, fmt.Errorf("serve: snapshot version %d, this binary reads 1..%d", ver, SnapshotVersion)
 	}
 
 	snap := &Snapshot{}
@@ -341,6 +371,25 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 				return nil, fmt.Errorf("serve: reading source (%q entry %d): %w", text, j, err)
 			}
 			snap.Dict.Add(text, match.Entry{EntityID: int(id), Score: score, Source: source})
+		}
+	}
+
+	if ver >= 2 {
+		present, err := cr.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("serve: reading fuzzy-index presence: %w", err)
+		}
+		switch present {
+		case 0:
+		case 1:
+			// cr implements io.ByteReader, so the packed reader consumes
+			// exactly the section and leaves the checksum in place.
+			snap.Fuzzy, err = match.ReadPackedFuzzy(cr)
+			if err != nil {
+				return nil, fmt.Errorf("serve: reading packed fuzzy index: %w", err)
+			}
+		default:
+			return nil, fmt.Errorf("serve: bad fuzzy-index presence byte %d", present)
 		}
 	}
 

@@ -26,6 +26,7 @@ func testSnapshot() *Snapshot {
 	return &Snapshot{
 		Dataset: "Movies",
 		MinSim:  0.55,
+		Fuzzy:   d.NewFuzzyIndex(0.55).Packed(),
 		Canonicals: []string{
 			"Indiana Jones and the Kingdom of the Crystal Skull",
 			"Madagascar: Escape 2 Africa",
@@ -69,6 +70,9 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if got.Dict.Len() != snap.Dict.Len() {
 		t.Fatalf("Dict.Len %d, want %d", got.Dict.Len(), snap.Dict.Len())
 	}
+	if !reflect.DeepEqual(got.Fuzzy, snap.Fuzzy) {
+		t.Errorf("packed fuzzy index diverged after round-trip:\n got %+v\nwant %+v", got.Fuzzy, snap.Fuzzy)
+	}
 
 	// The loaded dictionary must behave identically: every string, every
 	// entry, every segmentation.
@@ -98,6 +102,38 @@ func dumpDict(d *match.Dictionary) map[string][]match.Entry {
 		out[text] = append([]match.Entry(nil), entries...)
 	})
 	return out
+}
+
+// TestSnapshotReadsVersion1 pins backward compatibility: a version 1
+// file (no fuzzy section) must load, with servers rebuilding the index
+// from the dictionary.
+func TestSnapshotReadsVersion1(t *testing.T) {
+	snap := testSnapshot()
+	var buf bytes.Buffer
+	if _, err := snap.writeTo(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("version 1 snapshot rejected: %v", err)
+	}
+	if got.Fuzzy != nil {
+		t.Fatal("version 1 snapshot produced a fuzzy section")
+	}
+	if got.Dict.Len() != snap.Dict.Len() {
+		t.Fatalf("Dict.Len %d, want %d", got.Dict.Len(), snap.Dict.Len())
+	}
+	// A server over the v1 snapshot must serve the same fuzzy hits as
+	// one over the v2 snapshot with the embedded index.
+	v1 := NewServer(got, Config{CacheSize: -1, FuzzyShards: 3})
+	v2 := NewServer(snap, Config{CacheSize: -1, FuzzyShards: 3})
+	for _, q := range []string{"madagascar2", "indianna jones 4", "indy4"} {
+		a := v1.fuzzy.Lookup(q, 5)
+		b := v2.fuzzy.Lookup(q, 5)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("fuzzy Lookup(%q) diverged between v1 rebuild and v2 embedded:\n v1 %+v\n v2 %+v", q, a, b)
+		}
+	}
 }
 
 func TestSnapshotFileRoundTrip(t *testing.T) {

@@ -57,18 +57,22 @@ func MineSnapshot(ds Dataset, cfg MinerConfig, seed uint64, minSim float64) (*Sn
 }
 
 // BuildSnapshot compiles mined results into a serving snapshot: the
-// dictionary via BuildDictionary, the entity table, and the per-entity
-// synonym listing. minSim <= 0 means DefaultFuzzyMinSim.
+// dictionary via BuildDictionary, the entity table, the per-entity
+// synonym listing, and the packed fuzzy index precomputed offline so
+// servers boot it without re-gramming the dictionary. minSim <= 0 means
+// DefaultFuzzyMinSim.
 func (s *Simulation) BuildSnapshot(results []*MineResult, minSim float64) *Snapshot {
 	if minSim <= 0 {
 		minSim = DefaultFuzzyMinSim
 	}
+	dict := s.BuildDictionary(results)
 	snap := &Snapshot{
 		Dataset:    s.Options.Dataset.String(),
 		MinSim:     minSim,
 		Canonicals: s.Catalog.Canonicals(),
 		Synonyms:   make(map[string][]string, len(results)),
-		Dict:       s.BuildDictionary(results),
+		Dict:       dict,
+		Fuzzy:      dict.NewFuzzyIndex(minSim).Packed(),
 	}
 	for _, r := range results {
 		snap.Synonyms[r.Norm] = r.Synonyms
