@@ -320,6 +320,46 @@ func BenchmarkServeBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineMatch times the unified engine across its three query
+// classes: exact trie hits, per-token typo correction, and span-level
+// fuzzy resolution through the trigram index (the expensive new path).
+// It drives Server.Do — the cache-disabled unified API — so the gated
+// number covers request validation and conversion, not just the engine
+// core.
+func BenchmarkEngineMatch(b *testing.B) {
+	snap := movieSnapshot(b)
+	s := NewMatchServer(snap, ServeConfig{CacheSize: -1})
+	classes := []struct {
+		name    string
+		queries []string
+	}{
+		{"exact", []string{
+			"the dark knight tickets",
+			"quantum of solace showtimes",
+			"madagascar 2 dvd",
+		}},
+		{"typo", []string{
+			"twilght reviews",
+			"quantem of solace",
+			"madagscar 2 trailer",
+		}},
+		{"span-fuzzy", []string{
+			"kingdom of the kristol skull showtimes",
+			"quntum of solacee",
+			"bangkok dangeruos cage movie",
+		}},
+	}
+	for _, c := range classes {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Do(MatchRequest{Query: c.queries[i%len(c.queries)]}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFuzzyLookup contrasts the flat and sharded trigram indexes on
 // whole-string fuzzy lookups of misspelled queries.
 func BenchmarkFuzzyLookup(b *testing.B) {

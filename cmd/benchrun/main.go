@@ -39,8 +39,8 @@ import (
 
 // GatedBenchmarks is the default benchmark set: the latency-critical
 // serving path (whole-string fuzzy lookup, single-query match, batch
-// match).
-const GatedBenchmarks = "BenchmarkFuzzyLookup|BenchmarkServeMatch|BenchmarkServeBatch"
+// match, and the unified engine across exact/typo/span-fuzzy queries).
+const GatedBenchmarks = "BenchmarkFuzzyLookup|BenchmarkServeMatch|BenchmarkServeBatch|BenchmarkEngineMatch"
 
 // Result is one benchmark's aggregated measurement.
 type Result struct {

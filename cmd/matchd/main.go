@@ -4,9 +4,11 @@
 //
 // Endpoints:
 //
-//	GET  /match?q=<query>   — segment the query against the dictionary
-//	POST /match/batch       — segment many queries in one request
-//	GET  /fuzzy?q=<query>   — whole-string fuzzy lookup
+//	POST /v1/match          — unified match API: single + batch, span-level
+//	                          fuzzy matching, explain traces (docs/API.md)
+//	GET  /match?q=<query>   — legacy: segment the query against the dictionary
+//	POST /match/batch       — legacy: segment many queries in one request
+//	GET  /fuzzy?q=<query>   — legacy: whole-string fuzzy lookup
 //	GET  /synonyms?u=<name> — list the mined synonyms of a canonical string
 //	GET  /statsz            — cache, dictionary and latency stats
 //	GET  /healthz           — liveness
@@ -27,12 +29,21 @@
 //
 // Serving knobs: [-addr :8080] [-cache 4096] [-batch-workers N]
 // [-max-batch 1024] [-shards N] [-fuzzy-limit 5] [-min-sim 0.55]
+// [-drain-timeout 15s]
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests (large batches included) for up to -drain-timeout
+// before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"websyn"
@@ -48,11 +59,12 @@ func main() {
 		icr           = flag.Float64("icr", 0.1, "ICR threshold γ (mining)")
 		seed          = flag.Uint64("seed", 0, "simulation seed (0 = default)")
 		cacheSize     = flag.Int("cache", 0, "request-cache capacity in entries (0 = default 4096, negative = disabled)")
-		batchWorkers  = flag.Int("batch-workers", 0, "worker-pool size for /match/batch (0 = GOMAXPROCS)")
-		maxBatch      = flag.Int("max-batch", 0, "max queries per /match/batch request (0 = default 1024)")
+		batchWorkers  = flag.Int("batch-workers", 0, "worker-pool size for batch requests (0 = GOMAXPROCS)")
+		maxBatch      = flag.Int("max-batch", 0, "max queries per batch request (0 = default 1024)")
 		shards        = flag.Int("shards", 0, "fuzzy-index shard count (0 = GOMAXPROCS)")
 		fuzzyLimit    = flag.Int("fuzzy-limit", 5, "max hits returned by /fuzzy")
 		minSim        = flag.Float64("min-sim", 0, "fuzzy similarity threshold override (0 = snapshot's value)")
+		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "how long to drain in-flight requests on shutdown")
 	)
 	flag.Parse()
 
@@ -100,7 +112,31 @@ func main() {
 		ReadTimeout:  5 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections and
+	// let in-flight requests (large batches included) drain before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second signal kills
+		log.Printf("shutdown signal received, draining for up to %v", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("server: %v", err)
+		}
+		log.Print("shutdown complete")
+	}
 }
 
 // mineSnapshot runs the offline pipeline in-process: simulation, miner,

@@ -1,8 +1,10 @@
-// Matchserver: compile the mined synonyms into the fuzzy-match dictionary
+// Matchserver: compile the mined synonyms into the unified match engine
 // and run the paper's motivating queries through it — "Indy 4 near San
 // Fran" resolving to the full movie title with "near san fran" left over
-// for downstream interpretation. (cmd/matchd serves the same dictionary
-// over HTTP.)
+// for downstream interpretation, and "kingdom of the kristol skull"
+// resolving through span-level fuzzy matching even though no trie path
+// reaches it. (cmd/matchd serves the same engine over HTTP; see
+// docs/API.md for the POST /v1/match contract.)
 package main
 
 import (
@@ -24,51 +26,69 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dict := sim.BuildDictionary(results)
-	fmt.Printf("dictionary: %d (string, entity) pairs\n\n", dict.Len())
+
+	// One engine owns the trie, typo correction and the trigram index;
+	// every query goes through the same Request/Response pair as the
+	// HTTP tier.
+	engine := sim.BuildEngine(results, 0)
 
 	queries := []string{
 		"Indy 4 near San Fran",
 		"indiana jones 4 showtimes",
 		"dark knight tickets tonight",
 		"watch madagascar 2 online",
-		"twilght reviews",        // typo: corrected to twilight
-		"quantum of solace imdb", // canonical match
-		"best pizza in town",     // no entity at all
+		"twilght reviews",              // token typo: corrected in the trie
+		"quantum of solace imdb",       // canonical match
+		"quntum of solacee",            // span-level fuzzy: typos beyond edit distance 1
+		"kingdom of the kristol skull", // span-level fuzzy: mid-span garble
+		"madagascar2 dvd",              // span-level fuzzy: concatenation
+		"best pizza in town",           // no entity at all
 	}
 	for _, q := range queries {
-		seg := dict.Segment(q)
+		resp, err := engine.Match(websyn.MatchRequest{Query: q})
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("query: %q\n", q)
-		if len(seg.Matches) == 0 {
+		if len(resp.Matches) == 0 {
 			fmt.Println("  -> no entity match")
 		}
-		for _, m := range seg.Matches {
-			ent := sim.Catalog.ByID(m.EntityID)
-			note := ""
-			if m.Corrected {
-				note = " (typo-corrected)"
+		for _, m := range resp.Matches {
+			extra := ""
+			if m.Similarity > 0 {
+				extra = fmt.Sprintf(", sim %.2f", m.Similarity)
 			}
-			fmt.Printf("  -> %q matches %q [score %.2f, %s]%s\n",
-				m.Text, ent.Canonical, m.Score, m.Source, note)
+			fmt.Printf("  -> %q matches %q [score %.2f, %s via %s%s]\n",
+				m.Span, m.Canonical, m.Score, m.Source, m.Method, extra)
 		}
-		if seg.Remainder != "" {
-			fmt.Printf("  remainder: %q\n", seg.Remainder)
+		if resp.Remainder != "" {
+			fmt.Printf("  remainder: %q\n", resp.Remainder)
 		}
 		fmt.Println()
 	}
 
-	// Whole-string fuzzy lookup: queries that are globally close to a
-	// dictionary string but do not tokenize onto it.
-	fuzzy := dict.NewFuzzyIndex(0.55)
-	fmt.Printf("fuzzy index over %d dictionary strings:\n", fuzzy.Len())
+	// Whole-string fuzzy mode: the same engine, one request field away.
+	fmt.Println("fuzzy mode (whole-string trigram lookup):")
 	for _, q := range []string{"madagascar2", "darkknight", "quantom of solace"} {
-		hits := fuzzy.Lookup(q, 1)
-		if len(hits) == 0 {
+		resp, err := engine.Match(websyn.MatchRequest{Query: q, Mode: websyn.ModeFuzzy, TopK: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(resp.Matches) == 0 {
 			fmt.Printf("  %q -> no fuzzy hit\n", q)
 			continue
 		}
-		ent := sim.Catalog.ByID(hits[0].Entries[0].EntityID)
-		fmt.Printf("  %q -> %q (sim %.2f) -> %q\n",
-			q, hits[0].Text, hits[0].Similarity, ent.Canonical)
+		m := resp.Matches[0]
+		fmt.Printf("  %q -> %q (sim %.2f) -> %q\n", q, m.Span, m.Similarity, m.Canonical)
+	}
+
+	// Explain traces show every decision the engine made.
+	resp, err := engine.Match(websyn.MatchRequest{Query: "indy 4 kingdom of the kristol skull", Explain: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nexplain trace for \"indy 4 kingdom of the kristol skull\":")
+	for _, step := range resp.Trace {
+		fmt.Printf("  [%s] %s\n", step.Stage, step.Detail)
 	}
 }

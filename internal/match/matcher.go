@@ -150,9 +150,23 @@ func (d *Dictionary) MatchQuery(query string) (Match, bool) {
 
 // Candidates returns every entity mentioned in the query with its best
 // score, strongest first — useful when a query is genuinely ambiguous.
+// An entity mentioned in several spans appears once, under its
+// best-scoring span (ties go to the longer, then the earlier span).
 func (d *Dictionary) Candidates(query string) []Match {
 	seg := d.Segment(query)
-	out := append([]Match(nil), seg.Matches...)
+	best := make(map[int]Match, len(seg.Matches))
+	for _, m := range seg.Matches {
+		prev, ok := best[m.EntityID]
+		if !ok || m.Score > prev.Score ||
+			(m.Score == prev.Score && (m.End-m.Start > prev.End-prev.Start ||
+				(m.End-m.Start == prev.End-prev.Start && m.Start < prev.Start))) {
+			best[m.EntityID] = m
+		}
+	}
+	out := make([]Match, 0, len(best))
+	for _, m := range best {
+		out = append(out, m)
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score

@@ -4,10 +4,14 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"websyn/internal/match"
 )
 
-// lruCache is a fixed-capacity LRU request cache. It is safe for
-// concurrent use; hit/miss counters are maintained for /statsz.
+// lruCache is a fixed-capacity LRU request cache over engine responses,
+// keyed on the full match.Request (mode, top-k, thresholds, explain,
+// normalized query — see requestKey). It is safe for concurrent use;
+// hit/miss counters are maintained for /statsz.
 type lruCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -21,7 +25,7 @@ type lruCache struct {
 
 type cacheEntry struct {
 	key string
-	val MatchResult
+	val match.Response
 }
 
 // newLRU returns a cache holding at most capacity entries. capacity <= 0
@@ -38,14 +42,17 @@ func newLRU(capacity int) *lruCache {
 	}
 }
 
-// Get returns the cached result for key, marking it most recently used.
-func (c *lruCache) Get(key string) (MatchResult, bool) {
+// Get returns the cached response for key, marking it most recently
+// used. The returned value shares its slices with the cache entry:
+// callers must treat it as read-only (Server.Do detaches before handing
+// a response to library callers; the HTTP tier only marshals it).
+func (c *lruCache) Get(key string) (match.Response, bool) {
 	if c == nil {
-		return MatchResult{}, false
+		return match.Response{}, false
 	}
 	c.mu.Lock()
 	el, ok := c.items[key]
-	var val MatchResult
+	var val match.Response
 	if ok {
 		c.ll.MoveToFront(el)
 		// Copy under the lock: Put may update this entry in place.
@@ -54,15 +61,16 @@ func (c *lruCache) Get(key string) (MatchResult, bool) {
 	c.mu.Unlock()
 	if !ok {
 		c.misses.Add(1)
-		return MatchResult{}, false
+		return match.Response{}, false
 	}
 	c.hits.Add(1)
 	return val, true
 }
 
-// Put stores the result under key, evicting the least recently used
-// entry when full.
-func (c *lruCache) Put(key string, val MatchResult) {
+// Put stores the response under key, evicting the least recently used
+// entry when full. The value's slices are retained: callers must not
+// mutate them afterwards.
+func (c *lruCache) Put(key string, val match.Response) {
 	if c == nil {
 		return
 	}

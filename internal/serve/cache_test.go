@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"websyn/internal/match"
+
 	"fmt"
 	"sync"
 	"testing"
@@ -11,13 +13,13 @@ func TestLRUBasics(t *testing.T) {
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.Put("a", MatchResult{Query: "a"})
-	c.Put("b", MatchResult{Query: "b"})
+	c.Put("a", match.Response{Query: "a"})
+	c.Put("b", match.Response{Query: "b"})
 	if r, ok := c.Get("a"); !ok || r.Query != "a" {
 		t.Fatalf("Get(a) = %+v, %v", r, ok)
 	}
 	// "b" is now least recently used; inserting "c" evicts it.
-	c.Put("c", MatchResult{Query: "c"})
+	c.Put("c", match.Response{Query: "c"})
 	if _, ok := c.Get("b"); ok {
 		t.Fatal("b survived eviction")
 	}
@@ -39,8 +41,8 @@ func TestLRUBasics(t *testing.T) {
 
 func TestLRUUpdateExisting(t *testing.T) {
 	c := newLRU(2)
-	c.Put("a", MatchResult{Query: "a", Remainder: "old"})
-	c.Put("a", MatchResult{Query: "a", Remainder: "new"})
+	c.Put("a", match.Response{Query: "a", Remainder: "old"})
+	c.Put("a", match.Response{Query: "a", Remainder: "new"})
 	if c.Len() != 1 {
 		t.Fatalf("Len = %d after double Put, want 1", c.Len())
 	}
@@ -54,7 +56,7 @@ func TestLRUDisabled(t *testing.T) {
 	if c != nil {
 		t.Fatal("capacity 0 should return nil cache")
 	}
-	c.Put("a", MatchResult{})
+	c.Put("a", match.Response{})
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("disabled cache returned a hit")
 	}
@@ -86,7 +88,7 @@ func TestLRUConcurrent(t *testing.T) {
 						return
 					}
 				} else {
-					c.Put(key, MatchResult{Query: key})
+					c.Put(key, match.Response{Query: key})
 				}
 			}
 		}(g)

@@ -7,6 +7,7 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -22,11 +23,12 @@ type Config struct {
 	// CacheSize is the LRU request-cache capacity in entries. 0 means
 	// DefaultCacheSize; negative disables caching.
 	CacheSize int
-	// BatchWorkers bounds the worker pool a /match/batch request fans
-	// out on. 0 means GOMAXPROCS.
+	// BatchWorkers bounds the worker pool batch requests fan out on.
+	// 0 means GOMAXPROCS.
 	BatchWorkers int
-	// MaxBatch is the largest number of queries one /match/batch request
-	// may carry. 0 means DefaultMaxBatch.
+	// MaxBatch is the largest number of queries one batch request may
+	// carry (legacy /match/batch and /v1/match alike). 0 means
+	// DefaultMaxBatch.
 	MaxBatch int
 	// FuzzyShards is the number of partitions of the trigram fuzzy
 	// index. 0 means GOMAXPROCS.
@@ -61,13 +63,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the online matching tier: immutable dictionary state plus a
-// request cache and counters. All methods are safe for concurrent use.
+// Server is the online matching tier: one match.Engine over immutable
+// dictionary state, plus a request cache and counters. Every endpoint —
+// the versioned /v1/match and the legacy /match, /match/batch and
+// /fuzzy adapters — routes through the engine via Server.do. All
+// methods are safe for concurrent use.
 type Server struct {
 	cfg        Config
 	dataset    string
 	dict       *match.Dictionary
 	fuzzy      *match.ShardedFuzzyIndex
+	engine     *match.Engine
 	canonicals []string       // entity ID -> canonical string
 	byNorm     map[string]int // canonical norm -> entity ID
 	synonyms   map[string][]string
@@ -76,12 +82,15 @@ type Server struct {
 
 	matchLat latencyRecorder
 	batchLat latencyRecorder
+	v1Lat    latencyRecorder
 
 	matchReqs    atomic.Uint64
 	batchReqs    atomic.Uint64
 	batchQueries atomic.Uint64
 	fuzzyReqs    atomic.Uint64
 	synReqs      atomic.Uint64
+	v1Reqs       atomic.Uint64
+	v1Queries    atomic.Uint64
 }
 
 // NewServer builds the serving state from a snapshot. When the snapshot
@@ -113,6 +122,7 @@ func NewServer(snap *Snapshot, cfg Config) *Server {
 		dataset:    snap.Dataset,
 		dict:       snap.Dict,
 		fuzzy:      fuzzy,
+		engine:     match.NewEngine(snap.Dict, fuzzy, snap.Canonicals, minSim),
 		canonicals: snap.Canonicals,
 		byNorm:     make(map[string]int, len(snap.Canonicals)),
 		synonyms:   snap.Synonyms,
@@ -125,8 +135,135 @@ func NewServer(snap *Snapshot, cfg Config) *Server {
 	return s
 }
 
-// MatchResult is the JSON shape of one matched query (/match, and one
-// element of /match/batch).
+// Engine returns the server's match engine — the same instance every
+// endpoint routes through. Callers get uncached, unmetered access.
+func (s *Server) Engine() *match.Engine { return s.engine }
+
+// requestKey is the cache key of a defaulted request: every field that
+// shapes the response, plus the normalized query (as tokens, joined
+// here) so "Indy 4" and "indy   4" share an entry. Built with one
+// allocation — this runs on the cache-hit fast path.
+func requestKey(req match.Request, tokens []string) string {
+	n := len(string(req.Mode)) + 32
+	for _, t := range tokens {
+		n += len(t) + 1
+	}
+	var b strings.Builder
+	b.Grow(n)
+	b.WriteString(string(req.Mode))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(req.TopK))
+	b.WriteByte('|')
+	if req.MinSim == 0 {
+		b.WriteByte('0')
+	} else {
+		var buf [24]byte
+		b.Write(strconv.AppendFloat(buf[:0], req.MinSim, 'g', -1, 64))
+	}
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(req.MaxSpanTokens))
+	b.WriteByte('|')
+	if req.Explain {
+		b.WriteByte('e')
+	}
+	b.WriteByte('|')
+	for i, t := range tokens {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t)
+	}
+	return b.String()
+}
+
+// do answers one request through the cache and the engine. The returned
+// response may share slices with the cache: treat it as read-only (Do
+// detaches for public callers). The bool reports a cache hit; a cached
+// response carries the Timing of the request that computed it.
+func (s *Server) do(req match.Request) (match.Response, bool, error) {
+	req = req.WithDefaults()
+	if err := req.Validate(); err != nil {
+		return match.Response{}, false, err
+	}
+	tokens := textnorm.Tokenize(req.Query)
+	key := requestKey(req, tokens)
+	if res, ok := s.cache.Get(key); ok {
+		return res, true, nil
+	}
+	res, err := s.engine.MatchTokens(req, tokens)
+	if err != nil {
+		return match.Response{}, false, err
+	}
+	s.cache.Put(key, res)
+	return res, false, nil
+}
+
+// Do is the public one-call form of the unified API: cache-backed,
+// identical semantics to POST /v1/match with a single query. The
+// response is detached from the cache and safe to mutate.
+func (s *Server) Do(req match.Request) (match.Response, error) {
+	res, _, err := s.do(req)
+	if err != nil {
+		return match.Response{}, err
+	}
+	return detachResponse(res), nil
+}
+
+// detachResponse deep-copies the slices a caller could mutate, so
+// neither the caller nor the cache can corrupt the other.
+func detachResponse(r match.Response) match.Response {
+	if r.Matches != nil {
+		r.Matches = append([]match.SpanMatch(nil), r.Matches...)
+		for i := range r.Matches {
+			if alts := r.Matches[i].Alternates; alts != nil {
+				r.Matches[i].Alternates = append([]match.Alternate(nil), alts...)
+			}
+		}
+	}
+	if r.Trace != nil {
+		r.Trace = append([]match.TraceStep(nil), r.Trace...)
+	}
+	return r
+}
+
+// runPool applies fn to every index in [0, n) on a bounded worker pool.
+func (s *Server) runPool(n int, fn func(i int)) {
+	workers := s.cfg.BatchWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ---- Legacy compatibility surface ----
+//
+// MatchResult/MatchedSpan/FuzzyResult/FuzzyHit are the pre-v1 JSON
+// shapes. The legacy endpoints keep them byte-for-byte by converting
+// engine responses; new clients should use POST /v1/match.
+
+// MatchResult is the JSON shape of one matched query (GET /match, and
+// one element of POST /match/batch).
 type MatchResult struct {
 	Query     string        `json:"query"`
 	Matches   []MatchedSpan `json:"matches"`
@@ -145,92 +282,58 @@ type MatchedSpan struct {
 	Corrected bool    `json:"corrected,omitempty"`
 }
 
-// Match segments one query against the dictionary, consulting the
-// request cache first. The cache key is the normalized query, so "Indy 4"
-// and "indy   4" share an entry.
-func (s *Server) Match(query string) MatchResult {
-	tokens := textnorm.Tokenize(query)
-	key := strings.Join(tokens, " ")
-	if res, ok := s.cache.Get(key); ok {
-		res.Cached = true
-		return res.detach()
-	}
-	res := s.segment(tokens)
-	s.cache.Put(key, res.detach())
-	return res
-}
-
-// detach returns the result with its Matches slice detached from any
-// shared backing array, so neither callers mutating a returned result
-// nor the cache can corrupt the other.
-func (r MatchResult) detach() MatchResult {
-	r.Matches = append([]MatchedSpan(nil), r.Matches...)
-	return r
-}
-
-// segment runs the uncached match path over already-normalized tokens.
-func (s *Server) segment(tokens []string) MatchResult {
-	seg := s.dict.SegmentTokens(tokens)
-	res := MatchResult{Query: seg.Query, Remainder: seg.Remainder}
-	for _, m := range seg.Matches {
-		if m.EntityID < 0 || m.EntityID >= len(s.canonicals) {
-			continue
-		}
-		res.Matches = append(res.Matches, MatchedSpan{
-			Canonical: s.canonicals[m.EntityID],
+// legacyMatchResult converts an engine response to the legacy /match
+// shape.
+func legacyMatchResult(res match.Response, cached bool) MatchResult {
+	out := MatchResult{Query: res.Query, Remainder: res.Remainder, Cached: cached}
+	for _, m := range res.Matches {
+		out.Matches = append(out.Matches, MatchedSpan{
+			Canonical: m.Canonical,
 			EntityID:  m.EntityID,
-			Span:      m.Text,
+			Span:      m.Span,
 			Score:     m.Score,
 			Source:    m.Source,
 			Corrected: m.Corrected,
 		})
 	}
-	return res
+	return out
+}
+
+// Match segments one query against the dictionary in the legacy
+// (segmentation-only) mode, consulting the request cache first.
+func (s *Server) Match(query string) MatchResult {
+	res, cached, err := s.do(match.Request{Query: query, Mode: match.ModeSegment, TopK: 1})
+	if err != nil {
+		// Only an empty query reaches here; the legacy shape for it is an
+		// empty segmentation.
+		return MatchResult{}
+	}
+	return legacyMatchResult(res, cached)
 }
 
 // MatchBatch segments many queries with a bounded worker pool, returning
 // results in input order.
 func (s *Server) MatchBatch(queries []string) []MatchResult {
 	out := make([]MatchResult, len(queries))
-	workers := s.cfg.BatchWorkers
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	if workers <= 1 {
-		for i, q := range queries {
-			out[i] = s.Match(q)
-		}
-		return out
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(queries) {
-					return
-				}
-				out[i] = s.Match(queries[i])
-			}
-		}()
-	}
-	wg.Wait()
+	s.runPool(len(queries), func(i int) {
+		out[i] = s.Match(queries[i])
+	})
 	return out
 }
 
 // Handler returns the HTTP API:
 //
-//	GET  /match?q=<query>   — segment one query
-//	POST /match/batch       — segment many queries (JSON body)
-//	GET  /fuzzy?q=<query>   — whole-string fuzzy lookup
+//	POST /v1/match          — unified match API: single + batch, all
+//	                          modes, explain traces (see docs/API.md)
+//	GET  /match?q=<query>   — legacy: segment one query
+//	POST /match/batch       — legacy: segment many queries (JSON body)
+//	GET  /fuzzy?q=<query>   — legacy: whole-string fuzzy lookup
 //	GET  /synonyms?u=<name> — mined synonyms of a canonical string
 //	GET  /statsz            — cache, dictionary and latency stats
 //	GET  /healthz           — liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/match", s.handleV1Match)
 	mux.HandleFunc("GET /match", s.handleMatch)
 	mux.HandleFunc("POST /match/batch", s.handleBatch)
 	mux.HandleFunc("GET /fuzzy", s.handleFuzzy)
@@ -266,13 +369,16 @@ type BatchResponse struct {
 	Results []MatchResult `json:"results"`
 }
 
+// bodyLimit scales the request-body cap with the configured batch size
+// (queries are short; 512 bytes each is generous) so a raised -max-batch
+// is not silently capped by a byte limit.
+func (s *Server) bodyLimit() int64 {
+	return int64(1<<20) + 512*int64(s.cfg.MaxBatch)
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
-	// Scale the body cap with the configured batch size (queries are
-	// short; 512 bytes each is generous) so a raised -max-batch is not
-	// silently capped by a byte limit.
-	limit := int64(1<<20) + 512*int64(s.cfg.MaxBatch)
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit()))
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
@@ -322,20 +428,20 @@ func (s *Server) handleFuzzy(w http.ResponseWriter, r *http.Request) {
 	}
 	s.fuzzyReqs.Add(1)
 	res := FuzzyResult{Query: q}
-	for _, h := range s.fuzzy.Lookup(q, s.cfg.FuzzyLimit) {
-		if len(h.Entries) == 0 {
-			continue
+	limit := s.cfg.FuzzyLimit
+	if limit > match.MaxTopK {
+		limit = match.MaxTopK
+	}
+	eres, _, err := s.do(match.Request{Query: q, Mode: match.ModeFuzzy, TopK: limit})
+	if err == nil {
+		for _, m := range eres.Matches {
+			res.Hits = append(res.Hits, FuzzyHit{
+				Text:       m.Span,
+				Similarity: m.Similarity,
+				Canonical:  m.Canonical,
+				EntityID:   m.EntityID,
+			})
 		}
-		id := h.Entries[0].EntityID
-		if id < 0 || id >= len(s.canonicals) {
-			continue
-		}
-		res.Hits = append(res.Hits, FuzzyHit{
-			Text:       h.Text,
-			Similarity: h.Similarity,
-			Canonical:  s.canonicals[id],
-			EntityID:   id,
-		})
 	}
 	writeJSON(w, res)
 }
@@ -379,10 +485,13 @@ type Stats struct {
 		BatchQueries uint64 `json:"batch_queries"`
 		Fuzzy        uint64 `json:"fuzzy"`
 		Synonyms     uint64 `json:"synonyms"`
+		V1           uint64 `json:"v1"`
+		V1Queries    uint64 `json:"v1_queries"`
 	} `json:"requests"`
 	Latency struct {
 		Match LatencyStats `json:"match"`
 		Batch LatencyStats `json:"batch"`
+		V1    LatencyStats `json:"v1"`
 	} `json:"latency"`
 }
 
@@ -401,8 +510,11 @@ func (s *Server) Stats() Stats {
 	st.Requests.BatchQueries = s.batchQueries.Load()
 	st.Requests.Fuzzy = s.fuzzyReqs.Load()
 	st.Requests.Synonyms = s.synReqs.Load()
+	st.Requests.V1 = s.v1Reqs.Load()
+	st.Requests.V1Queries = s.v1Queries.Load()
 	st.Latency.Match = s.matchLat.snapshot()
 	st.Latency.Batch = s.batchLat.snapshot()
+	st.Latency.V1 = s.v1Lat.snapshot()
 	return st
 }
 

@@ -17,6 +17,7 @@ func testSnapshot() *Snapshot {
 		match.Entry{EntityID: 0, Score: 1, Source: "canonical"})
 	d.Add("indy 4", match.Entry{EntityID: 0, Score: 0.8125, Source: "mined"})
 	d.Add("indiana jones 4", match.Entry{EntityID: 0, Score: 0.75, Source: "mined"})
+	d.Add("kingdom of the crystal skull", match.Entry{EntityID: 0, Score: 0.7, Source: "mined"})
 	d.Add("Madagascar: Escape 2 Africa", match.Entry{EntityID: 1, Score: 1, Source: "canonical"})
 	d.Add("madagascar 2", match.Entry{EntityID: 1, Score: 0.9, Source: "mined"})
 	// An ambiguous string resolving to two entities.

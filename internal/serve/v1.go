@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"websyn/internal/match"
+)
+
+// POST /v1/match — the versioned, unified matching endpoint. One shape
+// serves single and batch requests:
+//
+//	{"query": "indy 4 near san fran", "explain": true}
+//	{"queries": [{"query": "indy 4"}, {"query": "madagascar2"}], "top_k": 3}
+//
+// Top-level tuning fields (top_k, min_sim, mode, explain,
+// max_span_tokens) act as defaults for every batch item; an item's own
+// non-zero fields win. The response is always the batch shape — a single
+// query is a batch of one — and errors are per-item, so one malformed
+// query cannot fail a 500-query batch:
+//
+//	{"count": 2, "results": [{...}, {"error": "match: empty query"}]}
+//
+// Request-level failures (malformed JSON, unknown fields, oversized
+// batch) are JSON error objects with a 4xx status. See docs/API.md for
+// the full contract.
+
+// V1Request is the body of POST /v1/match: one match.Request, optionally
+// carrying a batch. Unknown fields are rejected.
+type V1Request struct {
+	match.Request
+	// Queries, when non-empty, makes the request a batch; the embedded
+	// top-level fields (except Query, which must then be empty) become
+	// per-item defaults.
+	Queries []match.Request `json:"queries,omitempty"`
+}
+
+// V1Response is the body of a successful POST /v1/match.
+type V1Response struct {
+	Count   int        `json:"count"`
+	Results []V1Result `json:"results"`
+}
+
+// V1Result is one query's outcome: an engine response, or a per-item
+// error (never both).
+type V1Result struct {
+	*match.Response
+	// Cached reports whether the response came from the request cache;
+	// a cached response carries the Timing of the request that computed
+	// it.
+	Cached bool `json:"cached,omitempty"`
+	// Error is the per-item failure (empty query, bad mode, ...).
+	Error string `json:"error,omitempty"`
+}
+
+// v1Error is the JSON error shape for request-level failures.
+type v1Error struct {
+	Error string `json:"error"`
+}
+
+func writeV1Error(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v1Error{Error: fmt.Sprintf(format, args...)}); err != nil {
+		log.Printf("serve: encoding error response: %v", err)
+	}
+}
+
+// inheritDefaults fills an item's zero fields from the batch-level
+// request.
+func inheritDefaults(item, top match.Request) match.Request {
+	if item.TopK == 0 {
+		item.TopK = top.TopK
+	}
+	if item.MinSim == 0 {
+		item.MinSim = top.MinSim
+	}
+	if item.Mode == "" {
+		item.Mode = top.Mode
+	}
+	if item.MaxSpanTokens == 0 {
+		item.MaxSpanTokens = top.MaxSpanTokens
+	}
+	item.Explain = item.Explain || top.Explain
+	return item
+}
+
+func (s *Server) handleV1Match(w http.ResponseWriter, r *http.Request) {
+	var req V1Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeV1Error(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeV1Error(w, http.StatusBadRequest, "bad JSON body: %s", err)
+		return
+	}
+
+	items := req.Queries
+	if len(items) == 0 {
+		if req.Query == "" {
+			writeV1Error(w, http.StatusBadRequest, "set query, or queries for a batch")
+			return
+		}
+		items = []match.Request{req.Request}
+	} else {
+		if req.Query != "" {
+			writeV1Error(w, http.StatusBadRequest, "query and queries are mutually exclusive")
+			return
+		}
+		if len(items) > s.cfg.MaxBatch {
+			writeV1Error(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(items), s.cfg.MaxBatch)
+			return
+		}
+		for i := range items {
+			items[i] = inheritDefaults(items[i], req.Request)
+		}
+	}
+
+	s.v1Reqs.Add(1)
+	s.v1Queries.Add(uint64(len(items)))
+	t0 := time.Now()
+	results := make([]V1Result, len(items))
+	s.runPool(len(items), func(i int) {
+		res, cached, err := s.do(items[i])
+		if err != nil {
+			results[i] = V1Result{Error: err.Error()}
+			return
+		}
+		results[i] = V1Result{Response: &res, Cached: cached}
+	})
+	s.v1Lat.observe(time.Since(t0))
+	writeJSON(w, V1Response{Count: len(results), Results: results})
+}

@@ -23,6 +23,49 @@ type (
 	FuzzyHit = match.FuzzyHit
 )
 
+// Unified-engine re-exports: the one Request/Response matching surface
+// shared by the Go API and POST /v1/match (see docs/API.md).
+type (
+	// MatchEngine is the single entry point owning the trie, typo
+	// correction and the trigram index.
+	MatchEngine = match.Engine
+	// MatchRequest is the one matching request shape.
+	MatchRequest = match.Request
+	// MatchResponse is the one matching response shape.
+	MatchResponse = match.Response
+	// MatchMode selects the engine strategy (span, segment, fuzzy).
+	MatchMode = match.Mode
+	// SpanMatch is one resolved span in a MatchResponse.
+	SpanMatch = match.SpanMatch
+)
+
+// Engine modes.
+const (
+	ModeSpan    = match.ModeSpan
+	ModeSegment = match.ModeSegment
+	ModeFuzzy   = match.ModeFuzzy
+)
+
+// NewMatchEngine assembles an engine from its parts. fuzzy may be any
+// trigram index (flat or sharded) or nil; canonicals maps entity ID to
+// canonical string and may be nil; minSim <= 0 uses the package default.
+func NewMatchEngine(dict *MatchDictionary, fuzzy match.FuzzyLookup, canonicals []string, minSim float64) *MatchEngine {
+	return match.NewEngine(dict, fuzzy, canonicals, minSim)
+}
+
+// BuildEngine compiles mined results into a ready-to-query engine: the
+// dictionary via BuildDictionary, a sharded trigram index over it, and
+// the catalog's entity table. minSim <= 0 means DefaultFuzzyMinSim.
+// The one-call form for library users; servers should go through
+// BuildSnapshot + NewMatchServer instead.
+func (s *Simulation) BuildEngine(results []*MineResult, minSim float64) *MatchEngine {
+	if minSim <= 0 {
+		minSim = DefaultFuzzyMinSim
+	}
+	dict := s.BuildDictionary(results)
+	return match.NewEngine(dict, dict.NewShardedFuzzyIndex(minSim, 0), s.Catalog.Canonicals(), minSim)
+}
+
 // LoadDictionary reads a dictionary serialized with
 // MatchDictionary.WriteTSV.
 func LoadDictionary(r io.Reader) (*MatchDictionary, error) {

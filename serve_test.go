@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -121,5 +122,35 @@ func TestServeFromSnapshotWithoutMiner(t *testing.T) {
 		if len(r.Matches) == 0 {
 			t.Fatalf("batch result %d unmatched: %+v", i, r)
 		}
+	}
+
+	// The unified endpoint answers from the same snapshot-only server,
+	// span-level fuzzy matching included.
+	vreq := `{"query": "kingdom of the kristol skull showtimes", "explain": true}`
+	vresp, err := http.Post(ts.URL+"/v1/match", "application/json", strings.NewReader(vreq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vresp.Body.Close()
+	var vr struct {
+		Count   int `json:"count"`
+		Results []struct {
+			MatchResponse
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(vresp.Body).Decode(&vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Count != 1 || vr.Results[0].Error != "" {
+		t.Fatalf("v1 response: %+v", vr)
+	}
+	v := vr.Results[0]
+	if len(v.Matches) != 1 ||
+		v.Matches[0].Canonical != "Indiana Jones and the Kingdom of the Crystal Skull" {
+		t.Fatalf("v1 span-fuzzy failed on the snapshot server: %+v", v.Matches)
+	}
+	if v.Remainder != "showtimes" || len(v.Trace) == 0 {
+		t.Fatalf("v1 remainder/trace: %+v", v)
 	}
 }
