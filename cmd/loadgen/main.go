@@ -1,0 +1,116 @@
+// Command loadgen replays a mixed query workload against a running
+// matchd at a target QPS and writes a latency/error report.
+//
+// The workload is derived from a snapshot file — the same artifact the
+// target server serves — so it mixes the three query classes the
+// matcher distinguishes (exact dictionary hits, one-edit typos,
+// concatenated span-fuzzy spans) plus background noise, on whatever
+// dictionary is actually deployed:
+//
+//	loadgen -url http://127.0.0.1:8080 -snapshot movies.snap \
+//	    -qps 200 -duration 10s -report load.json
+//
+// The report carries request counts, error counts and p50/p90/p95/p99
+// latency. Two optional gates make it a CI smoke check: -fail-on-error
+// exits non-zero on any transport error or non-200 response, and
+// -max-p99 exits non-zero when the p99 latency exceeds the bound:
+//
+//	loadgen -url ... -snapshot ... -qps 50 -duration 5s \
+//	    -report load.json -fail-on-error -max-p99 250ms
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"websyn"
+	"websyn/internal/loadtest"
+)
+
+func main() {
+	var (
+		url         = flag.String("url", "http://127.0.0.1:8080", "target server base URL")
+		snapshot    = flag.String("snapshot", "", "snapshot file to derive the workload from (required)")
+		qps         = flag.Float64("qps", 200, "target request rate (0 = unpaced)")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to run")
+		concurrency = flag.Int("concurrency", 8, "worker count")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-request timeout")
+		seed        = flag.Uint64("seed", 1, "workload shuffle seed")
+		reportPath  = flag.String("report", "", "write the JSON report to this file (default: stdout only)")
+		failOnError = flag.Bool("fail-on-error", false, "exit non-zero on any transport error or non-200 response")
+		maxP99      = flag.Duration("max-p99", 0, "exit non-zero when p99 latency exceeds this (0 = no bound)")
+		minRequests = flag.Uint64("min-requests", 0, "exit non-zero when fewer requests complete (0 = no floor); catches a server that hangs mid-run without erroring")
+	)
+	flag.Parse()
+	if *snapshot == "" {
+		log.Fatal("loadgen: -snapshot is required (the workload is derived from it)")
+	}
+
+	snap, err := websyn.ReadSnapshotFile(*snapshot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := loadtest.FromSnapshot(snap, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("workload: %d queries from %s (%s), targeting %s at %g qps for %v",
+		len(w.Queries), *snapshot, snap.Dataset, *url, *qps, *duration)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	rep, err := loadtest.Run(ctx, w, loadtest.Options{
+		URL:         *url,
+		QPS:         *qps,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(out))
+	if *reportPath != "" {
+		if err := os.WriteFile(*reportPath, append(out, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *reportPath)
+	}
+
+	failed := false
+	if *failOnError && rep.Failed() {
+		log.Printf("FAIL: %d transport errors, %d non-200 responses", rep.Errors, rep.Non200)
+		failed = true
+	}
+	if completed := rep.Requests - rep.Errors; *minRequests > 0 && completed < *minRequests {
+		log.Printf("FAIL: only %d requests completed, floor is %d", completed, *minRequests)
+		failed = true
+	}
+	if *maxP99 > 0 {
+		// A latency bound over zero completed requests would vacuously
+		// pass (empty percentiles are 0) — a dead target must not look
+		// like a fast one.
+		if rep.Requests == rep.Errors {
+			log.Printf("FAIL: no request completed, p99 bound %v unmeasurable", *maxP99)
+			failed = true
+		} else if rep.Latency.P99 > float64(*maxP99)/float64(time.Millisecond) {
+			log.Printf("FAIL: p99 %.2fms exceeds bound %v", rep.Latency.P99, *maxP99)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -12,6 +12,9 @@
 //	GET  /synonyms?u=<name> — list the mined synonyms of a canonical string
 //	GET  /statsz            — cache, dictionary and latency stats
 //	GET  /healthz           — liveness
+//	GET  /admin/snapshot    — live dictionary generation and provenance
+//	POST /admin/reload      — hot-swap the snapshot now (-snapshot only)
+//	GET  /admin/reload/status — reload watcher counters (-snapshot only)
 //
 // The expensive part — simulating the logs and mining the dictionary — is
 // offline work. Production startup loads a prebuilt snapshot (see
@@ -31,9 +34,20 @@
 // [-max-batch 1024] [-shards N] [-fuzzy-limit 5] [-min-sim 0.55]
 // [-drain-timeout 15s]
 //
+// Hot reload (requires -snapshot): [-reload-interval 0] polls the
+// snapshot file and swaps new dictionary generations in atomically —
+// in-flight requests finish on the old dictionary, new ones see the new
+// file; no restart, no dropped traffic. POST /admin/reload triggers a
+// check immediately (with -reload-interval 0 it is the only trigger),
+// GET /admin/snapshot reports the live generation and its provenance,
+// and [-canary "q1,q2"] adds validation queries a candidate snapshot
+// must match before it may serve.
+//
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests (large batches included) for up to -drain-timeout
-// before exiting.
+// before exiting. The reload watcher stops with the same signal, and a
+// swap that races the drain only replaces in-memory state — it can
+// never resurrect the closed listener.
 package main
 
 import (
@@ -43,6 +57,7 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,35 +66,55 @@ import (
 
 func main() {
 	var (
-		addr          = flag.String("addr", ":8080", "listen address")
-		snapshotPath  = flag.String("snapshot", "", "start from this snapshot file instead of mining")
-		writeSnapshot = flag.String("write-snapshot", "", "mine, write a snapshot to this path, and exit")
-		dataset       = flag.String("dataset", "movies", "data set to mine when not using -snapshot: movies, cameras or software")
-		ipc           = flag.Int("ipc", 4, "IPC threshold β (mining)")
-		icr           = flag.Float64("icr", 0.1, "ICR threshold γ (mining)")
-		seed          = flag.Uint64("seed", 0, "simulation seed (0 = default)")
-		cacheSize     = flag.Int("cache", 0, "request-cache capacity in entries (0 = default 4096, negative = disabled)")
-		batchWorkers  = flag.Int("batch-workers", 0, "worker-pool size for batch requests (0 = GOMAXPROCS)")
-		maxBatch      = flag.Int("max-batch", 0, "max queries per batch request (0 = default 1024)")
-		shards        = flag.Int("shards", 0, "fuzzy-index shard count (0 = GOMAXPROCS)")
-		fuzzyLimit    = flag.Int("fuzzy-limit", 5, "max hits returned by /fuzzy")
-		minSim        = flag.Float64("min-sim", 0, "fuzzy similarity threshold override (0 = snapshot's value)")
-		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "how long to drain in-flight requests on shutdown")
+		addr           = flag.String("addr", ":8080", "listen address")
+		snapshotPath   = flag.String("snapshot", "", "start from this snapshot file instead of mining")
+		writeSnapshot  = flag.String("write-snapshot", "", "mine, write a snapshot to this path, and exit")
+		dataset        = flag.String("dataset", "movies", "data set to mine when not using -snapshot: movies, cameras or software")
+		ipc            = flag.Int("ipc", 4, "IPC threshold β (mining)")
+		icr            = flag.Float64("icr", 0.1, "ICR threshold γ (mining)")
+		seed           = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+		cacheSize      = flag.Int("cache", 0, "request-cache capacity in entries (0 = default 4096, negative = disabled)")
+		batchWorkers   = flag.Int("batch-workers", 0, "worker-pool size for batch requests (0 = GOMAXPROCS)")
+		maxBatch       = flag.Int("max-batch", 0, "max queries per batch request (0 = default 1024)")
+		shards         = flag.Int("shards", 0, "fuzzy-index shard count (0 = GOMAXPROCS)")
+		fuzzyLimit     = flag.Int("fuzzy-limit", 5, "max hits returned by /fuzzy")
+		minSim         = flag.Float64("min-sim", 0, "fuzzy similarity threshold override (0 = snapshot's value)")
+		drainTimeout   = flag.Duration("drain-timeout", 15*time.Second, "how long to drain in-flight requests on shutdown")
+		reloadInterval = flag.Duration("reload-interval", 0, "poll -snapshot for changes this often and hot-swap (0 = admin-triggered reloads only; requires -snapshot)")
+		canary         = flag.String("canary", "", "comma-separated queries a new snapshot must match before a hot swap")
 	)
 	flag.Parse()
 
+	// Fail flag misuse fast, before the (potentially minutes-long)
+	// mine-at-startup path runs: hot reload watches the snapshot file,
+	// so both knobs are meaningless without one.
+	if *snapshotPath == "" {
+		if *reloadInterval > 0 {
+			log.Fatal("-reload-interval requires -snapshot (mined-at-startup state has no file to watch)")
+		}
+		if *canary != "" {
+			log.Fatal("-canary requires -snapshot (canaries gate snapshot hot swaps)")
+		}
+	}
+
 	var (
 		snap *websyn.Snapshot
+		meta websyn.SnapshotMeta
 		err  error
 	)
 	start := time.Now()
 	if *snapshotPath != "" {
-		snap, err = websyn.ReadSnapshotFile(*snapshotPath)
+		// The reloader needs the booted content's SHA-256 to seed its
+		// change detection; ReadSnapshotFileHashed streams it during the
+		// parse.
+		var sha string
+		snap, sha, err = websyn.ReadSnapshotFileHashed(*snapshotPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("loaded snapshot %s (%s, %d dictionary entries) in %v",
-			*snapshotPath, snap.Dataset, snap.Dict.Len(), time.Since(start).Round(time.Millisecond))
+		meta = websyn.SnapshotMeta{Path: *snapshotPath, SHA256: sha}
+		log.Printf("loaded snapshot %s (%s, %d dictionary entries, sha256 %.12s) in %v",
+			*snapshotPath, snap.Dataset, snap.Dict.Len(), meta.SHA256, time.Since(start).Round(time.Millisecond))
 	} else {
 		snap, err = mineSnapshot(*dataset, *ipc, *icr, *seed)
 		if err != nil {
@@ -97,26 +132,57 @@ func main() {
 		return
 	}
 
-	s := websyn.NewMatchServer(snap, websyn.ServeConfig{
+	s := websyn.NewMatchServerWithMeta(snap, websyn.ServeConfig{
 		CacheSize:    *cacheSize,
 		BatchWorkers: *batchWorkers,
 		MaxBatch:     *maxBatch,
 		FuzzyShards:  *shards,
 		FuzzyLimit:   *fuzzyLimit,
 		MinSim:       *minSim,
-	})
+	}, meta)
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections and
+	// let in-flight requests (large batches included) drain before exit.
+	// The reload watcher shares this context, so it stops checking for
+	// new snapshots the moment shutdown begins; a swap already in flight
+	// only replaces in-memory state and cannot resurrect the listener.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	mux := http.NewServeMux()
+	s.Mount(mux)
+
+	if *snapshotPath != "" {
+		var canaries []string
+		for _, q := range strings.Split(*canary, ",") {
+			if q = strings.TrimSpace(q); q != "" {
+				canaries = append(canaries, q)
+			}
+		}
+		r, err := websyn.NewReloader(s, websyn.ReloadConfig{
+			Path:     *snapshotPath,
+			Interval: *reloadInterval,
+			Canary:   canaries,
+			BootSHA:  meta.SHA256, // already hashed above; skip a second full read
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Mount(mux)
+		go r.Run(ctx)
+		if *reloadInterval > 0 {
+			log.Printf("hot reload: polling %s every %v (POST /admin/reload to trigger now)", *snapshotPath, *reloadInterval)
+		} else {
+			log.Printf("hot reload: POST /admin/reload swaps %s in", *snapshotPath)
+		}
+	}
+
 	log.Printf("serving ready in %v, listening on %s", time.Since(start).Round(time.Millisecond), *addr)
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      s.Handler(),
+		Handler:      mux,
 		ReadTimeout:  5 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}
-
-	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections and
-	// let in-flight requests (large batches included) drain before exit.
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -132,6 +198,10 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("drain incomplete: %v", err)
 		}
+		// Shutdown does not wait for the reload watcher: a reload still
+		// building when the drain ends is abandoned with the process
+		// (it only ever swaps in-memory state, never writes files), so
+		// -drain-timeout genuinely bounds shutdown.
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("server: %v", err)
 		}

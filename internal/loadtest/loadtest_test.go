@@ -1,0 +1,113 @@
+package loadtest
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"websyn/internal/match"
+	"websyn/internal/serve"
+)
+
+// newTestHTTP serves srv over a test listener and returns its base URL.
+func newTestHTTP(t *testing.T, srv *serve.Server) string {
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func testSnapshot() *serve.Snapshot {
+	d := match.NewDictionary()
+	d.Add("Indiana Jones and the Kingdom of the Crystal Skull",
+		match.Entry{EntityID: 0, Score: 1, Source: "canonical"})
+	d.Add("indy 4", match.Entry{EntityID: 0, Score: 0.8, Source: "mined"})
+	d.Add("Madagascar: Escape 2 Africa", match.Entry{EntityID: 1, Score: 1, Source: "canonical"})
+	d.Add("madagascar 2", match.Entry{EntityID: 1, Score: 0.9, Source: "mined"})
+	return &serve.Snapshot{
+		Dataset:    "Movies",
+		MinSim:     0.55,
+		Canonicals: []string{"Indiana Jones and the Kingdom of the Crystal Skull", "Madagascar: Escape 2 Africa"},
+		Synonyms: map[string][]string{
+			"indiana jones and the kingdom of the crystal skull": {"indy 4"},
+			"madagascar escape 2 africa":                         {"madagascar 2"},
+		},
+		Dict:  d,
+		Fuzzy: d.NewFuzzyIndex(0.55).Packed(),
+	}
+}
+
+func TestWorkloadMixAndDeterminism(t *testing.T) {
+	w, err := FromSnapshot(testSnapshot(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[string]int{}
+	for _, q := range w.Queries {
+		if q.Text == "" {
+			t.Fatal("empty query in workload")
+		}
+		classes[q.Class]++
+	}
+	for _, c := range []string{ClassExact, ClassTypo, ClassSpanFuzzy, ClassNoise} {
+		if classes[c] == 0 {
+			t.Errorf("workload has no %s queries: %v", c, classes)
+		}
+	}
+	// Same seed -> same workload; the CI gate depends on reproducible runs.
+	w2, err := FromSnapshot(testSnapshot(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w.Queries, w2.Queries) {
+		t.Fatal("workload not deterministic for a fixed seed")
+	}
+	w3, _ := FromSnapshot(testSnapshot(), 7)
+	if reflect.DeepEqual(w.Queries, w3.Queries) {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestRunAgainstServer(t *testing.T) {
+	snap := testSnapshot()
+	srv := serve.NewServer(snap, serve.Config{})
+	ts := newTestHTTP(t, srv)
+
+	w, err := FromSnapshot(snap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), w, Options{
+		URL:         ts,
+		QPS:         500,
+		Duration:    300 * time.Millisecond,
+		Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("clean run failed: errors %d, non-200 %d", rep.Errors, rep.Non200)
+	}
+	if rep.Requests == 0 || rep.Latency.P99 <= 0 || rep.Latency.P50 > rep.Latency.P99 {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	if rep.ByClass[ClassExact] == 0 {
+		t.Fatalf("no exact queries recorded: %+v", rep.ByClass)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	ms := make([]float64, 100)
+	for i := range ms {
+		ms[i] = float64(i + 1) // 1..100
+	}
+	p := percentiles(ms)
+	if p.P50 != 50 || p.P99 != 99 || p.Max != 100 || p.Mean != 50.5 {
+		t.Fatalf("percentiles over 1..100: %+v", p)
+	}
+	if z := percentiles(nil); z != (Percentiles{}) {
+		t.Fatalf("empty percentiles: %+v", z)
+	}
+}

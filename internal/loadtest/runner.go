@@ -1,0 +1,235 @@
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes a load run.
+type Options struct {
+	// URL is the target server's base URL (e.g. http://127.0.0.1:8080).
+	// Required.
+	URL string
+	// QPS is the target request rate. <= 0 means unpaced: every worker
+	// fires as fast as the server answers.
+	QPS float64
+	// Duration bounds the run. <= 0 means run until ctx is cancelled.
+	Duration time.Duration
+	// Concurrency is the worker count. 0 means 8.
+	Concurrency int
+	// Timeout is the per-request HTTP timeout. 0 means 5s.
+	Timeout time.Duration
+}
+
+// Report is the JSON output of a load run.
+type Report struct {
+	URL             string  `json:"url"`
+	TargetQPS       float64 `json:"target_qps,omitempty"`
+	AchievedQPS     float64 `json:"achieved_qps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Concurrency     int     `json:"concurrency"`
+	Requests        uint64  `json:"requests"`
+	// Errors are transport-level failures (connection refused, timeout);
+	// Non200 are responses with any status other than 200. A correct
+	// server under a correct workload reports zero of both — the
+	// reload-under-load gate asserts exactly that.
+	Errors  uint64            `json:"errors"`
+	Non200  uint64            `json:"non_200"`
+	ByClass map[string]uint64 `json:"requests_by_class"`
+	Latency Percentiles       `json:"latency_ms"`
+}
+
+// Percentiles summarizes request latencies in milliseconds.
+type Percentiles struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// Failed reports whether the run saw any failed request (transport
+// error or non-200 status).
+func (r *Report) Failed() bool { return r.Errors > 0 || r.Non200 > 0 }
+
+// Run replays the workload against opt.URL's POST /v1/match at the
+// target rate until the duration elapses or ctx is cancelled, whichever
+// comes first. Pacing is closed-loop with a shared schedule: workers
+// claim send slots in order and sleep until each slot's ideal time, so
+// a slow server back-pressures the generator instead of piling up
+// unbounded in-flight requests.
+func Run(ctx context.Context, w *Workload, opt Options) (*Report, error) {
+	if opt.URL == "" {
+		return nil, fmt.Errorf("loadtest: Options.URL is required")
+	}
+	if len(w.Queries) == 0 {
+		return nil, fmt.Errorf("loadtest: empty workload")
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 8
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 5 * time.Second
+	}
+	if opt.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Duration)
+		defer cancel()
+	}
+
+	client := &http.Client{
+		Timeout: opt.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        opt.Concurrency,
+			MaxIdleConnsPerHost: opt.Concurrency,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	// Bodies are encoded once per distinct query, not per request: the
+	// workload cycles, and the send loop is the thing being measured.
+	bodies := make([][]byte, len(w.Queries))
+	for i, q := range w.Queries {
+		b, err := json.Marshal(map[string]string{"query": q.Text})
+		if err != nil {
+			return nil, fmt.Errorf("loadtest: encoding query %q: %w", q.Text, err)
+		}
+		bodies[i] = b
+	}
+
+	type workerState struct {
+		latencies []float64
+		byClass   map[string]uint64
+	}
+	var (
+		seq    atomic.Int64
+		errs   atomic.Uint64
+		non200 atomic.Uint64
+		wg     sync.WaitGroup
+		states = make([]*workerState, opt.Concurrency)
+		start  = time.Now()
+		// Tolerate a trailing slash in the base URL: "host//v1/match"
+		// would 301 and the client would follow with a GET, turning every
+		// request into a 405.
+		endpoint = strings.TrimSuffix(opt.URL, "/") + "/v1/match"
+	)
+	for i := range states {
+		states[i] = &workerState{byClass: make(map[string]uint64)}
+	}
+
+	for wk := 0; wk < opt.Concurrency; wk++ {
+		wg.Add(1)
+		go func(st *workerState) {
+			defer wg.Done()
+			for {
+				n := seq.Add(1) - 1
+				if opt.QPS > 0 {
+					slot := start.Add(time.Duration(float64(n) / opt.QPS * float64(time.Second)))
+					if d := time.Until(slot); d > 0 {
+						select {
+						case <-ctx.Done():
+							return
+						case <-time.After(d):
+						}
+					}
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(n) % len(w.Queries)
+				q := w.Queries[i]
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(bodies[i]))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					// A request cut off by the run ending is not a server
+					// failure.
+					if ctx.Err() != nil {
+						return
+					}
+					errs.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				st.latencies = append(st.latencies, float64(time.Since(t0).Nanoseconds())/1e6)
+				st.byClass[q.Class]++
+				if resp.StatusCode != http.StatusOK {
+					non200.Add(1)
+				}
+			}
+		}(states[wk])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		URL:             opt.URL,
+		TargetQPS:       opt.QPS,
+		DurationSeconds: elapsed.Seconds(),
+		Concurrency:     opt.Concurrency,
+		Errors:          errs.Load(),
+		Non200:          non200.Load(),
+		ByClass:         make(map[string]uint64),
+	}
+	var all []float64
+	for _, st := range states {
+		all = append(all, st.latencies...)
+		for c, n := range st.byClass {
+			rep.ByClass[c] += n
+		}
+	}
+	rep.Requests = uint64(len(all)) + rep.Errors
+	if elapsed > 0 {
+		rep.AchievedQPS = float64(len(all)) / elapsed.Seconds()
+	}
+	rep.Latency = percentiles(all)
+	return rep, nil
+}
+
+// percentiles computes the latency summary; index convention is the
+// nearest-rank method (p99 of 100 samples is the 99th smallest).
+func percentiles(ms []float64) Percentiles {
+	if len(ms) == 0 {
+		return Percentiles{}
+	}
+	sort.Float64s(ms)
+	var sum float64
+	for _, v := range ms {
+		sum += v
+	}
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p/100*float64(len(ms)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ms) {
+			i = len(ms) - 1
+		}
+		return ms[i]
+	}
+	return Percentiles{
+		Mean: sum / float64(len(ms)),
+		P50:  rank(50),
+		P90:  rank(90),
+		P95:  rank(95),
+		P99:  rank(99),
+		Max:  ms[len(ms)-1],
+	}
+}

@@ -1,0 +1,146 @@
+// Package loadtest generates mixed query workloads from a serving
+// snapshot and replays them against a matchd instance at a target QPS,
+// recording a latency/error report.
+//
+// It is the engine behind cmd/loadgen and the reload-under-load
+// integration tests: both need the same thing — realistic traffic
+// (exact synonym hits, typos the trie must correct, concatenations only
+// span-fuzzy can bridge) sustained while something interesting happens
+// to the server.
+package loadtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"websyn/internal/serve"
+	"websyn/internal/textnorm"
+)
+
+// Query classes in a workload.
+const (
+	ClassExact     = "exact"      // dictionary string verbatim (plus intent words)
+	ClassTypo      = "typo"       // one edit away from a dictionary string
+	ClassSpanFuzzy = "span-fuzzy" // concatenated / mangled span only trigrams can bridge
+	ClassNoise     = "noise"      // background traffic matching nothing
+)
+
+// Query is one workload item.
+type Query struct {
+	Text  string `json:"text"`
+	Class string `json:"class"`
+}
+
+// Workload is a deterministic, shuffled mix of query classes derived
+// from a snapshot's own dictionary, so it exercises the trie, the typo
+// corrector and the span-fuzzy trigram path of whatever dictionary the
+// target server actually holds.
+type Workload struct {
+	Queries []Query
+}
+
+// Intent words appended to entity strings, mimicking the paper's
+// "indy 4 near san fran" shape: the entity span plus transactional or
+// navigational context the matcher must leave in the remainder.
+var intents = []string{"", "tickets", "review", "dvd", "showtimes", "price", "online"}
+
+// Background noise queries (a small slice of the simulation's noise
+// class) that must match nothing.
+var noise = []string{"youtube", "weather forecast", "cheap flights", "online banking", "white pages"}
+
+// FromSnapshot derives a workload from a snapshot: for every canonical
+// and mined synonym it emits an exact query, a typo'd variant and a
+// concatenated span-fuzzy variant, mixes in background noise, and
+// shuffles the lot with the given seed.
+func FromSnapshot(snap *serve.Snapshot, seed uint64) (*Workload, error) {
+	if snap == nil || snap.Dict == nil {
+		return nil, fmt.Errorf("loadtest: nil snapshot")
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+
+	// Source strings: canonicals plus mined synonyms, deduped and
+	// sorted for determinism (Synonyms is a map).
+	seen := map[string]bool{}
+	var sources []string
+	add := func(s string) {
+		norm := textnorm.Normalize(s)
+		if norm != "" && !seen[norm] {
+			seen[norm] = true
+			sources = append(sources, norm)
+		}
+	}
+	for _, c := range snap.Canonicals {
+		add(c)
+	}
+	var norms []string
+	for norm := range snap.Synonyms {
+		norms = append(norms, norm)
+	}
+	sort.Strings(norms)
+	for _, norm := range norms {
+		for _, syn := range snap.Synonyms[norm] {
+			add(syn)
+		}
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("loadtest: snapshot has no dictionary strings")
+	}
+
+	w := &Workload{}
+	for _, src := range sources {
+		intent := intents[rng.Intn(len(intents))]
+		w.add(src+" "+intent, ClassExact)
+		if typo := mangle(rng, src); typo != "" {
+			w.add(typo, ClassTypo)
+		}
+		if cat := concatenate(src); cat != "" {
+			w.add(cat+" "+intents[1+rng.Intn(len(intents)-1)], ClassSpanFuzzy)
+		}
+	}
+	for _, n := range noise {
+		w.add(n, ClassNoise)
+	}
+	rng.Shuffle(len(w.Queries), func(i, j int) {
+		w.Queries[i], w.Queries[j] = w.Queries[j], w.Queries[i]
+	})
+	return w, nil
+}
+
+func (w *Workload) add(text, class string) {
+	text = strings.TrimSpace(text)
+	if text != "" {
+		w.Queries = append(w.Queries, Query{Text: text, Class: class})
+	}
+}
+
+// mangle applies one random character edit — drop, transpose or
+// duplicate — to a string long enough to survive it.
+func mangle(rng *rand.Rand, s string) string {
+	if len(s) < 5 {
+		return ""
+	}
+	i := 1 + rng.Intn(len(s)-2)
+	switch rng.Intn(3) {
+	case 0: // drop
+		return s[:i] + s[i+1:]
+	case 1: // transpose
+		if s[i] == ' ' || s[i+1] == ' ' {
+			return s[:i] + s[i+1:]
+		}
+		return s[:i] + string(s[i+1]) + string(s[i]) + s[i+2:]
+	default: // duplicate
+		return s[:i] + string(s[i]) + s[i:]
+	}
+}
+
+// concatenate joins a multi-token string into the space-free form
+// ("madagascar 2" -> "madagascar2") that defeats the trie but not the
+// trigram index.
+func concatenate(s string) string {
+	if !strings.Contains(s, " ") {
+		return ""
+	}
+	return strings.ReplaceAll(s, " ", "")
+}

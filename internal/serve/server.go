@@ -63,14 +63,19 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the online matching tier: one match.Engine over immutable
-// dictionary state, plus a request cache and counters. Every endpoint —
-// the versioned /v1/match and the legacy /match, /match/batch and
-// /fuzzy adapters — routes through the engine via Server.do. All
-// methods are safe for concurrent use.
-type Server struct {
-	cfg        Config
+// generation is everything the server derives from one snapshot: the
+// compiled dictionary, the sharded fuzzy index, the engine over both,
+// the entity/synonym tables, and the request cache (caches never
+// outlive the dictionary they were computed against). A generation is
+// immutable once installed; hot reload builds a new one off-thread and
+// swaps the server's pointer, so every request is answered entirely by
+// the generation it loaded first.
+type generation struct {
+	id         uint64 // 1 for the boot generation, +1 per swap
 	dataset    string
+	meta       SnapshotMeta
+	buildDur   time.Duration
+	loadedAt   time.Time
 	dict       *match.Dictionary
 	fuzzy      *match.ShardedFuzzyIndex
 	engine     *match.Engine
@@ -78,7 +83,57 @@ type Server struct {
 	byNorm     map[string]int // canonical norm -> entity ID
 	synonyms   map[string][]string
 	cache      *lruCache
-	start      time.Time
+}
+
+// SnapshotMeta records the provenance of an installed snapshot, for
+// /admin/snapshot and operator logs. All fields are optional.
+type SnapshotMeta struct {
+	// Path is the snapshot file the state was loaded from; empty for
+	// state mined in-process.
+	Path string `json:"path,omitempty"`
+	// SHA256 is the hex digest of the snapshot file bytes.
+	SHA256 string `json:"sha256,omitempty"`
+	// Version is the snapshot file layout version; 0 means the state
+	// was built in-process (no file).
+	Version int `json:"version,omitempty"`
+}
+
+// Generation is a fully built, not-yet-installed serving state: the
+// output of Server.Prepare and the input of Server.Install. The reload
+// subsystem validates one with canary queries (via Engine) before
+// swapping it in.
+type Generation struct {
+	g *generation
+}
+
+// Engine returns the generation's match engine, for pre-install
+// validation.
+func (g *Generation) Engine() *match.Engine { return g.g.engine }
+
+// Dataset returns the data-set name the generation was mined from.
+func (g *Generation) Dataset() string { return g.g.dataset }
+
+// Entities returns the size of the generation's entity table.
+func (g *Generation) Entities() int { return len(g.g.canonicals) }
+
+// Canonicals returns the generation's entity table (ID -> canonical
+// string). Callers must treat it as read-only.
+func (g *Generation) Canonicals() []string { return g.g.canonicals }
+
+// Server is the online matching tier: one match.Engine over immutable
+// dictionary state, plus a request cache and counters. Every endpoint —
+// the versioned /v1/match and the legacy /match, /match/batch and
+// /fuzzy adapters — routes through the engine via Server.do. All
+// methods are safe for concurrent use.
+//
+// The snapshot-derived state lives behind an atomic generation handle:
+// Prepare builds a new generation from a fresh snapshot off the request
+// path and Install swaps it in without dropping traffic (see
+// internal/serve/reload for the watcher that drives this).
+type Server struct {
+	cfg   Config
+	gen   atomic.Pointer[generation]
+	start time.Time
 
 	matchLat latencyRecorder
 	batchLat latencyRecorder
@@ -99,7 +154,40 @@ type Server struct {
 // snapshots, or mine-at-startup — the index is constructed from the
 // dictionary here.
 func NewServer(snap *Snapshot, cfg Config) *Server {
-	cfg = cfg.withDefaults()
+	return NewServerWithMeta(snap, cfg, SnapshotMeta{})
+}
+
+// NewServerWithMeta is NewServer recording where the boot snapshot came
+// from (file path, SHA-256), so /admin/snapshot reports provenance from
+// generation 1 instead of only after the first hot swap.
+func NewServerWithMeta(snap *Snapshot, cfg Config, meta SnapshotMeta) *Server {
+	s := &Server{cfg: cfg.withDefaults(), start: time.Now()}
+	g, err := s.Prepare(snap, meta)
+	if err != nil {
+		// Only a nil snapshot/dictionary reaches here — a programming
+		// error, not an input error.
+		panic(err)
+	}
+	g.g.id = 1
+	g.g.loadedAt = time.Now()
+	s.gen.Store(g.g)
+	return s
+}
+
+// Prepare builds a complete serving generation from a snapshot — the
+// expensive part of a reload (shard assembly, entity-table indexing) —
+// without touching the live state. Install swaps the result in. The
+// returned generation carries meta for /admin/snapshot; a zero
+// meta.Version falls back to the snapshot's own Version field.
+func (s *Server) Prepare(snap *Snapshot, meta SnapshotMeta) (*Generation, error) {
+	if snap == nil || snap.Dict == nil {
+		return nil, fmt.Errorf("serve: nil snapshot")
+	}
+	if meta.Version == 0 {
+		meta.Version = snap.Version
+	}
+	t0 := time.Now()
+	cfg := s.cfg
 	minSim := snap.MinSim
 	if cfg.MinSim > 0 {
 		minSim = cfg.MinSim
@@ -117,9 +205,9 @@ func NewServer(snap *Snapshot, cfg Config) *Server {
 	if fuzzy == nil {
 		fuzzy = snap.Dict.NewShardedFuzzyIndex(minSim, cfg.FuzzyShards)
 	}
-	s := &Server{
-		cfg:        cfg,
+	g := &generation{
 		dataset:    snap.Dataset,
+		meta:       meta,
 		dict:       snap.Dict,
 		fuzzy:      fuzzy,
 		engine:     match.NewEngine(snap.Dict, fuzzy, snap.Canonicals, minSim),
@@ -127,17 +215,44 @@ func NewServer(snap *Snapshot, cfg Config) *Server {
 		byNorm:     make(map[string]int, len(snap.Canonicals)),
 		synonyms:   snap.Synonyms,
 		cache:      newLRU(cfg.CacheSize),
-		start:      time.Now(),
 	}
 	for id, c := range snap.Canonicals {
-		s.byNorm[textnorm.Normalize(c)] = id
+		g.byNorm[textnorm.Normalize(c)] = id
 	}
-	return s
+	g.buildDur = time.Since(t0)
+	return &Generation{g: g}, nil
 }
 
-// Engine returns the server's match engine — the same instance every
-// endpoint routes through. Callers get uncached, unmetered access.
-func (s *Server) Engine() *match.Engine { return s.engine }
+// Install atomically swaps a prepared generation into the serving path.
+// In-flight requests finish on the generation they started with; new
+// requests see the new dictionary, engine and a fresh (empty) request
+// cache. Install returns the new generation number.
+func (s *Server) Install(g *Generation) uint64 {
+	ng := g.g
+	ng.loadedAt = time.Now()
+	for {
+		old := s.gen.Load()
+		ng.id = old.id + 1 // not yet visible to readers: safe to set
+		if s.gen.CompareAndSwap(old, ng) {
+			return ng.id
+		}
+	}
+}
+
+// Generation returns the current generation number (1 at boot, +1 per
+// Install) and the number of snapshot swaps performed since boot. The
+// swap count is the generation number minus one — derived, so the two
+// can never disagree.
+func (s *Server) Generation() (id, swaps uint64) {
+	id = s.gen.Load().id
+	return id, id - 1
+}
+
+// Engine returns the current generation's match engine — the instance
+// every endpoint routes through right now. Callers get uncached,
+// unmetered access; across a hot reload a retained pointer goes stale,
+// so long-lived callers should re-fetch per request.
+func (s *Server) Engine() *match.Engine { return s.gen.Load().engine }
 
 // requestKey is the cache key of a defaulted request: every field that
 // shapes the response, plus the normalized query (as tokens, joined
@@ -181,20 +296,28 @@ func requestKey(req match.Request, tokens []string) string {
 // detaches for public callers). The bool reports a cache hit; a cached
 // response carries the Timing of the request that computed it.
 func (s *Server) do(req match.Request) (match.Response, bool, error) {
+	return s.doGen(s.gen.Load(), req)
+}
+
+// doGen is do pinned to one generation. Handlers load the generation
+// once per HTTP request and thread it through, so a whole request —
+// every item of a batch included — is answered by one consistent
+// dictionary even when a hot reload lands mid-request.
+func (s *Server) doGen(g *generation, req match.Request) (match.Response, bool, error) {
 	req = req.WithDefaults()
 	if err := req.Validate(); err != nil {
 		return match.Response{}, false, err
 	}
 	tokens := textnorm.Tokenize(req.Query)
 	key := requestKey(req, tokens)
-	if res, ok := s.cache.Get(key); ok {
+	if res, ok := g.cache.Get(key); ok {
 		return res, true, nil
 	}
-	res, err := s.engine.MatchTokens(req, tokens)
+	res, err := g.engine.MatchTokens(req, tokens)
 	if err != nil {
 		return match.Response{}, false, err
 	}
-	s.cache.Put(key, res)
+	g.cache.Put(key, res)
 	return res, false, nil
 }
 
@@ -302,7 +425,12 @@ func legacyMatchResult(res match.Response, cached bool) MatchResult {
 // Match segments one query against the dictionary in the legacy
 // (segmentation-only) mode, consulting the request cache first.
 func (s *Server) Match(query string) MatchResult {
-	res, cached, err := s.do(match.Request{Query: query, Mode: match.ModeSegment, TopK: 1})
+	return s.matchGen(s.gen.Load(), query)
+}
+
+// matchGen is Match pinned to one generation (see doGen).
+func (s *Server) matchGen(g *generation, query string) MatchResult {
+	res, cached, err := s.doGen(g, match.Request{Query: query, Mode: match.ModeSegment, TopK: 1})
 	if err != nil {
 		// Only an empty query reaches here; the legacy shape for it is an
 		// empty segmentation.
@@ -312,11 +440,13 @@ func (s *Server) Match(query string) MatchResult {
 }
 
 // MatchBatch segments many queries with a bounded worker pool, returning
-// results in input order.
+// results in input order. The whole batch runs against one generation:
+// a hot reload mid-batch cannot mix dictionaries within one response.
 func (s *Server) MatchBatch(queries []string) []MatchResult {
+	g := s.gen.Load()
 	out := make([]MatchResult, len(queries))
 	s.runPool(len(queries), func(i int) {
-		out[i] = s.Match(queries[i])
+		out[i] = s.matchGen(g, queries[i])
 	})
 	return out
 }
@@ -330,19 +460,30 @@ func (s *Server) MatchBatch(queries []string) []MatchResult {
 //	GET  /fuzzy?q=<query>   — legacy: whole-string fuzzy lookup
 //	GET  /synonyms?u=<name> — mined synonyms of a canonical string
 //	GET  /statsz            — cache, dictionary and latency stats
+//	GET  /admin/snapshot    — generation, snapshot provenance, swap count
 //	GET  /healthz           — liveness
+//
+// POST /admin/reload is served by the reload subsystem; see
+// internal/serve/reload.Reloader.Mount.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	s.Mount(mux)
+	return mux
+}
+
+// Mount registers the server's endpoints on an existing mux, so callers
+// composing extra routes (the reload admin surface) share one router.
+func (s *Server) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/match", s.handleV1Match)
 	mux.HandleFunc("GET /match", s.handleMatch)
 	mux.HandleFunc("POST /match/batch", s.handleBatch)
 	mux.HandleFunc("GET /fuzzy", s.handleFuzzy)
 	mux.HandleFunc("GET /synonyms", s.handleSynonyms)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /admin/snapshot", s.handleAdminSnapshot)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
 }
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
@@ -459,20 +600,28 @@ func (s *Server) handleSynonyms(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.synReqs.Add(1)
+	g := s.gen.Load()
 	norm := textnorm.Normalize(u)
-	id, ok := s.byNorm[norm]
+	id, ok := g.byNorm[norm]
 	if !ok {
 		http.Error(w, "unknown canonical string", http.StatusNotFound)
 		return
 	}
-	writeJSON(w, SynonymsResult{Input: s.canonicals[id], Synonyms: s.synonyms[norm]})
+	writeJSON(w, SynonymsResult{Input: g.canonicals[id], Synonyms: g.synonyms[norm]})
 }
 
 // Stats is the JSON shape of /statsz.
 type Stats struct {
 	Dataset       string  `json:"dataset"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
-	Dictionary    struct {
+	// Generation is the serving generation: 1 at boot, +1 per snapshot
+	// hot-swap. Swaps counts the swaps since boot (Generation - 1).
+	Generation uint64 `json:"generation"`
+	Swaps      uint64 `json:"swaps"`
+	// SnapshotVersion is the layout version of the installed snapshot
+	// file (0 when the dictionary was mined in-process).
+	SnapshotVersion int `json:"snapshot_version,omitempty"`
+	Dictionary      struct {
 		Entries      int `json:"entries"`
 		Entities     int `json:"entities"`
 		FuzzyStrings int `json:"fuzzy_strings"`
@@ -495,16 +644,22 @@ type Stats struct {
 	} `json:"latency"`
 }
 
-// Stats returns a point-in-time view of the server's counters.
+// Stats returns a point-in-time view of the server's counters. Cache
+// stats are the current generation's: a hot reload installs a fresh
+// cache, so they restart at zero after a swap.
 func (s *Server) Stats() Stats {
+	g := s.gen.Load()
 	var st Stats
-	st.Dataset = s.dataset
+	st.Dataset = g.dataset
 	st.UptimeSeconds = time.Since(s.start).Seconds()
-	st.Dictionary.Entries = s.dict.Len()
-	st.Dictionary.Entities = len(s.canonicals)
-	st.Dictionary.FuzzyStrings = s.fuzzy.Len()
-	st.Dictionary.FuzzyShards = s.fuzzy.Shards()
-	st.Cache = s.cache.Stats()
+	st.Generation = g.id
+	st.Swaps = g.id - 1
+	st.SnapshotVersion = g.meta.Version
+	st.Dictionary.Entries = g.dict.Len()
+	st.Dictionary.Entities = len(g.canonicals)
+	st.Dictionary.FuzzyStrings = g.fuzzy.Len()
+	st.Dictionary.FuzzyShards = g.fuzzy.Shards()
+	st.Cache = g.cache.Stats()
 	st.Requests.Match = s.matchReqs.Load()
 	st.Requests.Batch = s.batchReqs.Load()
 	st.Requests.BatchQueries = s.batchQueries.Load()
@@ -520,6 +675,45 @@ func (s *Server) Stats() Stats {
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.Stats())
+}
+
+// SnapshotInfo is the JSON shape of GET /admin/snapshot: which
+// dictionary generation is live and where it came from.
+type SnapshotInfo struct {
+	// Generation is 1 for the boot snapshot and increments on every
+	// hot swap; Swaps is the number of swaps since boot.
+	Generation uint64 `json:"generation"`
+	Swaps      uint64 `json:"swaps"`
+	Dataset    string `json:"dataset"`
+	// Snapshot is the provenance of the installed file (path, SHA-256,
+	// layout version); zero-valued for in-process mined state.
+	Snapshot SnapshotMeta `json:"snapshot"`
+	// BuildMillis is how long Prepare took to assemble this generation
+	// (shard assembly, entity indexing) before it was swapped in.
+	BuildMillis float64 `json:"build_ms"`
+	// LoadedAt is when the generation was installed.
+	LoadedAt    time.Time `json:"loaded_at"`
+	Entities    int       `json:"entities"`
+	DictEntries int       `json:"dict_entries"`
+}
+
+// SnapshotInfo returns the live generation's provenance.
+func (s *Server) SnapshotInfo() SnapshotInfo {
+	g := s.gen.Load()
+	return SnapshotInfo{
+		Generation:  g.id,
+		Swaps:       g.id - 1,
+		Dataset:     g.dataset,
+		Snapshot:    g.meta,
+		BuildMillis: float64(g.buildDur.Nanoseconds()) / 1e6,
+		LoadedAt:    g.loadedAt,
+		Entities:    len(g.canonicals),
+		DictEntries: g.dict.Len(),
+	}
+}
+
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.SnapshotInfo())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

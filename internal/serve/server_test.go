@@ -32,7 +32,7 @@ func TestMatchUsesCache(t *testing.T) {
 	if !jsonEqual(t, first, second) {
 		t.Fatalf("cached response diverged:\n%+v\n%+v", first, second)
 	}
-	st := s.cache.Stats()
+	st := s.gen.Load().cache.Stats()
 	if st.Hits != 1 || st.Misses != 1 {
 		t.Fatalf("cache stats = %+v", st)
 	}

@@ -14,6 +14,9 @@
 //     listing, and a /statsz observability endpoint.
 //   - An LRU request cache keyed on the normalized query, with hit/miss
 //     counters.
+//   - An atomic generation handle (Prepare/Install) so the whole
+//     snapshot-derived state hot-swaps without dropping traffic; the
+//     watcher driving it lives in internal/serve/reload.
 //
 // cmd/matchd is a thin flag-parsing wrapper around this package, and
 // cmd/dictbuild produces Snapshot files.
@@ -21,7 +24,9 @@ package serve
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"hash"
 	"hash/crc32"
@@ -57,6 +62,10 @@ type Snapshot struct {
 	// (version 2 snapshots). When nil — a version 1 snapshot, or a
 	// builder that skipped it — servers rebuild the index from Dict.
 	Fuzzy *match.PackedFuzzy
+	// Version is the file layout version this snapshot was read from;
+	// 0 for snapshots built in-process (never serialized). Writers
+	// ignore it — WriteTo always emits the current SnapshotVersion.
+	Version int
 }
 
 // Snapshot file layout (all integers uvarint unless noted, all strings
@@ -104,11 +113,19 @@ func (cw *crcWriter) Write(p []byte) (int, error) {
 // WriteTo serializes the snapshot. It returns the number of bytes
 // written.
 func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
-	return s.writeTo(w, SnapshotVersion)
+	return s.WriteToVersion(w, SnapshotVersion)
 }
 
-// writeTo serializes a specific layout version — version 1 omits the
-// fuzzy section. Tests use it to exercise backward-compatible reads.
+// WriteToVersion serializes a specific layout version — version 1 omits
+// the fuzzy section. Crossgrade tests and downgrade tooling use it to
+// produce older-format files; everyone else wants WriteTo.
+func (s *Snapshot) WriteToVersion(w io.Writer, version byte) (int64, error) {
+	if version < 1 || version > SnapshotVersion {
+		return 0, fmt.Errorf("serve: cannot write snapshot version %d (valid: 1..%d)", version, SnapshotVersion)
+	}
+	return s.writeTo(w, version)
+}
+
 func (s *Snapshot) writeTo(w io.Writer, version byte) (int64, error) {
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw, sum: crc32.NewIEEE()}
@@ -297,7 +314,7 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("serve: snapshot version %d, this binary reads 1..%d", ver, SnapshotVersion)
 	}
 
-	snap := &Snapshot{}
+	snap := &Snapshot{Version: int(ver)}
 	if snap.Dataset, err = readString(); err != nil {
 		return nil, fmt.Errorf("serve: reading dataset: %w", err)
 	}
@@ -445,6 +462,31 @@ func ReadSnapshotFile(path string) (*Snapshot, error) {
 	}
 	defer f.Close()
 	return ReadSnapshot(f)
+}
+
+// ReadSnapshotFileHashed loads a snapshot while streaming its bytes
+// through SHA-256, returning the hex digest of the whole file alongside
+// it — the provenance hash matchd boots with and the reload watcher
+// keys its change detection on. Hashing during the parse avoids holding
+// the file in memory next to the decoded dictionary.
+func ReadSnapshotFileHashed(path string) (*Snapshot, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("serve: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	snap, err := ReadSnapshot(io.TeeReader(f, h))
+	if err != nil {
+		return nil, "", err
+	}
+	// Drain anything past the checksum (a valid file has none) so the
+	// digest always covers the whole file, matching any independent
+	// whole-file hash.
+	if _, err := io.Copy(h, f); err != nil {
+		return nil, "", fmt.Errorf("serve: reading snapshot tail: %w", err)
+	}
+	return snap, hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // sortedKeys returns the map's keys in ascending order so snapshot bytes

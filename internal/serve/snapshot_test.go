@@ -129,8 +129,8 @@ func TestSnapshotReadsVersion1(t *testing.T) {
 	v1 := NewServer(got, Config{CacheSize: -1, FuzzyShards: 3})
 	v2 := NewServer(snap, Config{CacheSize: -1, FuzzyShards: 3})
 	for _, q := range []string{"madagascar2", "indianna jones 4", "indy4"} {
-		a := v1.fuzzy.Lookup(q, 5)
-		b := v2.fuzzy.Lookup(q, 5)
+		a := v1.gen.Load().fuzzy.Lookup(q, 5)
+		b := v2.gen.Load().fuzzy.Lookup(q, 5)
 		if !reflect.DeepEqual(a, b) {
 			t.Errorf("fuzzy Lookup(%q) diverged between v1 rebuild and v2 embedded:\n v1 %+v\n v2 %+v", q, a, b)
 		}

@@ -129,9 +129,12 @@ func (s *Server) handleV1Match(w http.ResponseWriter, r *http.Request) {
 	s.v1Reqs.Add(1)
 	s.v1Queries.Add(uint64(len(items)))
 	t0 := time.Now()
+	// One generation for the whole batch: a hot swap mid-request cannot
+	// answer some items from the old dictionary and some from the new.
+	g := s.gen.Load()
 	results := make([]V1Result, len(items))
 	s.runPool(len(items), func(i int) {
-		res, cached, err := s.do(items[i])
+		res, cached, err := s.doGen(g, items[i])
 		if err != nil {
 			results[i] = V1Result{Error: err.Error()}
 			return

@@ -5,6 +5,7 @@ import (
 
 	"websyn/internal/match"
 	"websyn/internal/serve"
+	"websyn/internal/serve/reload"
 )
 
 // Serving re-exports: the online tier over the mined dictionary.
@@ -24,6 +25,14 @@ type (
 	// ShardedFuzzyIndex is the partitioned trigram index for concurrent
 	// whole-string fuzzy lookup.
 	ShardedFuzzyIndex = match.ShardedFuzzyIndex
+	// SnapshotMeta records the provenance (path, SHA-256, layout
+	// version) of an installed snapshot.
+	SnapshotMeta = serve.SnapshotMeta
+	// Reloader hot-swaps a running MatchServer onto new snapshots:
+	// file watching, canary validation, POST /admin/reload.
+	Reloader = reload.Reloader
+	// ReloadConfig tunes a Reloader.
+	ReloadConfig = reload.Config
 )
 
 // DefaultFuzzyMinSim is the Dice-similarity threshold snapshots are
@@ -35,11 +44,30 @@ func NewMatchServer(snap *Snapshot, cfg ServeConfig) *MatchServer {
 	return serve.NewServer(snap, cfg)
 }
 
+// NewMatchServerWithMeta is NewMatchServer recording the boot snapshot's
+// provenance (file path, SHA-256) for /admin/snapshot.
+func NewMatchServerWithMeta(snap *Snapshot, cfg ServeConfig, meta SnapshotMeta) *MatchServer {
+	return serve.NewServerWithMeta(snap, cfg, meta)
+}
+
+// NewReloader builds a snapshot hot-reloader for a running server; see
+// internal/serve/reload for semantics (poll + canary + atomic swap).
+func NewReloader(s *MatchServer, cfg ReloadConfig) (*Reloader, error) {
+	return reload.New(s, cfg)
+}
+
 // ReadSnapshot loads a serving snapshot written with Snapshot.WriteTo.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) { return serve.ReadSnapshot(r) }
 
 // ReadSnapshotFile loads a serving snapshot from a file.
 func ReadSnapshotFile(path string) (*Snapshot, error) { return serve.ReadSnapshotFile(path) }
+
+// ReadSnapshotFileHashed loads a serving snapshot and its streaming
+// whole-file SHA-256 hex digest (the provenance hash hot reload keys
+// change detection on).
+func ReadSnapshotFileHashed(path string) (*Snapshot, string, error) {
+	return serve.ReadSnapshotFileHashed(path)
+}
 
 // MineSnapshot runs the offline pipeline end to end — simulation, miner,
 // snapshot compilation — the one-call form behind cmd/dictbuild and
