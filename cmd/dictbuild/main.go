@@ -1,5 +1,5 @@
 // Command dictbuild runs the offline half of the pipeline — simulation,
-// synonym mining, dictionary compilation — and writes a serving snapshot
+// synonym mining, dictionary compilation — and writes serving snapshots
 // that cmd/matchd loads in milliseconds.
 //
 // Usage:
@@ -13,6 +13,15 @@
 //
 //	dictbuild -dataset movies -o movies.snap
 //	matchd -snapshot movies.snap
+//
+// With -dataset all, dictbuild mines every vertical and writes one
+// snapshot per domain into the -o directory (created if missing) —
+// the artifact set a multi-domain matchd boots on:
+//
+//	dictbuild -dataset all -o snapshots/
+//	matchd -snapshot movies=snapshots/movies.snap \
+//	       -snapshot cameras=snapshots/cameras.snap \
+//	       -snapshot software=snapshots/software.snap
 package main
 
 import (
@@ -20,15 +29,27 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"websyn"
 )
 
+// verticals lists every mineable domain: the flag name dictbuild and
+// matchd share, and the websyn data set it maps to.
+var verticals = []struct {
+	name string
+	ds   websyn.Dataset
+}{
+	{"movies", websyn.Movies},
+	{"cameras", websyn.Cameras},
+	{"software", websyn.SoftwareProducts},
+}
+
 func main() {
 	var (
-		out     = flag.String("o", "", "output snapshot path (required)")
-		dataset = flag.String("dataset", "movies", "data set: movies, cameras or software")
+		out     = flag.String("o", "", "output snapshot path; with -dataset all, an output directory (required)")
+		dataset = flag.String("dataset", "movies", "data set: movies, cameras, software, or all (one snapshot per vertical)")
 		ipc     = flag.Int("ipc", 4, "IPC threshold β")
 		icr     = flag.Float64("icr", 0.1, "ICR threshold γ")
 		seed    = flag.Uint64("seed", 0, "simulation seed (0 = default)")
@@ -41,21 +62,36 @@ func main() {
 		os.Exit(2)
 	}
 
+	cfg := websyn.MinerConfig{IPC: *ipc, ICR: *icr}
+	if *dataset == "all" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, v := range verticals {
+			build(v.ds, cfg, *seed, *minSim, filepath.Join(*out, v.name+".snap"))
+		}
+		return
+	}
+
 	ds, err := websyn.ParseDataset(*dataset)
 	if err != nil {
 		log.Fatal(err)
 	}
+	build(ds, cfg, *seed, *minSim, *out)
+}
 
+// build mines one vertical and writes its snapshot.
+func build(ds websyn.Dataset, cfg websyn.MinerConfig, seed uint64, minSim float64, out string) {
 	start := time.Now()
-	log.Printf("building %v simulation and mining (IPC %d, ICR %g)...", ds, *ipc, *icr)
-	snap, err := websyn.MineSnapshot(ds, websyn.MinerConfig{IPC: *ipc, ICR: *icr}, *seed, *minSim)
+	log.Printf("building %v simulation and mining (IPC %d, ICR %g)...", ds, cfg.IPC, cfg.ICR)
+	snap, err := websyn.MineSnapshot(ds, cfg, seed, minSim)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := snap.WriteFile(*out); err != nil {
+	if err := snap.WriteFile(out); err != nil {
 		log.Fatal(err)
 	}
-	info, err := os.Stat(*out)
+	info, err := os.Stat(out)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,6 +100,6 @@ func main() {
 		grams = len(snap.Fuzzy.Grams)
 	}
 	log.Printf("wrote %s: %d dictionary entries, %d entities, %d fuzzy trigrams, %d bytes in %v",
-		*out, snap.Dict.Len(), len(snap.Canonicals), grams, info.Size(),
+		out, snap.Dict.Len(), len(snap.Canonicals), grams, info.Size(),
 		time.Since(start).Round(time.Millisecond))
 }

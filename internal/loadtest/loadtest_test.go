@@ -69,6 +69,152 @@ func TestWorkloadMixAndDeterminism(t *testing.T) {
 	}
 }
 
+// testCamerasSnapshot is a second vertical for mixed-domain workloads.
+func testCamerasSnapshot() *serve.Snapshot {
+	d := match.NewDictionary()
+	d.Add("Canon EOS 350D", match.Entry{EntityID: 0, Score: 1, Source: "canonical"})
+	d.Add("digital rebel xt", match.Entry{EntityID: 0, Score: 0.9, Source: "mined"})
+	return &serve.Snapshot{
+		Dataset:    "Cameras",
+		MinSim:     0.55,
+		Canonicals: []string{"Canon EOS 350D"},
+		Synonyms:   map[string][]string{"canon eos 350d": {"digital rebel xt"}},
+		Dict:       d,
+		Fuzzy:      d.NewFuzzyIndex(0.55).Packed(),
+	}
+}
+
+func TestFromSnapshotsMixedDomains(t *testing.T) {
+	snaps := map[string]*serve.Snapshot{
+		"movies":  testSnapshot(),
+		"cameras": testCamerasSnapshot(),
+	}
+	w, err := FromSnapshots(snaps, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := map[string]int{}
+	for _, q := range w.Queries {
+		if q.Text == "" {
+			t.Fatal("empty query in workload")
+		}
+		domains[q.Domain]++
+	}
+	if domains[""] != 0 {
+		t.Fatalf("mixed-domain workload has %d domainless queries", domains[""])
+	}
+	for _, d := range []string{"movies", "cameras", FederatedDomain} {
+		if domains[d] == 0 {
+			t.Fatalf("workload has no %q queries: %v", d, domains)
+		}
+	}
+	// Deterministic for a fixed seed, like the single-snapshot builder.
+	w2, err := FromSnapshots(snaps, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w.Queries, w2.Queries) {
+		t.Fatal("mixed workload not deterministic for a fixed seed")
+	}
+	if _, err := FromSnapshots(nil, 1); err == nil {
+		t.Fatal("FromSnapshots accepted no snapshots")
+	}
+}
+
+// TestRunMixedDomainsAgainstRegistry replays a mixed workload at a real
+// two-domain registry and checks the per-class and per-domain report
+// breakdowns line up with the totals.
+func TestRunMixedDomainsAgainstRegistry(t *testing.T) {
+	reg := serve.NewRegistry(serve.Config{CacheSize: 32})
+	if _, err := reg.Add("movies", testSnapshot(), serve.SnapshotMeta{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Add("cameras", testCamerasSnapshot(), serve.SnapshotMeta{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(reg.Handler())
+	t.Cleanup(ts.Close)
+
+	w, err := FromSnapshots(map[string]*serve.Snapshot{
+		"movies":  testSnapshot(),
+		"cameras": testCamerasSnapshot(),
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), w, Options{
+		URL:         ts.URL,
+		QPS:         500,
+		Duration:    300 * time.Millisecond,
+		Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("clean mixed run failed: errors %d, non-200 %d", rep.Errors, rep.Non200)
+	}
+	var classTotal, domainTotal uint64
+	for c, n := range rep.ByClass {
+		classTotal += n
+		p, ok := rep.LatencyByClass[c]
+		if !ok || p.P99 <= 0 || p.P50 > p.P99 {
+			t.Fatalf("class %s percentiles implausible: %+v", c, p)
+		}
+	}
+	for d, n := range rep.ByDomain {
+		domainTotal += n
+		p, ok := rep.LatencyByDomain[d]
+		if !ok || p.P99 <= 0 {
+			t.Fatalf("domain %s percentiles implausible: %+v", d, p)
+		}
+	}
+	completed := rep.Requests - rep.Errors
+	if classTotal != completed {
+		t.Fatalf("per-class counts sum to %d, %d requests completed", classTotal, completed)
+	}
+	if domainTotal != completed {
+		t.Fatalf("per-domain counts sum to %d, %d requests completed (every mixed query is routed)", domainTotal, completed)
+	}
+}
+
+// TestLegacyWorkloadReportOmitsDomains pins the report shape for
+// single-snapshot runs: no domain sections, so existing report
+// consumers see unchanged JSON.
+func TestLegacyWorkloadReportOmitsDomains(t *testing.T) {
+	snap := testSnapshot()
+	srv := serve.NewServer(snap, serve.Config{})
+	ts := newTestHTTP(t, srv)
+
+	w, err := FromSnapshot(snap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries {
+		if q.Domain != "" {
+			t.Fatalf("legacy workload query carries a domain: %+v", q)
+		}
+	}
+	rep, err := Run(context.Background(), w, Options{
+		URL:         ts,
+		QPS:         500,
+		Duration:    200 * time.Millisecond,
+		Concurrency: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("clean run failed: %+v", rep)
+	}
+	if rep.ByDomain != nil || rep.LatencyByDomain != nil {
+		t.Fatalf("legacy report grew domain sections: %+v", rep)
+	}
+	if len(rep.LatencyByClass) == 0 {
+		t.Fatal("per-class percentiles missing from legacy report")
+	}
+}
+
 func TestRunAgainstServer(t *testing.T) {
 	snap := testSnapshot()
 	srv := serve.NewServer(snap, serve.Config{})

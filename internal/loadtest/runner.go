@@ -47,6 +47,15 @@ type Report struct {
 	Non200  uint64            `json:"non_200"`
 	ByClass map[string]uint64 `json:"requests_by_class"`
 	Latency Percentiles       `json:"latency_ms"`
+	// LatencyByClass breaks the percentiles down per query class, so a
+	// regression on the span-fuzzy path cannot hide inside a p99
+	// dominated by cheap exact hits.
+	LatencyByClass map[string]Percentiles `json:"latency_ms_by_class,omitempty"`
+	// ByDomain and LatencyByDomain break requests and latency down per
+	// routed domain (the federated fan-out class is keyed "*"). Both are
+	// omitted for domainless (single-snapshot) workloads.
+	ByDomain        map[string]uint64      `json:"requests_by_domain,omitempty"`
+	LatencyByDomain map[string]Percentiles `json:"latency_ms_by_domain,omitempty"`
 }
 
 // Percentiles summarizes request latencies in milliseconds.
@@ -99,9 +108,22 @@ func Run(ctx context.Context, w *Workload, opt Options) (*Report, error) {
 
 	// Bodies are encoded once per distinct query, not per request: the
 	// workload cycles, and the send loop is the thing being measured.
+	type v1Body struct {
+		Query   string   `json:"query"`
+		Domain  string   `json:"domain,omitempty"`
+		Domains []string `json:"domains,omitempty"`
+	}
 	bodies := make([][]byte, len(w.Queries))
 	for i, q := range w.Queries {
-		b, err := json.Marshal(map[string]string{"query": q.Text})
+		body := v1Body{Query: q.Text}
+		switch q.Domain {
+		case "":
+		case FederatedDomain:
+			body.Domains = []string{FederatedDomain}
+		default:
+			body.Domain = q.Domain
+		}
+		b, err := json.Marshal(body)
 		if err != nil {
 			return nil, fmt.Errorf("loadtest: encoding query %q: %w", q.Text, err)
 		}
@@ -110,7 +132,8 @@ func Run(ctx context.Context, w *Workload, opt Options) (*Report, error) {
 
 	type workerState struct {
 		latencies []float64
-		byClass   map[string]uint64
+		byClass   map[string][]float64
+		byDomain  map[string][]float64
 	}
 	var (
 		seq    atomic.Int64
@@ -125,7 +148,10 @@ func Run(ctx context.Context, w *Workload, opt Options) (*Report, error) {
 		endpoint = strings.TrimSuffix(opt.URL, "/") + "/v1/match"
 	)
 	for i := range states {
-		states[i] = &workerState{byClass: make(map[string]uint64)}
+		states[i] = &workerState{
+			byClass:  make(map[string][]float64),
+			byDomain: make(map[string][]float64),
+		}
 	}
 
 	for wk := 0; wk < opt.Concurrency; wk++ {
@@ -168,8 +194,12 @@ func Run(ctx context.Context, w *Workload, opt Options) (*Report, error) {
 				}
 				_, _ = io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
-				st.latencies = append(st.latencies, float64(time.Since(t0).Nanoseconds())/1e6)
-				st.byClass[q.Class]++
+				ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+				st.latencies = append(st.latencies, ms)
+				st.byClass[q.Class] = append(st.byClass[q.Class], ms)
+				if q.Domain != "" {
+					st.byDomain[q.Domain] = append(st.byDomain[q.Domain], ms)
+				}
 				if resp.StatusCode != http.StatusOK {
 					non200.Add(1)
 				}
@@ -189,10 +219,16 @@ func Run(ctx context.Context, w *Workload, opt Options) (*Report, error) {
 		ByClass:         make(map[string]uint64),
 	}
 	var all []float64
+	classLat := make(map[string][]float64)
+	domainLat := make(map[string][]float64)
 	for _, st := range states {
 		all = append(all, st.latencies...)
-		for c, n := range st.byClass {
-			rep.ByClass[c] += n
+		for c, ms := range st.byClass {
+			rep.ByClass[c] += uint64(len(ms))
+			classLat[c] = append(classLat[c], ms...)
+		}
+		for d, ms := range st.byDomain {
+			domainLat[d] = append(domainLat[d], ms...)
 		}
 	}
 	rep.Requests = uint64(len(all)) + rep.Errors
@@ -200,6 +236,20 @@ func Run(ctx context.Context, w *Workload, opt Options) (*Report, error) {
 		rep.AchievedQPS = float64(len(all)) / elapsed.Seconds()
 	}
 	rep.Latency = percentiles(all)
+	if len(classLat) > 0 {
+		rep.LatencyByClass = make(map[string]Percentiles, len(classLat))
+		for c, ms := range classLat {
+			rep.LatencyByClass[c] = percentiles(ms)
+		}
+	}
+	if len(domainLat) > 0 {
+		rep.ByDomain = make(map[string]uint64, len(domainLat))
+		rep.LatencyByDomain = make(map[string]Percentiles, len(domainLat))
+		for d, ms := range domainLat {
+			rep.ByDomain[d] = uint64(len(ms))
+			rep.LatencyByDomain[d] = percentiles(ms)
+		}
+	}
 	return rep, nil
 }
 

@@ -27,10 +27,19 @@ const (
 	ClassNoise     = "noise"      // background traffic matching nothing
 )
 
+// FederatedDomain is the Query.Domain value that makes the runner send
+// the query with domains: ["*"] — a federated fan-out across every
+// domain the target server has registered.
+const FederatedDomain = "*"
+
 // Query is one workload item.
 type Query struct {
 	Text  string `json:"text"`
 	Class string `json:"class"`
+	// Domain routes the query: empty sends a plain (domainless) request,
+	// a domain name sends {"domain": name} for an exact route, and
+	// FederatedDomain sends {"domains": ["*"]} for a fan-out.
+	Domain string `json:"domain,omitempty"`
 }
 
 // Workload is a deterministic, shuffled mix of query classes derived
@@ -53,8 +62,56 @@ var noise = []string{"youtube", "weather forecast", "cheap flights", "online ban
 // FromSnapshot derives a workload from a snapshot: for every canonical
 // and mined synonym it emits an exact query, a typo'd variant and a
 // concatenated span-fuzzy variant, mixes in background noise, and
-// shuffles the lot with the given seed.
+// shuffles the lot with the given seed. Every query is domainless —
+// the legacy single-snapshot workload.
 func FromSnapshot(snap *serve.Snapshot, seed uint64) (*Workload, error) {
+	return fromSnapshot(snap, "", seed)
+}
+
+// federatedEvery is the mixed-domain federation rate: one query in this
+// many is sent with domains: ["*"] instead of its exact domain route, so
+// a mixed workload also exercises the registry's fan-out/merge path.
+const federatedEvery = 8
+
+// FromSnapshots derives one mixed-domain workload from several domains'
+// snapshots: each domain contributes its own exact/typo/span-fuzzy mix
+// (tagged with that domain for exact routing), every federatedEvery-th
+// query is flipped to a federated fan-out, and the whole thing is
+// shuffled deterministically. The result drives a multi-domain matchd
+// the way FromSnapshot drives a single-snapshot one.
+func FromSnapshots(snaps map[string]*serve.Snapshot, seed uint64) (*Workload, error) {
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("loadtest: no snapshots")
+	}
+	domains := make([]string, 0, len(snaps))
+	for d := range snaps {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+
+	w := &Workload{}
+	for i, domain := range domains {
+		// Offset the seed per domain so two domains serving the same
+		// catalog don't mangle identically.
+		dw, err := fromSnapshot(snaps[domain], domain, seed+uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("domain %s: %w", domain, err)
+		}
+		w.Queries = append(w.Queries, dw.Queries...)
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	rng.Shuffle(len(w.Queries), func(i, j int) {
+		w.Queries[i], w.Queries[j] = w.Queries[j], w.Queries[i]
+	})
+	for i := federatedEvery - 1; i < len(w.Queries); i += federatedEvery {
+		w.Queries[i].Domain = FederatedDomain
+	}
+	return w, nil
+}
+
+// fromSnapshot builds one domain's workload, tagging every query with
+// the domain (empty = domainless legacy traffic).
+func fromSnapshot(snap *serve.Snapshot, domain string, seed uint64) (*Workload, error) {
 	if snap == nil || snap.Dict == nil {
 		return nil, fmt.Errorf("loadtest: nil snapshot")
 	}
@@ -101,6 +158,9 @@ func FromSnapshot(snap *serve.Snapshot, seed uint64) (*Workload, error) {
 	}
 	for _, n := range noise {
 		w.add(n, ClassNoise)
+	}
+	for i := range w.Queries {
+		w.Queries[i].Domain = domain
 	}
 	rng.Shuffle(len(w.Queries), func(i, j int) {
 		w.Queries[i], w.Queries[j] = w.Queries[j], w.Queries[i]

@@ -1,0 +1,42 @@
+package match
+
+import "testing"
+
+// TestAddDuplicateEntryMerge pins the duplicate-entry merge contract:
+// when the same (string, entity) pair is added twice, the higher score
+// wins and carries its own Source with it — provenance in traces and
+// diagnostics must describe the entry that actually won, not the one it
+// displaced. A lower-scoring duplicate changes nothing.
+func TestAddDuplicateEntryMerge(t *testing.T) {
+	d := NewDictionary()
+	d.Add("indy 4", Entry{EntityID: 7, Score: 0.4, Source: "mined"})
+
+	// Higher score: both Score and Source update together.
+	d.Add("indy 4", Entry{EntityID: 7, Score: 0.9, Source: "wiki"})
+	got := d.Lookup("indy 4")
+	if len(got) != 1 {
+		t.Fatalf("Lookup = %+v, want one merged entry", got)
+	}
+	if got[0].Score != 0.9 || got[0].Source != "wiki" {
+		t.Fatalf("winning duplicate = %+v, want score 0.9 from wiki (stale Source?)", got[0])
+	}
+
+	// Lower score: the losing duplicate must not touch either field.
+	d.Add("indy 4", Entry{EntityID: 7, Score: 0.2, Source: "loser"})
+	got = d.Lookup("indy 4")
+	if got[0].Score != 0.9 || got[0].Source != "wiki" {
+		t.Fatalf("losing duplicate overwrote the entry: %+v", got[0])
+	}
+
+	// Merging never double-counts sizes.
+	if d.Len() != 1 || d.DistinctStrings() != 1 {
+		t.Fatalf("Len %d DistinctStrings %d after duplicate adds, want 1, 1", d.Len(), d.DistinctStrings())
+	}
+
+	// A different entity on the same string is a genuine second entry,
+	// untouched by the merge path.
+	d.Add("indy 4", Entry{EntityID: 8, Score: 0.5, Source: "mined"})
+	if d.Len() != 2 || d.DistinctStrings() != 1 {
+		t.Fatalf("Len %d DistinctStrings %d after second entity, want 2, 1", d.Len(), d.DistinctStrings())
+	}
+}

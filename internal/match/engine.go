@@ -108,6 +108,12 @@ type Request struct {
 	// MaxSpanTokens bounds the token width of span-fuzzy candidates.
 	// 0 means DefaultMaxSpanTokens.
 	MaxSpanTokens int `json:"max_span_tokens,omitempty"`
+	// Domain names the structured vertical ("movies", "cameras", ...)
+	// the request targets. The engine itself is domain-agnostic and
+	// ignores it; the serving tier's domain registry routes on it and
+	// stamps responses with the domain that answered. Empty means the
+	// caller did not pin a domain.
+	Domain string `json:"domain,omitempty"`
 }
 
 // ErrEmptyQuery is returned for requests whose Query field is empty.
@@ -166,6 +172,12 @@ type Response struct {
 	Trace []TraceStep `json:"trace,omitempty"`
 	// Timing breaks down where the request spent its time.
 	Timing Timing `json:"timing"`
+	// Domain is the vertical that answered, stamped by the serving
+	// tier's domain registry. Empty for engines queried directly and for
+	// legacy single-snapshot serving. Federated responses merge several
+	// domains and leave it empty — the per-match Domain carries the
+	// provenance there.
+	Domain string `json:"domain,omitempty"`
 }
 
 // SpanMatch is one resolved span: an entity mention with its evidence and
@@ -196,6 +208,10 @@ type SpanMatch struct {
 	// Alternates are lower-ranked resolutions of the same span, best
 	// first, up to TopK-1 of them.
 	Alternates []Alternate `json:"alternates,omitempty"`
+	// Domain is the vertical whose dictionary resolved this span,
+	// stamped by the serving tier when responses from several domains
+	// are federated into one. Empty outside federated serving.
+	Domain string `json:"domain,omitempty"`
 }
 
 // Resolution methods recorded in SpanMatch.Method.
@@ -223,6 +239,9 @@ type TraceStep struct {
 	Stage string `json:"stage"`
 	// Detail is the human-readable decision.
 	Detail string `json:"detail"`
+	// Domain tags which vertical's engine produced the step in a
+	// federated trace. Empty outside federated serving.
+	Domain string `json:"domain,omitempty"`
 }
 
 // Timing is the response's latency breakdown in microseconds.

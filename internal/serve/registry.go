@@ -1,0 +1,450 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"websyn/internal/match"
+)
+
+// Registry is the multi-domain serving tier: one process, many
+// structured verticals. Each registered domain owns a complete Server —
+// its own generation handle (dictionary, packed fuzzy shards, engine,
+// entity table, request cache) and, via internal/serve/reload, its own
+// snapshot watcher — so movies can hot-swap a new dictionary while
+// cameras keeps serving, and a reload failure in one vertical cannot
+// touch another.
+//
+// Request routing on POST /v1/match:
+//
+//   - "domain": "movies" — exact route to that domain; the response is
+//     stamped with the domain that answered.
+//   - "domains": ["movies", "cameras"] or ["*"] — fan the query out
+//     across the named (or all) domains in parallel and merge the span
+//     matches by score into one federated response, every match carrying
+//     its domain of origin.
+//   - neither field — fan out across every registered domain. With a
+//     single registered domain this degenerates to an unstamped exact
+//     route, which is how legacy single-snapshot deployments keep their
+//     byte-identical responses behind a default domain.
+//
+// The legacy endpoints (GET /match, POST /match/batch, GET /fuzzy,
+// GET /synonyms) route to the default domain, or to ?domain=<name> when
+// given. Domains are registered at boot, before Mount; the set is
+// immutable while serving (per-domain snapshots hot-swap inside their
+// Server instead).
+type Registry struct {
+	cfg     Config
+	start   time.Time
+	domains map[string]*Server
+	names   []string // registration order — the deterministic fan-out order
+	def     string
+
+	v1Reqs    atomic.Uint64
+	v1Queries atomic.Uint64
+	fanouts   atomic.Uint64
+	v1Lat     latencyRecorder
+}
+
+// NewRegistry returns an empty registry; cfg applies to every domain
+// Server subsequently built by Add, and to the registry's own batch
+// fan-out pool.
+func NewRegistry(cfg Config) *Registry {
+	return &Registry{
+		cfg:     cfg.withDefaults(),
+		start:   time.Now(),
+		domains: make(map[string]*Server),
+	}
+}
+
+// validDomainName rejects names the routing grammar reserves: "*" is
+// the fan-out wildcard, '=' and ',' are flag/manifest syntax, and
+// whitespace would make URLs and logs ambiguous.
+func validDomainName(name string) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty domain name")
+	}
+	if name == "*" || strings.ContainsAny(name, "=, \t\n") {
+		return fmt.Errorf("serve: invalid domain name %q (no '*', '=', ',' or whitespace)", name)
+	}
+	return nil
+}
+
+// Add builds a Server for one domain from its snapshot and registers it.
+// The first domain added becomes the default (see SetDefault). Not safe
+// to call once the registry is serving.
+func (reg *Registry) Add(name string, snap *Snapshot, meta SnapshotMeta) (*Server, error) {
+	if err := validDomainName(name); err != nil {
+		return nil, err
+	}
+	if _, dup := reg.domains[name]; dup {
+		return nil, fmt.Errorf("serve: domain %q registered twice", name)
+	}
+	if snap == nil || snap.Dict == nil {
+		return nil, fmt.Errorf("serve: domain %q: nil snapshot", name)
+	}
+	srv := NewServerWithMeta(snap, reg.cfg, meta)
+	reg.domains[name] = srv
+	reg.names = append(reg.names, name)
+	if reg.def == "" {
+		reg.def = name
+	}
+	return srv, nil
+}
+
+// SetDefault names the domain legacy (domainless) endpoints route to.
+func (reg *Registry) SetDefault(name string) error {
+	if _, ok := reg.domains[name]; !ok {
+		return fmt.Errorf("serve: default domain %q not registered (have %s)", name, strings.Join(reg.names, ", "))
+	}
+	reg.def = name
+	return nil
+}
+
+// Domain returns the named domain's server.
+func (reg *Registry) Domain(name string) (*Server, bool) {
+	s, ok := reg.domains[name]
+	return s, ok
+}
+
+// Default returns the default domain's server (nil before the first Add).
+func (reg *Registry) Default() *Server { return reg.domains[reg.def] }
+
+// DefaultName returns the default domain's name.
+func (reg *Registry) DefaultName() string { return reg.def }
+
+// Names returns the registered domain names in registration order.
+func (reg *Registry) Names() []string {
+	return append([]string(nil), reg.names...)
+}
+
+// target pairs a domain name with its server for routing.
+type target struct {
+	name string
+	srv  *Server
+}
+
+// all returns every domain in registration order.
+func (reg *Registry) all() []target {
+	out := make([]target, 0, len(reg.names))
+	for _, n := range reg.names {
+		out = append(out, target{n, reg.domains[n]})
+	}
+	return out
+}
+
+// resolve expands a domains list into targets: "*" means every domain,
+// duplicates collapse (first occurrence keeps its position), unknown
+// names are an error.
+func (reg *Registry) resolve(names []string) ([]target, error) {
+	seen := make(map[string]bool, len(names))
+	var out []target
+	for _, n := range names {
+		if n == "*" {
+			for _, t := range reg.all() {
+				if !seen[t.name] {
+					seen[t.name] = true
+					out = append(out, t)
+				}
+			}
+			continue
+		}
+		if seen[n] {
+			continue
+		}
+		srv, ok := reg.domains[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown domain %q (registered: %s)", n, strings.Join(reg.names, ", "))
+		}
+		seen[n] = true
+		out = append(out, target{n, srv})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("domains resolves to no domain")
+	}
+	return out, nil
+}
+
+// Handler returns the registry's HTTP API (see Mount).
+func (reg *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	reg.Mount(mux)
+	return mux
+}
+
+// Mount registers the multi-domain HTTP API:
+//
+//	POST /v1/match           — domain-routed and federated matching
+//	GET  /match?q=           — legacy: default domain (or ?domain=<name>)
+//	POST /match/batch        — legacy: default domain (or ?domain=<name>)
+//	GET  /fuzzy?q=           — legacy: default domain (or ?domain=<name>)
+//	GET  /synonyms?u=        — legacy: default domain (or ?domain=<name>)
+//	GET  /statsz             — registry counters + per-domain stats
+//	GET  /admin/snapshot     — all domains' provenance (or ?domain=<name>)
+//	GET  /healthz            — liveness
+//
+// POST /admin/reload and GET /admin/reload/status are served per domain
+// by the reload subsystem; see internal/serve/reload.Group.Mount.
+func (reg *Registry) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/match", reg.handleV1Match)
+	mux.HandleFunc("GET /match", reg.delegate((*Server).handleMatch))
+	mux.HandleFunc("POST /match/batch", reg.delegate((*Server).handleBatch))
+	mux.HandleFunc("GET /fuzzy", reg.delegate((*Server).handleFuzzy))
+	mux.HandleFunc("GET /synonyms", reg.delegate((*Server).handleSynonyms))
+	mux.HandleFunc("GET /statsz", reg.handleStatsz)
+	mux.HandleFunc("GET /admin/snapshot", reg.handleAdminSnapshot)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// delegate wraps a Server handler with ?domain= resolution, defaulting
+// to the default domain — the legacy endpoints' multi-domain story.
+func (reg *Registry) delegate(h func(*Server, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		srv := reg.Default()
+		if name := r.URL.Query().Get("domain"); name != "" {
+			var ok bool
+			if srv, ok = reg.domains[name]; !ok {
+				http.Error(w, fmt.Sprintf("unknown domain %q (registered: %s)", name, strings.Join(reg.names, ", ")),
+					http.StatusNotFound)
+				return
+			}
+		}
+		h(srv, w, r)
+	}
+}
+
+func (reg *Registry) handleV1Match(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeV1(w, r, v1BodyLimit(reg.cfg.MaxBatch))
+	if !ok {
+		return
+	}
+	if req.Domain != "" && len(req.Domains) > 0 {
+		writeV1Error(w, http.StatusBadRequest, "domain and domains are mutually exclusive")
+		return
+	}
+	items, status, msg := v1Items(req, reg.cfg.MaxBatch)
+	if msg != "" {
+		writeV1Error(w, status, "%s", msg)
+		return
+	}
+	// Resolve the batch-level fan-out once; items carrying their own
+	// domain (directly or inherited from the top-level field) take an
+	// exact route instead. explicit records whether the client asked for
+	// domain routing by name — a single-target fan-out only stamps
+	// provenance then, so domainless traffic against a single-domain
+	// registry stays byte-identical to a standalone server.
+	fan := reg.all()
+	explicit := len(req.Domains) > 0
+	if explicit {
+		var err error
+		if fan, err = reg.resolve(req.Domains); err != nil {
+			writeV1Error(w, http.StatusBadRequest, "%s", err)
+			return
+		}
+	}
+
+	reg.v1Reqs.Add(1)
+	reg.v1Queries.Add(uint64(len(items)))
+	t0 := time.Now()
+	results := make([]V1Result, len(items))
+	runPool(reg.cfg.BatchWorkers, len(items), func(i int) {
+		it := items[i]
+		if it.Domain != "" {
+			srv, ok := reg.domains[it.Domain]
+			if !ok {
+				results[i] = V1Result{Error: fmt.Sprintf("unknown domain %q (registered: %s)", it.Domain, strings.Join(reg.names, ", "))}
+				return
+			}
+			results[i] = reg.routeOne(target{it.Domain, srv}, it, true)
+			return
+		}
+		if len(fan) == 1 {
+			results[i] = reg.routeOne(fan[0], it, explicit)
+			return
+		}
+		results[i] = reg.federate(fan, it)
+	})
+	reg.v1Lat.observe(time.Since(t0))
+	writeJSON(w, V1Response{Count: len(results), Results: results})
+}
+
+// routeOne answers one item on one domain. stamp marks the response with
+// the domain that answered; it is false only for domainless traffic on a
+// single-domain registry, where legacy byte-identity is the contract.
+// Stamping mutates only the response value copy, never cache-shared
+// slices, so the cached response stays domain-neutral.
+func (reg *Registry) routeOne(t target, it match.Request, stamp bool) V1Result {
+	t.srv.routedQueries.Add(1)
+	res, cached, err := t.srv.do(it)
+	if err != nil {
+		return V1Result{Error: err.Error()}
+	}
+	if stamp {
+		res.Domain = t.name
+	}
+	return V1Result{Response: &res, Cached: cached}
+}
+
+// federate fans one item out across the targets in parallel and merges
+// the per-domain responses into one: span matches from every domain,
+// ordered by score (best evidence first, regardless of vertical), each
+// stamped with the domain that produced it. The federated remainder is
+// the winning domain's — the leftover text as seen by the vertical with
+// the strongest match — or the full query when nothing matched anywhere.
+func (reg *Registry) federate(targets []target, it match.Request) V1Result {
+	reg.fanouts.Add(1)
+	t0 := time.Now()
+	type part struct {
+		res    match.Response
+		cached bool
+		err    error
+	}
+	parts := make([]part, len(targets))
+	var wg sync.WaitGroup
+	for idx := range targets {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			t := targets[idx]
+			t.srv.routedQueries.Add(1)
+			res, cached, err := t.srv.do(it)
+			parts[idx] = part{res, cached, err}
+		}(idx)
+	}
+	wg.Wait()
+
+	// Request validation is domain-independent: an invalid item fails
+	// identically everywhere, so the first leg's error speaks for all.
+	for _, p := range parts {
+		if p.err != nil {
+			return V1Result{Error: p.err.Error()}
+		}
+	}
+
+	out := match.Response{Query: parts[0].res.Query}
+	allCached := true
+	remainders := make(map[string]string, len(parts))
+	for idx, p := range parts {
+		name := targets[idx].name
+		sp := stampResponse(p.res, name)
+		out.Matches = append(out.Matches, sp.Matches...)
+		out.Trace = append(out.Trace, sp.Trace...)
+		out.Timing.SegmentMicros += sp.Timing.SegmentMicros
+		out.Timing.FuzzyMicros += sp.Timing.FuzzyMicros
+		remainders[name] = sp.Remainder
+		allCached = allCached && p.cached
+	}
+	sort.SliceStable(out.Matches, func(i, j int) bool {
+		a, b := out.Matches[i], out.Matches[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Similarity != b.Similarity {
+			return a.Similarity > b.Similarity
+		}
+		if a.Domain != b.Domain {
+			return a.Domain < b.Domain
+		}
+		return a.Start < b.Start
+	})
+	if len(out.Matches) > 0 {
+		out.Remainder = remainders[out.Matches[0].Domain]
+	} else {
+		out.Remainder = parts[0].res.Remainder
+	}
+	out.Timing.TotalMicros = float64(time.Since(t0).Nanoseconds()) / 1e3
+	return V1Result{Response: &out, Cached: allCached}
+}
+
+// stampResponse detaches a (possibly cache-shared) response and tags it
+// and every match and trace step with its domain of origin. The detach
+// is load-bearing: the cache retains the original slices, and a
+// federated merge must never write domain tags into another request's
+// cached entry.
+func stampResponse(res match.Response, domain string) match.Response {
+	res = detachResponse(res)
+	res.Domain = domain
+	for i := range res.Matches {
+		res.Matches[i].Domain = domain
+	}
+	for i := range res.Trace {
+		res.Trace[i].Domain = domain
+	}
+	return res
+}
+
+// RegistryStats is the JSON shape of the registry's GET /statsz: the
+// registry-level routing counters plus every domain's full Stats (each
+// domain's cache, dictionary, generation and latency numbers are its
+// own — a hot swap in one vertical resets only that vertical's cache
+// stats).
+type RegistryStats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	DefaultDomain string  `json:"default_domain"`
+	DomainCount   int     `json:"domain_count"`
+	Requests      struct {
+		// V1 counts POST /v1/match requests; V1Queries the items they
+		// carried; FanoutQueries the items answered by a multi-domain
+		// federated merge.
+		V1            uint64 `json:"v1"`
+		V1Queries     uint64 `json:"v1_queries"`
+		FanoutQueries uint64 `json:"fanout_queries"`
+	} `json:"requests"`
+	Latency struct {
+		V1 LatencyStats `json:"v1"`
+	} `json:"latency"`
+	Domains map[string]Stats `json:"domains"`
+}
+
+// Stats returns a point-in-time view of the registry and all domains.
+func (reg *Registry) Stats() RegistryStats {
+	var st RegistryStats
+	st.UptimeSeconds = time.Since(reg.start).Seconds()
+	st.DefaultDomain = reg.def
+	st.DomainCount = len(reg.names)
+	st.Requests.V1 = reg.v1Reqs.Load()
+	st.Requests.V1Queries = reg.v1Queries.Load()
+	st.Requests.FanoutQueries = reg.fanouts.Load()
+	st.Latency.V1 = reg.v1Lat.snapshot()
+	st.Domains = make(map[string]Stats, len(reg.names))
+	for name, srv := range reg.domains {
+		st.Domains[name] = srv.Stats()
+	}
+	return st
+}
+
+func (reg *Registry) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, reg.Stats())
+}
+
+// SnapshotInfos returns every domain's live generation provenance.
+func (reg *Registry) SnapshotInfos() map[string]SnapshotInfo {
+	out := make(map[string]SnapshotInfo, len(reg.names))
+	for name, srv := range reg.domains {
+		out[name] = srv.SnapshotInfo()
+	}
+	return out
+}
+
+// handleAdminSnapshot serves all domains' provenance as a name-keyed
+// map, or a single domain's SnapshotInfo with ?domain=<name>.
+func (reg *Registry) handleAdminSnapshot(w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("domain"); name != "" {
+		srv, ok := reg.domains[name]
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown domain %q (registered: %s)", name, strings.Join(reg.names, ", ")),
+				http.StatusNotFound)
+			return
+		}
+		writeJSON(w, srv.SnapshotInfo())
+		return
+	}
+	writeJSON(w, reg.SnapshotInfos())
+}

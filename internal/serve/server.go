@@ -146,6 +146,10 @@ type Server struct {
 	synReqs      atomic.Uint64
 	v1Reqs       atomic.Uint64
 	v1Queries    atomic.Uint64
+	// routedQueries counts queries delivered to this server by a domain
+	// Registry (exact routes and federated fan-out legs alike); always
+	// zero on a standalone single-snapshot server.
+	routedQueries atomic.Uint64
 }
 
 // NewServer builds the serving state from a snapshot. When the snapshot
@@ -351,7 +355,11 @@ func detachResponse(r match.Response) match.Response {
 
 // runPool applies fn to every index in [0, n) on a bounded worker pool.
 func (s *Server) runPool(n int, fn func(i int)) {
-	workers := s.cfg.BatchWorkers
+	runPool(s.cfg.BatchWorkers, n, fn)
+}
+
+// runPool is the pool shared by Server batches and Registry fan-outs.
+func runPool(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
@@ -514,7 +522,13 @@ type BatchResponse struct {
 // (queries are short; 512 bytes each is generous) so a raised -max-batch
 // is not silently capped by a byte limit.
 func (s *Server) bodyLimit() int64 {
-	return int64(1<<20) + 512*int64(s.cfg.MaxBatch)
+	return v1BodyLimit(s.cfg.MaxBatch)
+}
+
+// v1BodyLimit is the shared request-body cap formula (Server and
+// Registry must agree, or the differential guarantees break).
+func v1BodyLimit(maxBatch int) int64 {
+	return int64(1<<20) + 512*int64(maxBatch)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -636,6 +650,10 @@ type Stats struct {
 		Synonyms     uint64 `json:"synonyms"`
 		V1           uint64 `json:"v1"`
 		V1Queries    uint64 `json:"v1_queries"`
+		// RoutedQueries counts queries a domain Registry delivered to
+		// this server; omitted (zero) on standalone servers, so the
+		// legacy /statsz shape is unchanged.
+		RoutedQueries uint64 `json:"routed_queries,omitempty"`
 	} `json:"requests"`
 	Latency struct {
 		Match LatencyStats `json:"match"`
@@ -667,6 +685,7 @@ func (s *Server) Stats() Stats {
 	st.Requests.Synonyms = s.synReqs.Load()
 	st.Requests.V1 = s.v1Reqs.Load()
 	st.Requests.V1Queries = s.v1Queries.Load()
+	st.Requests.RoutedQueries = s.routedQueries.Load()
 	st.Latency.Match = s.matchLat.snapshot()
 	st.Latency.Batch = s.batchLat.snapshot()
 	st.Latency.V1 = s.v1Lat.snapshot()

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"websyn/internal/match"
 )
 
 func testServer(cfg Config) *Server {
@@ -313,6 +315,100 @@ func TestServerConcurrentMixedLoad(t *testing.T) {
 	}
 	if st.Cache.Hits == 0 {
 		t.Fatal("no cache hits under repeated identical queries")
+	}
+}
+
+// probeSnapshot builds a snapshot whose "probe target" string resolves
+// to the given entity — two of these (entity 0 vs 1) make generations
+// distinguishable through Server.Do.
+func probeSnapshot(entity int) *Snapshot {
+	d := match.NewDictionary()
+	d.Add("Alpha Movie", match.Entry{EntityID: 0, Score: 1, Source: "canonical"})
+	d.Add("Beta Movie", match.Entry{EntityID: 1, Score: 1, Source: "canonical"})
+	d.Add("probe target", match.Entry{EntityID: entity, Score: 0.9, Source: "mined"})
+	return &Snapshot{
+		Dataset:    "Probe",
+		MinSim:     0.55,
+		Canonicals: []string{"Alpha Movie", "Beta Movie"},
+		Synonyms:   map[string][]string{},
+		Dict:       d,
+		Fuzzy:      d.NewFuzzyIndex(0.55).Packed(),
+	}
+}
+
+// TestConcurrentDoAcrossInstall hammers Server.Do from many goroutines
+// while the main goroutine hot-swaps generations whose dictionaries
+// resolve the probe query differently. The per-generation request cache
+// is the subject: after an Install returns, a fresh Do must answer from
+// the new generation — a cache shared across generations would keep
+// serving the old entity. With -race this doubles as the data-race proof
+// for the generation handle under the public Do API.
+func TestConcurrentDoAcrossInstall(t *testing.T) {
+	s := NewServer(probeSnapshot(0), Config{CacheSize: 64})
+	req := match.Request{Query: "probe target tickets"}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := s.Do(req)
+				if err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+				// Whatever generation answered, the response must be
+				// internally consistent — one of the two valid answers,
+				// never a blend.
+				if len(res.Matches) != 1 || res.Matches[0].EntityID > 1 || res.Remainder != "tickets" {
+					t.Errorf("torn response: %+v", res)
+					return
+				}
+			}
+		}()
+	}
+
+	const swaps = 10
+	for i := 1; i <= swaps; i++ {
+		entity := i % 2
+		gen, err := s.Prepare(probeSnapshot(entity), SnapshotMeta{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Install(gen)
+		// The moment Install returns, a new Do must see the new
+		// dictionary: a stale (cross-generation) cache entry would still
+		// answer with the previous entity.
+		res, err := s.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matches) != 1 || res.Matches[0].EntityID != entity {
+			t.Fatalf("swap %d: Do answered entity %+v, want %d (stale generation served)", i, res.Matches, entity)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if gen, swapped := s.Generation(); gen != swaps+1 || swapped != swaps {
+		t.Fatalf("generation %d swaps %d, want %d, %d", gen, swapped, swaps+1, swaps)
+	}
+	// One more identical request: the final generation's cache now holds
+	// the probe (the post-Install Do above), so this must hit — proving
+	// the staleness guarantee comes from per-generation caches, not from
+	// caching being accidentally disabled.
+	if _, err := s.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Cache.Hits == 0 {
+		t.Fatalf("final generation saw no cache hits: %+v", st.Cache)
 	}
 }
 

@@ -37,6 +37,13 @@ type V1Request struct {
 	// top-level fields (except Query, which must then be empty) become
 	// per-item defaults.
 	Queries []match.Request `json:"queries,omitempty"`
+	// Domains fans items out across several registered domains and
+	// merges the answers into one federated response per item: an
+	// explicit list, or ["*"] for every domain. Mutually exclusive with
+	// the top-level domain field; an item's own domain field overrides
+	// the fan-out with an exact route. Only a multi-domain Registry
+	// accepts it — a single-snapshot Server rejects domain routing.
+	Domains []string `json:"domains,omitempty"`
 }
 
 // V1Response is the body of a successful POST /v1/match.
@@ -87,50 +94,63 @@ func inheritDefaults(item, top match.Request) match.Request {
 	if item.MaxSpanTokens == 0 {
 		item.MaxSpanTokens = top.MaxSpanTokens
 	}
+	if item.Domain == "" {
+		item.Domain = top.Domain
+	}
 	item.Explain = item.Explain || top.Explain
 	return item
 }
 
-func (s *Server) handleV1Match(w http.ResponseWriter, r *http.Request) {
+// decodeV1 parses a POST /v1/match body, writing the 4xx itself on
+// failure. Shared by the single-domain Server and the domain Registry so
+// both speak the exact same request grammar.
+func decodeV1(w http.ResponseWriter, r *http.Request, limit int64) (V1Request, bool) {
 	var req V1Request
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit()))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			writeV1Error(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
-			return
+			return V1Request{}, false
 		}
 		writeV1Error(w, http.StatusBadRequest, "bad JSON body: %s", err)
-		return
+		return V1Request{}, false
 	}
+	return req, true
+}
 
-	items := req.Queries
+// v1Items expands a decoded request into its per-item list, applying
+// batch-level defaults. A non-empty message (with its HTTP status)
+// reports a request-level failure.
+func v1Items(req V1Request, maxBatch int) (items []match.Request, status int, msg string) {
+	items = req.Queries
 	if len(items) == 0 {
 		if req.Query == "" {
-			writeV1Error(w, http.StatusBadRequest, "set query, or queries for a batch")
-			return
+			return nil, http.StatusBadRequest, "set query, or queries for a batch"
 		}
 		items = []match.Request{req.Request}
 	} else {
 		if req.Query != "" {
-			writeV1Error(w, http.StatusBadRequest, "query and queries are mutually exclusive")
-			return
+			return nil, http.StatusBadRequest, "query and queries are mutually exclusive"
 		}
-		if len(items) > s.cfg.MaxBatch {
-			writeV1Error(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(items), s.cfg.MaxBatch)
-			return
+		if len(items) > maxBatch {
+			return nil, http.StatusRequestEntityTooLarge, fmt.Sprintf("batch of %d exceeds limit %d", len(items), maxBatch)
 		}
 		for i := range items {
 			items[i] = inheritDefaults(items[i], req.Request)
 		}
 	}
+	return items, 0, ""
+}
 
+// doBatch answers an expanded item list as one v1 request: counted once,
+// timed once, the whole batch on one generation — a hot swap mid-request
+// cannot answer some items from the old dictionary and some from the new.
+func (s *Server) doBatch(items []match.Request) []V1Result {
 	s.v1Reqs.Add(1)
 	s.v1Queries.Add(uint64(len(items)))
 	t0 := time.Now()
-	// One generation for the whole batch: a hot swap mid-request cannot
-	// answer some items from the old dictionary and some from the new.
 	g := s.gen.Load()
 	results := make([]V1Result, len(items))
 	s.runPool(len(items), func(i int) {
@@ -142,5 +162,32 @@ func (s *Server) handleV1Match(w http.ResponseWriter, r *http.Request) {
 		results[i] = V1Result{Response: &res, Cached: cached}
 	})
 	s.v1Lat.observe(time.Since(t0))
-	writeJSON(w, V1Response{Count: len(results), Results: results})
+	return results
+}
+
+func (s *Server) handleV1Match(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeV1(w, r, s.bodyLimit())
+	if !ok {
+		return
+	}
+	items, status, msg := v1Items(req, s.cfg.MaxBatch)
+	if msg != "" {
+		writeV1Error(w, status, "%s", msg)
+		return
+	}
+	// A single-snapshot server has exactly one dictionary: a request that
+	// asks for domain routing expects behavior this deployment cannot
+	// provide, so fail loud instead of silently answering from the wrong
+	// (only) domain.
+	if len(req.Domains) > 0 {
+		writeV1Error(w, http.StatusBadRequest, "domains requires a multi-domain server (matchd -snapshot name=path)")
+		return
+	}
+	for _, it := range items {
+		if it.Domain != "" {
+			writeV1Error(w, http.StatusBadRequest, "domain %q: domain routing requires a multi-domain server (matchd -snapshot name=path)", it.Domain)
+			return
+		}
+	}
+	writeJSON(w, V1Response{Count: len(items), Results: s.doBatch(items)})
 }

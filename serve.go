@@ -33,6 +33,15 @@ type (
 	Reloader = reload.Reloader
 	// ReloadConfig tunes a Reloader.
 	ReloadConfig = reload.Config
+	// Registry is the multi-domain serving tier: one process serving
+	// several verticals, each with its own generation handle, request
+	// cache and reload watcher, behind a federated /v1/match.
+	Registry = serve.Registry
+	// RegistryStats is the multi-domain /statsz payload.
+	RegistryStats = serve.RegistryStats
+	// ReloadGroup runs one snapshot watcher per domain with a shared
+	// per-domain admin surface.
+	ReloadGroup = reload.Group
 )
 
 // DefaultFuzzyMinSim is the Dice-similarity threshold snapshots are
@@ -55,6 +64,13 @@ func NewMatchServerWithMeta(snap *Snapshot, cfg ServeConfig, meta SnapshotMeta) 
 func NewReloader(s *MatchServer, cfg ReloadConfig) (*Reloader, error) {
 	return reload.New(s, cfg)
 }
+
+// NewRegistry builds an empty multi-domain registry; register each
+// vertical's snapshot with Registry.Add.
+func NewRegistry(cfg ServeConfig) *Registry { return serve.NewRegistry(cfg) }
+
+// NewReloadGroup builds an empty per-domain reload watcher group.
+func NewReloadGroup() *ReloadGroup { return reload.NewGroup() }
 
 // ReadSnapshot loads a serving snapshot written with Snapshot.WriteTo.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) { return serve.ReadSnapshot(r) }
