@@ -306,7 +306,7 @@ func BenchmarkServeBatch(b *testing.B) {
 	snap := movieSnapshot(b)
 	queries := serveQueries(b, 256)
 
-	for _, workers := range []int{1, 4, 8} {
+	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			s := NewMatchServer(snap, ServeConfig{CacheSize: -1, BatchWorkers: workers})
 			b.ResetTimer()
@@ -323,9 +323,11 @@ func BenchmarkServeBatch(b *testing.B) {
 // BenchmarkEngineMatch times the unified engine across its three query
 // classes: exact trie hits, per-token typo correction, and span-level
 // fuzzy resolution through the trigram index (the expensive new path).
-// It drives Server.Do — the cache-disabled unified API — so the gated
-// number covers request validation and conversion, not just the engine
-// core.
+// It drives Server.DoView — the cache-disabled zero-copy API over the
+// pooled scratch arenas — so the gated number covers request validation,
+// tokenization and the full arena hot path; the alloc column is the
+// steady-state allocation gate (0 allocs/op across all classes, pinned
+// by TestEngineAllocBudget).
 func BenchmarkEngineMatch(b *testing.B) {
 	snap := movieSnapshot(b)
 	s := NewMatchServer(snap, ServeConfig{CacheSize: -1})
@@ -352,12 +354,41 @@ func BenchmarkEngineMatch(b *testing.B) {
 	for _, c := range classes {
 		b.Run(c.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := s.Do(MatchRequest{Query: c.queries[i%len(c.queries)]}); err != nil {
+				err := s.DoView(MatchRequest{Query: c.queries[i%len(c.queries)]}, func(*MatchResponse, bool) {})
+				if err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
+}
+
+// BenchmarkSnapshotOpen contrasts the two boot paths for a serving
+// snapshot file: the streaming decode (ReadSnapshotFile) against the
+// mmap-backed open (OpenSnapshotMapped), which aliases the fuzzy
+// posting slabs in place of decoding them. The gap is the cold-boot win
+// hot reload gets from -mmap; the page cache is warm here, so the delta
+// is pure decode work.
+func BenchmarkSnapshotOpen(b *testing.B) {
+	snap := movieSnapshot(b)
+	path := b.TempDir() + "/movies.snap"
+	if err := snap.WriteFile(path); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadSnapshotFile(path); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := OpenSnapshotMapped(path); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkFuzzyLookup contrasts the flat and sharded trigram indexes on

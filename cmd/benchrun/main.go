@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"regexp"
@@ -39,8 +40,9 @@ import (
 
 // GatedBenchmarks is the default benchmark set: the latency-critical
 // serving path (whole-string fuzzy lookup, single-query match, batch
-// match, and the unified engine across exact/typo/span-fuzzy queries).
-const GatedBenchmarks = "BenchmarkFuzzyLookup|BenchmarkServeMatch|BenchmarkServeBatch|BenchmarkEngineMatch"
+// match, the unified engine across exact/typo/span-fuzzy queries, and
+// the snapshot boot paths — streamed decode vs mmap).
+const GatedBenchmarks = "BenchmarkFuzzyLookup|BenchmarkServeMatch|BenchmarkServeBatch|BenchmarkEngineMatch|BenchmarkSnapshotOpen"
 
 // Result is one benchmark's aggregated measurement.
 type Result struct {
@@ -242,6 +244,10 @@ func gate(baselinePath string, current *File, threshold float64) error {
 		allocDelta := 0.0
 		if b.AllocsPerOp > 0 {
 			allocDelta = cur.AllocsPerOp/b.AllocsPerOp - 1
+		} else if cur.AllocsPerOp > 0 {
+			// A zero-alloc baseline is an absolute invariant, not a ratio:
+			// any allocation on that path is a regression.
+			allocDelta = math.Inf(1)
 		}
 		status := "ok"
 		if delta > threshold || allocDelta > threshold {

@@ -50,7 +50,12 @@
 //
 // Serving knobs: [-addr :8080] [-cache 4096] [-batch-workers N]
 // [-max-batch 1024] [-shards N] [-fuzzy-limit 5] [-min-sim 0.55]
-// [-drain-timeout 15s]
+// [-drain-timeout 15s] [-mmap]
+//
+// -mmap memory-maps each snapshot file instead of decoding it onto the
+// heap: the fuzzy posting slabs are served straight from the page
+// cache, boot skips the posting decode, and concurrent matchd processes
+// on one host share the snapshot pages (docs/PERFORMANCE.md).
 //
 // Hot reload (requires -snapshot): [-reload-interval 0] polls every
 // snapshot file and swaps new dictionary generations in atomically —
@@ -114,6 +119,7 @@ func main() {
 		shards         = flag.Int("shards", 0, "fuzzy-index shard count (0 = GOMAXPROCS)")
 		fuzzyLimit     = flag.Int("fuzzy-limit", 5, "max hits returned by /fuzzy")
 		minSim         = flag.Float64("min-sim", 0, "fuzzy similarity threshold override (0 = snapshot's value)")
+		useMmap        = flag.Bool("mmap", false, "memory-map snapshot files: near-instant boot, fuzzy postings served from the page cache (requires -snapshot)")
 		drainTimeout   = flag.Duration("drain-timeout", 15*time.Second, "how long to drain in-flight requests on shutdown")
 		reloadInterval = flag.Duration("reload-interval", 0, "poll snapshot files for changes this often and hot-swap (0 = admin-triggered reloads only; requires -snapshot)")
 		canary         = flag.String("canary", "", "comma-separated queries a new snapshot must match before a hot swap (multi-domain: domain:query entries)")
@@ -145,6 +151,9 @@ func main() {
 		if *canary != "" {
 			log.Fatal("-canary requires -snapshot (canaries gate snapshot hot swaps)")
 		}
+		if *useMmap {
+			log.Fatal("-mmap requires -snapshot (mined-at-startup state has no file to map)")
+		}
 	}
 	if *defaultDomain != "" && !multiDomain {
 		log.Fatal("-default-domain requires multi-domain -snapshot name=path flags")
@@ -160,7 +169,7 @@ func main() {
 		if *writeSnapshot != "" {
 			log.Fatal("-write-snapshot is a mine-at-startup flag; build per-domain snapshots with cmd/dictbuild")
 		}
-		mux = bootRegistry(ctx, specs, cfg, *defaultDomain, *reloadInterval, *canary)
+		mux = bootRegistry(ctx, specs, cfg, *defaultDomain, *reloadInterval, *canary, *useMmap)
 	case len(specs) == 1:
 		if *writeSnapshot != "" {
 			// Load + rewrite: upgrades an old-format snapshot file to the
@@ -175,7 +184,7 @@ func main() {
 			log.Printf("wrote snapshot %s", *writeSnapshot)
 			return
 		}
-		mux = bootSingle(ctx, specs[0].path, cfg, *reloadInterval, *canary)
+		mux = bootSingle(ctx, specs[0].path, cfg, *reloadInterval, *canary, *useMmap)
 	default:
 		snap, err := mineSnapshot(*dataset, *ipc, *icr, *seed)
 		if err != nil {
@@ -297,11 +306,11 @@ func resolveSpecs(flags multiFlag, manifest string) ([]domainSpec, error) {
 
 // bootSingle is the legacy single-snapshot path, byte-identical to every
 // earlier matchd: one Server, one watcher, no domain routing.
-func bootSingle(ctx context.Context, path string, cfg websyn.ServeConfig, reloadInterval time.Duration, canary string) *http.ServeMux {
+func bootSingle(ctx context.Context, path string, cfg websyn.ServeConfig, reloadInterval time.Duration, canary string, useMmap bool) *http.ServeMux {
 	start := time.Now()
 	// The reloader needs the booted content's SHA-256 to seed its change
-	// detection; ReadSnapshotFileHashed streams it during the parse.
-	snap, sha, err := websyn.ReadSnapshotFileHashed(path)
+	// detection; both loaders compute it during the load.
+	snap, sha, err := loadSnapshot(path, useMmap)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -322,6 +331,7 @@ func bootSingle(ctx context.Context, path string, cfg websyn.ServeConfig, reload
 		Interval: reloadInterval,
 		Canary:   canaries[""],
 		BootSHA:  sha, // already hashed above; skip a second full read
+		Mmap:     useMmap,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -338,7 +348,7 @@ func bootSingle(ctx context.Context, path string, cfg websyn.ServeConfig, reload
 
 // bootRegistry is the multi-domain path: one Server and one reload
 // watcher per named snapshot behind a domain Registry.
-func bootRegistry(ctx context.Context, specs []domainSpec, cfg websyn.ServeConfig, defaultDomain string, reloadInterval time.Duration, canary string) *http.ServeMux {
+func bootRegistry(ctx context.Context, specs []domainSpec, cfg websyn.ServeConfig, defaultDomain string, reloadInterval time.Duration, canary string, useMmap bool) *http.ServeMux {
 	names := make([]string, len(specs))
 	for i, s := range specs {
 		names[i] = s.name
@@ -352,7 +362,7 @@ func bootRegistry(ctx context.Context, specs []domainSpec, cfg websyn.ServeConfi
 	group := websyn.NewReloadGroup()
 	for _, spec := range specs {
 		t0 := time.Now()
-		snap, sha, err := websyn.ReadSnapshotFileHashed(spec.path)
+		snap, sha, err := loadSnapshot(spec.path, useMmap)
 		if err != nil {
 			log.Fatalf("domain %s: %v", spec.name, err)
 		}
@@ -367,6 +377,7 @@ func bootRegistry(ctx context.Context, specs []domainSpec, cfg websyn.ServeConfi
 			Interval: reloadInterval,
 			Canary:   canaries[spec.name],
 			BootSHA:  sha,
+			Mmap:     useMmap,
 			Logf: func(format string, args ...any) {
 				log.Printf("domain "+spec.name+": "+format, args...)
 			},
@@ -431,6 +442,15 @@ func parseCanaries(flagValue string, domains []string) (map[string][]string, err
 		out[domain] = append(out[domain], q)
 	}
 	return out, nil
+}
+
+// loadSnapshot reads a snapshot file for serving, memory-mapping it
+// when asked.
+func loadSnapshot(path string, useMmap bool) (*websyn.Snapshot, string, error) {
+	if useMmap {
+		return websyn.OpenSnapshotMappedHashed(path)
+	}
+	return websyn.ReadSnapshotFileHashed(path)
 }
 
 // mineSnapshot runs the offline pipeline in-process: simulation, miner,

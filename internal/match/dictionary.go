@@ -19,6 +19,7 @@ package match
 
 import (
 	"sort"
+	"strings"
 
 	"websyn/internal/textnorm"
 )
@@ -123,6 +124,29 @@ func (d *Dictionary) Lookup(text string) []Entry {
 		return out[i].EntityID < out[j].EntityID
 	})
 	return out
+}
+
+// lookupNormEntries resolves an already-normalized string (single-space
+// separated tokens, as every indexed string and arena span is) to its
+// trie node's entries without tokenizing, copying or sorting — the
+// arena path's exact lookup. The returned slice is the node's own
+// storage in insertion order: read-only, and not score-sorted (use
+// bestEntryOf or sortedEntries).
+func (d *Dictionary) lookupNormEntries(text string) []Entry {
+	node := d.root
+	for len(text) > 0 {
+		tok := text
+		if i := strings.IndexByte(text, ' '); i >= 0 {
+			tok, text = text[:i], text[i+1:]
+		} else {
+			text = ""
+		}
+		node = node.children[tok]
+		if node == nil {
+			return nil
+		}
+	}
+	return node.entries
 }
 
 // ForEach visits every (string, entries) pair in lexicographic string

@@ -2,7 +2,7 @@ package match
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"unicode/utf8"
@@ -53,6 +53,11 @@ type FuzzyIndex struct {
 	// verified counts candidates that survived every prune and had their
 	// exact similarity computed — the cost the prunes exist to bound.
 	verified atomic.Int64
+
+	// backing pins the mmap handle (or other owner) of the posting slabs
+	// when the index was built over a mapped PackedFuzzy, so the mapping
+	// outlives every index that aliases it. nil for heap-backed indexes.
+	backing any
 
 	scratch sync.Pool // *fuzzyScratch
 }
@@ -149,6 +154,12 @@ func (fi *FuzzyIndex) initScratch() {
 // Len returns the number of indexed strings.
 func (fi *FuzzyIndex) Len() int { return len(fi.strings) }
 
+// Shards returns 1: a flat index is a single partition. It exists so a
+// flat index (how mmap-backed snapshots serve, keeping the posting
+// slabs shared with the page cache) and a ShardedFuzzyIndex satisfy one
+// shape-stats interface.
+func (fi *FuzzyIndex) Shards() int { return 1 }
+
 // FuzzyHit is one fuzzy-lookup result.
 type FuzzyHit struct {
 	Text       string  // the dictionary string
@@ -173,6 +184,37 @@ func hitBetter(a, b scoredHit) bool {
 	return a.text < b.text
 }
 
+// cmpHit is hitBetter as a three-way comparison for slices.SortFunc.
+func cmpHit(a, b scoredHit) int {
+	if hitBetter(a, b) {
+		return -1
+	}
+	if hitBetter(b, a) {
+		return 1
+	}
+	return 0
+}
+
+// arenaHit is the arena path's pre-resolved form of a FuzzyHit: only the
+// winning entry is carried, because the engine never reads past
+// Entries[0] — so no per-hit entry list is materialized.
+type arenaHit struct {
+	text string
+	sim  float64
+	best Entry
+	ok   bool // the string resolved to at least one entry
+}
+
+// arenaFuzzy is the allocation-free lookup capability of the built-in
+// trigram indexes; the engine type-asserts it off its FuzzyLookup and
+// falls back to the allocating interface for custom indexes.
+type arenaFuzzy interface {
+	// lookupArena is Lookup over already-normalized text, accumulating
+	// every intermediate in sc. The returned slice aliases sc.hits and is
+	// valid until the scratch's next fuzzy lookup.
+	lookupArena(sc *Scratch, norm string, limit int) []arenaHit
+}
+
 // queryGram is one distinct trigram of a query with its multiplicity.
 type queryGram struct {
 	text  string
@@ -184,13 +226,54 @@ type queryGram struct {
 const linearDedupMax = 64
 
 // queryGrams returns the distinct trigrams of an already-normalized query
-// with multiplicities, plus the total (multiset) gram count. For ASCII
-// queries — the overwhelmingly common case — gram strings are substrings
-// of norm and no per-gram allocation happens. Deduplication is a linear
-// scan while the distinct set is small (real queries always are), which
-// beats a map allocation per lookup; a map takes over past
-// linearDedupMax so a megabyte query cannot go quadratic.
+// with multiplicities, plus the total (multiset) gram count.
 func queryGrams(norm string) ([]queryGram, int) {
+	return queryGramsInto(nil, norm)
+}
+
+// gramAccum accumulates distinct query grams with multiplicities.
+// Deduplication is a linear scan while the distinct set is small (real
+// queries always are), which beats a map allocation per lookup; a map
+// takes over past linearDedupMax so a megabyte query cannot go
+// quadratic.
+type gramAccum struct {
+	out   []queryGram
+	index map[string]int32 // gram -> position in out, once past the cutoff
+	total int
+}
+
+func (a *gramAccum) add(g string) {
+	a.total++
+	if a.index != nil {
+		if j, ok := a.index[g]; ok {
+			a.out[j].count++
+			return
+		}
+		a.index[g] = int32(len(a.out))
+		a.out = append(a.out, queryGram{text: g, count: 1})
+		return
+	}
+	for i := range a.out {
+		if a.out[i].text == g {
+			a.out[i].count++
+			return
+		}
+	}
+	if len(a.out) >= linearDedupMax {
+		a.index = make(map[string]int32, 2*len(a.out))
+		for i := range a.out {
+			a.index[a.out[i].text] = int32(i)
+		}
+		a.index[g] = int32(len(a.out))
+	}
+	a.out = append(a.out, queryGram{text: g, count: 1})
+}
+
+// queryGramsInto is queryGrams accumulating into a caller-supplied slice
+// (arena reuse: pass sc.qg[:0] and keep the grown result). For ASCII
+// queries — the overwhelmingly common case — gram strings are substrings
+// of norm and no per-gram allocation happens.
+func queryGramsInto(out []queryGram, norm string) ([]queryGram, int) {
 	ascii := true
 	for i := 0; i < len(norm); i++ {
 		if norm[i] >= utf8.RuneSelf {
@@ -198,54 +281,24 @@ func queryGrams(norm string) ([]queryGram, int) {
 			break
 		}
 	}
-	var out []queryGram
-	var index map[string]int32 // gram -> position in out, once past the cutoff
-	total := 0
-	add := func(g string) {
-		total++
-		if index != nil {
-			if j, ok := index[g]; ok {
-				out[j].count++
-				return
-			}
-			index[g] = int32(len(out))
-			out = append(out, queryGram{text: g, count: 1})
-			return
-		}
-		for i := range out {
-			if out[i].text == g {
-				out[i].count++
-				return
-			}
-		}
-		if len(out) >= linearDedupMax {
-			index = make(map[string]int32, 2*len(out))
-			for i := range out {
-				index[out[i].text] = int32(i)
-			}
-			index[g] = int32(len(out))
-		}
-		out = append(out, queryGram{text: g, count: 1})
-	}
+	acc := gramAccum{out: out}
 	if ascii {
 		if len(norm) < fuzzyGramSize {
 			return nil, 0
 		}
-		out = make([]queryGram, 0, min(len(norm)-fuzzyGramSize+1, 4*linearDedupMax))
 		for i := 0; i+fuzzyGramSize <= len(norm); i++ {
-			add(norm[i : i+fuzzyGramSize])
+			acc.add(norm[i : i+fuzzyGramSize])
 		}
-		return out, total
+		return acc.out, acc.total
 	}
 	gs := textnorm.CharNGrams(norm, fuzzyGramSize)
 	if len(gs) == 0 {
 		return nil, 0
 	}
-	out = make([]queryGram, 0, min(len(gs), 4*linearDedupMax))
 	for _, g := range gs {
-		add(g)
+		acc.add(g)
 	}
-	return out, total
+	return acc.out, acc.total
 }
 
 // minSharedGrams is the candidate-generation prune: a Dice similarity of
@@ -372,18 +425,26 @@ func (fi *FuzzyIndex) scan(qGrams []queryGram, qDistinct, qTotal int, out []scor
 }
 
 // selectTop orders candidates best-first and keeps at most limit
-// (0 = no limit). When the candidate set is larger than the limit, a
-// bounded heap of size limit replaces the full sort, so Lookup(q, 1)
-// never sorts hundreds of hits. The kept set and its order are identical
-// to a full sort followed by truncation (hitBetter is a total order).
+// (0 = no limit).
 func selectTop(cands []scoredHit, limit int) []scoredHit {
+	res, _ := selectTopInto(cands, limit, nil)
+	return res
+}
+
+// selectTopInto is selectTop with a caller-supplied heap buffer (arena
+// reuse: pass the scratch's buffer and keep the grown second result).
+// When the candidate set is larger than the limit, a bounded heap of
+// size limit replaces the full sort, so Lookup(q, 1) never sorts
+// hundreds of hits. The kept set and its order are identical to a full
+// sort followed by truncation (hitBetter is a total order).
+func selectTopInto(cands []scoredHit, limit int, buf []scoredHit) (res, heapBuf []scoredHit) {
 	if limit <= 0 || len(cands) <= limit {
-		sort.Slice(cands, func(i, j int) bool { return hitBetter(cands[i], cands[j]) })
-		return cands
+		slices.SortFunc(cands, cmpHit)
+		return cands, buf
 	}
 	// Min-heap on hitBetter with the *worst* kept candidate at the root.
 	worse := func(a, b scoredHit) bool { return hitBetter(b, a) }
-	h := make([]scoredHit, 0, limit)
+	h := buf[:0]
 	for _, c := range cands {
 		if len(h) < limit {
 			h = append(h, c)
@@ -417,8 +478,8 @@ func selectTop(cands []scoredHit, limit int) []scoredHit {
 			i = m
 		}
 	}
-	sort.Slice(h, func(i, j int) bool { return hitBetter(h[i], h[j]) })
-	return h
+	slices.SortFunc(h, cmpHit)
+	return h, h
 }
 
 // materializeHits resolves the selected candidates' dictionary payloads —
@@ -440,6 +501,49 @@ func materializeHits(d *Dictionary, cands []scoredHit) []FuzzyHit {
 func exactFallback(d *Dictionary, norm string) []FuzzyHit {
 	if es := d.Lookup(norm); es != nil {
 		return []FuzzyHit{{Text: norm, Similarity: 1, Entries: es}}
+	}
+	return nil
+}
+
+// lookupArena is the arena twin of Lookup: norm must already be
+// normalized (the engine only passes arena spans, which are), and every
+// intermediate lives in sc. Results are identical to Lookup's.
+func (fi *FuzzyIndex) lookupArena(sc *Scratch, norm string, limit int) []arenaHit {
+	if norm == "" {
+		return nil
+	}
+	qGrams, qTotal := queryGramsInto(sc.qg[:0], norm)
+	sc.qg = qGrams
+	if len(qGrams) == 0 {
+		return exactFallbackArena(fi.dict, norm, sc)
+	}
+	sc.cands = fi.scan(qGrams, len(qGrams), qTotal, sc.cands[:0])
+	var kept []scoredHit
+	kept, sc.heap = selectTopInto(sc.cands, limit, sc.heap)
+	return materializeArena(fi.dict, kept, sc)
+}
+
+// materializeArena resolves selected candidates into arena hits: only
+// the best entry per string is computed (an O(entries) scan instead of a
+// sorted copy), because the engine never reads past the winner.
+func materializeArena(d *Dictionary, cands []scoredHit, sc *Scratch) []arenaHit {
+	out := sc.hits[:0]
+	for _, c := range cands {
+		ah := arenaHit{text: c.text, sim: c.sim}
+		if es := d.lookupNormEntries(c.text); len(es) > 0 {
+			ah.best, ah.ok = bestEntryOf(es), true
+		}
+		out = append(out, ah)
+	}
+	sc.hits = out
+	return out
+}
+
+// exactFallbackArena is exactFallback without the entry-list copy.
+func exactFallbackArena(d *Dictionary, norm string, sc *Scratch) []arenaHit {
+	if es := d.lookupNormEntries(norm); len(es) > 0 {
+		sc.hits = append(sc.hits[:0], arenaHit{text: norm, sim: 1, best: bestEntryOf(es), ok: true})
+		return sc.hits
 	}
 	return nil
 }

@@ -21,7 +21,19 @@ type PackedFuzzy struct {
 	Offsets    []int32  // gram g's postings: Postings[Offsets[g]:Offsets[g+1]]
 	Postings   []int32  // string indexes, strictly ascending per gram
 	Mults      []int32  // parallel to Postings: gram multiplicity in the string
+
+	// backing pins the owner of the slabs when they alias a memory-mapped
+	// snapshot (see MapPackedFuzzy); nil for heap-backed indexes. Every
+	// index built from a mapped PackedFuzzy copies the reference so the
+	// mapping cannot be unmapped under it.
+	backing any
 }
+
+// Mapped reports whether the posting slabs alias a memory-mapped
+// snapshot file. Mapped indexes should be served flat (a single
+// FuzzyIndex sharing the slabs) rather than sharded: sharding deep-copies
+// the postings into anonymous memory and forfeits page-cache sharing.
+func (p *PackedFuzzy) Mapped() bool { return p != nil && p.backing != nil }
 
 // Packed exports the index's posting lists. The returned struct shares
 // the index's backing arrays and must be treated as read-only.
@@ -119,6 +131,7 @@ func (d *Dictionary) NewFuzzyIndexFromPacked(p *PackedFuzzy, minSim float64) (*F
 		offsets:  p.Offsets,
 		postings: p.Postings,
 		mults:    p.Mults,
+		backing:  p.backing,
 	}
 	for i, g := range p.Grams {
 		fi.gramID[g] = int32(i)
@@ -168,6 +181,9 @@ func (d *Dictionary) NewShardedFuzzyIndexFromPacked(p *PackedFuzzy, minSim float
 			offsets:  make([]int32, len(p.Grams)+1),
 			postings: make([]int32, 0, sizes[s]),
 			mults:    make([]int32, 0, sizes[s]),
+			// The gram table is shared with p, whose strings may alias a
+			// mapped file even though the postings here are copies.
+			backing: p.backing,
 		}
 		shardIdx[s] = fi
 	}

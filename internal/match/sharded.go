@@ -119,3 +119,28 @@ func (sfi *ShardedFuzzyIndex) Lookup(query string, limit int) []FuzzyHit {
 func (sfi *ShardedFuzzyIndex) BestEntity(query string) (Entry, bool) {
 	return bestEntity(sfi.dict, sfi.Lookup, query)
 }
+
+// lookupArena is the arena twin of Lookup. Shards are scanned
+// sequentially — a span-window lookup is far too small to amortize
+// goroutine fan-out, and the request-level worker pool already owns the
+// cores — into one shared candidate buffer; the merged top-k selection
+// is order-independent (hitBetter is a total order), so results are
+// identical to the parallel Lookup's.
+func (sfi *ShardedFuzzyIndex) lookupArena(sc *Scratch, norm string, limit int) []arenaHit {
+	if norm == "" {
+		return nil
+	}
+	qGrams, qTotal := queryGramsInto(sc.qg[:0], norm)
+	sc.qg = qGrams
+	if len(qGrams) == 0 {
+		return exactFallbackArena(sfi.dict, norm, sc)
+	}
+	cands := sc.cands[:0]
+	for _, sh := range sfi.shards {
+		cands = sh.scan(qGrams, len(qGrams), qTotal, cands)
+	}
+	sc.cands = cands
+	var kept []scoredHit
+	kept, sc.heap = selectTopInto(cands, limit, sc.heap)
+	return materializeArena(sfi.dict, kept, sc)
+}

@@ -1,0 +1,21 @@
+//go:build !unix
+
+package serve
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without a usable mmap reads the file into one
+// heap buffer instead. Callers see the same contract — a byte slice
+// covering the file plus a release function — just without page-cache
+// sharing; the in-place aliasing still works because the buffer is
+// heap-aligned.
+func mmapFile(f *os.File, size int) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,21 @@
+//go:build unix
+
+package serve
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared, so the pages are
+// backed by the file in the OS page cache: clean, evictable under
+// memory pressure, and shared with every other process mapping the same
+// snapshot. The returned function unmaps; the file descriptor may be
+// closed as soon as mmapFile returns.
+func mmapFile(f *os.File, size int) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

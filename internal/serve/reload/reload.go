@@ -60,6 +60,10 @@ type Config struct {
 	// when the caller already computed it (matchd hashes the file while
 	// loading). Set, it saves New a second full read of Path.
 	BootSHA string
+	// Mmap loads reloaded snapshots with serve.OpenSnapshotMapped, so a
+	// new generation's fuzzy index aliases the file's pages instead of
+	// being decoded onto the heap. Should match how the server booted.
+	Mmap bool
 	// Logf receives operational log lines. nil means log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -250,10 +254,14 @@ func (r *Reloader) reload(force, skipStat bool) (swapped bool, err error) {
 		r.lastMod, r.lastSize, r.rejectedSHA = st.ModTime(), st.Size(), sha
 		return false, r.fail(err)
 	}
-	// Second pass parses (streaming again) and re-hashes; a mismatch
-	// means the file was replaced mid-reload — reject, and the next
-	// check sees the new bytes as a fresh change.
-	snap, parsedSHA, err := serve.ReadSnapshotFileHashed(r.cfg.Path)
+	// Second pass parses (streaming again, or via the mapping) and
+	// re-hashes; a mismatch means the file was replaced mid-reload —
+	// reject, and the next check sees the new bytes as a fresh change.
+	readHashed := serve.ReadSnapshotFileHashed
+	if r.cfg.Mmap {
+		readHashed = serve.OpenSnapshotMappedHashed
+	}
+	snap, parsedSHA, err := readHashed(r.cfg.Path)
 	if err != nil {
 		return reject(err)
 	}

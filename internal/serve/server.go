@@ -63,6 +63,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// fuzzyIndexer is the trigram-index capability a generation carries:
+// lookup plus the shape stats /statsz reports. Both the sharded index
+// and the flat index (which mmap-backed snapshots serve from zero-copy)
+// satisfy it.
+type fuzzyIndexer interface {
+	match.FuzzyLookup
+	Len() int
+	Shards() int
+}
+
 // generation is everything the server derives from one snapshot: the
 // compiled dictionary, the sharded fuzzy index, the engine over both,
 // the entity/synonym tables, and the request cache (caches never
@@ -77,12 +87,18 @@ type generation struct {
 	buildDur   time.Duration
 	loadedAt   time.Time
 	dict       *match.Dictionary
-	fuzzy      *match.ShardedFuzzyIndex
+	fuzzy      fuzzyIndexer
 	engine     *match.Engine
 	canonicals []string       // entity ID -> canonical string
 	byNorm     map[string]int // canonical norm -> entity ID
 	synonyms   map[string][]string
 	cache      *lruCache
+	// scratch pools the per-request match arenas. It lives on the
+	// generation, not the server, so a request pinned to an old
+	// generation can never hand its scratch — and the engine-owned
+	// strings a response aliases — to a request on a new one: arenas
+	// retire with the dictionary they matched against.
+	scratch sync.Pool // *match.Scratch
 }
 
 // SnapshotMeta records the provenance of an installed snapshot, for
@@ -196,14 +212,28 @@ func (s *Server) Prepare(snap *Snapshot, meta SnapshotMeta) (*Generation, error)
 	if cfg.MinSim > 0 {
 		minSim = cfg.MinSim
 	}
-	var fuzzy *match.ShardedFuzzyIndex
+	var fuzzy fuzzyIndexer
 	if snap.Fuzzy != nil {
-		var err error
-		fuzzy, err = snap.Dict.NewShardedFuzzyIndexFromPacked(snap.Fuzzy, minSim, cfg.FuzzyShards)
-		if err != nil {
-			// A checksummed snapshot should never get here; fall back to
-			// a clean rebuild rather than refusing to serve.
-			log.Printf("serve: rebuilding fuzzy index, embedded one unusable: %v", err)
+		if snap.Fuzzy.Mapped() {
+			// An mmap-backed packed index serves through a flat index that
+			// aliases the mapped slabs zero-copy; sharding would deep-copy
+			// every posting into anonymous memory and forfeit page-cache
+			// sharing across processes.
+			fi, err := snap.Dict.NewFuzzyIndexFromPacked(snap.Fuzzy, minSim)
+			if err != nil {
+				log.Printf("serve: rebuilding fuzzy index, mapped one unusable: %v", err)
+			} else {
+				fuzzy = fi
+			}
+		} else {
+			sfi, err := snap.Dict.NewShardedFuzzyIndexFromPacked(snap.Fuzzy, minSim, cfg.FuzzyShards)
+			if err != nil {
+				// A checksummed snapshot should never get here; fall back to
+				// a clean rebuild rather than refusing to serve.
+				log.Printf("serve: rebuilding fuzzy index, embedded one unusable: %v", err)
+			} else {
+				fuzzy = sfi
+			}
 		}
 	}
 	if fuzzy == nil {
@@ -223,6 +253,7 @@ func (s *Server) Prepare(snap *Snapshot, meta SnapshotMeta) (*Generation, error)
 	for id, c := range snap.Canonicals {
 		g.byNorm[textnorm.Normalize(c)] = id
 	}
+	g.scratch.New = func() any { return match.NewScratch() }
 	g.buildDur = time.Since(t0)
 	return &Generation{g: g}, nil
 }
@@ -259,16 +290,13 @@ func (s *Server) Generation() (id, swaps uint64) {
 func (s *Server) Engine() *match.Engine { return s.gen.Load().engine }
 
 // requestKey is the cache key of a defaulted request: every field that
-// shapes the response, plus the normalized query (as tokens, joined
-// here) so "Indy 4" and "indy   4" share an entry. Built with one
-// allocation — this runs on the cache-hit fast path.
-func requestKey(req match.Request, tokens []string) string {
-	n := len(string(req.Mode)) + 32
-	for _, t := range tokens {
-		n += len(t) + 1
-	}
+// shapes the response, plus the normalized query (so "Indy 4" and
+// "indy   4" share an entry; norm is the arena's space-joined token
+// sequence). Built with one allocation — this runs on the cache-hit
+// fast path.
+func requestKey(req match.Request, norm string) string {
 	var b strings.Builder
-	b.Grow(n)
+	b.Grow(len(string(req.Mode)) + len(norm) + 32)
 	b.WriteString(string(req.Mode))
 	b.WriteByte('|')
 	b.WriteString(strconv.Itoa(req.TopK))
@@ -286,13 +314,65 @@ func requestKey(req match.Request, tokens []string) string {
 		b.WriteByte('e')
 	}
 	b.WriteByte('|')
-	for i, t := range tokens {
-		if i > 0 {
-			b.WriteByte(' ')
-		}
-		b.WriteString(t)
-	}
+	b.WriteString(norm)
 	return b.String()
+}
+
+// doGenView answers one request on a pinned generation through the
+// pooled match arena, passing the response to visit instead of
+// returning it. The response is read-only and only valid during the
+// visit call (it may alias the generation's scratch arena); stable
+// reports whether it is instead backed by stable heap memory (a cache
+// hit, or the clone made to populate the cache) that survives the call
+// but still must not be mutated. visit runs at most once, before
+// doGenView returns.
+//
+// This is the allocation-free steady state: with caching disabled, a
+// request performs zero heap allocations end to end; with caching on,
+// the only per-request allocations are the cache key and — on a miss —
+// the one stable clone the cache retains.
+func (s *Server) doGenView(g *generation, req match.Request, visit func(res *match.Response, cached, stable bool)) error {
+	req = req.WithDefaults()
+	if err := req.Validate(); err != nil {
+		return err
+	}
+	sc := g.scratch.Get().(*match.Scratch)
+	defer g.scratch.Put(sc)
+	sc.Tokenize(req.Query)
+	if g.cache == nil {
+		res, err := g.engine.MatchPrepared(req, sc)
+		if err != nil {
+			return err
+		}
+		visit(res, false, false)
+		return nil
+	}
+	key := requestKey(req, sc.Norm())
+	if res, ok := g.cache.Get(key); ok {
+		visit(&res, true, true)
+		return nil
+	}
+	res, err := g.engine.MatchPrepared(req, sc)
+	if err != nil {
+		return err
+	}
+	stable := match.CloneResponse(res)
+	g.cache.Put(key, stable)
+	visit(&stable, false, true)
+	return nil
+}
+
+// DoView is the view-based form of Do: cache-backed, identical
+// semantics, but the response is passed to visit instead of copied out,
+// so steady-state callers (benchmarks, proxies that marshal in place)
+// skip the defensive copy. The response is read-only and valid only
+// during visit — it may alias a pooled arena that the next request
+// rewrites; retain it with match.CloneResponse. cached reports a
+// request-cache hit.
+func (s *Server) DoView(req match.Request, visit func(res *match.Response, cached bool)) error {
+	return s.doGenView(s.gen.Load(), req, func(res *match.Response, cached, _ bool) {
+		visit(res, cached)
+	})
 }
 
 // do answers one request through the cache and the engine. The returned
@@ -308,21 +388,22 @@ func (s *Server) do(req match.Request) (match.Response, bool, error) {
 // every item of a batch included — is answered by one consistent
 // dictionary even when a hot reload lands mid-request.
 func (s *Server) doGen(g *generation, req match.Request) (match.Response, bool, error) {
-	req = req.WithDefaults()
-	if err := req.Validate(); err != nil {
-		return match.Response{}, false, err
-	}
-	tokens := textnorm.Tokenize(req.Query)
-	key := requestKey(req, tokens)
-	if res, ok := g.cache.Get(key); ok {
-		return res, true, nil
-	}
-	res, err := g.engine.MatchTokens(req, tokens)
+	var out match.Response
+	var hit bool
+	err := s.doGenView(g, req, func(res *match.Response, cached, stable bool) {
+		hit = cached
+		if stable {
+			out = *res
+		} else {
+			// Arena-backed (cache disabled): clone before the scratch is
+			// pooled again.
+			out = match.CloneResponse(res)
+		}
+	})
 	if err != nil {
 		return match.Response{}, false, err
 	}
-	g.cache.Put(key, res)
-	return res, false, nil
+	return out, hit, nil
 }
 
 // Do is the public one-call form of the unified API: cache-backed,
@@ -369,6 +450,16 @@ func runPool(workers, n int, fn func(i int)) {
 		}
 		return
 	}
+	// Workers claim fixed-size chunks of the index space, not single
+	// indexes: one atomic RMW per chunk instead of per item. With short
+	// per-item work (a cached match is under a microsecond) a per-item
+	// counter serializes every worker on one cache line and flattens
+	// batch throughput beyond a few workers. Chunks of n/(workers*8)
+	// keep ~8 claims per worker for tail balance.
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -376,11 +467,17 @@ func runPool(workers, n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				end := int(next.Add(int64(chunk)))
+				start := end - chunk
+				if start >= n {
 					return
 				}
-				fn(i)
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
 			}
 		}()
 	}

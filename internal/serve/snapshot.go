@@ -81,20 +81,26 @@ type Snapshot struct {
 //	  text string, entry count, then per entry:
 //	    entityID, score float64 bits (fixed 8 bytes), source string,
 //	[version >= 2] packed fuzzy-index presence byte (0 or 1), then when
-//	  present the packed index in match.PackedFuzzy binary layout,
+//	  present the packed index — version 2: the uvarint/delta stream of
+//	  match.PackedFuzzy.WriteBinary; version 3: the aligned raw slab
+//	  layout of match.PackedFuzzy.WriteRaw, which a memory-mapped reader
+//	  aliases in place (see OpenSnapshotMapped),
 //	CRC-32 (IEEE) of everything above (fixed 4 bytes, big endian).
 //
 // The version byte is bumped on any incompatible layout change; readers
 // reject versions they don't know, but version 1 files (no fuzzy
 // section) stay readable — servers rebuild the index from the
-// dictionary. The trailing checksum catches truncated or corrupted
-// files before a server boots on bad data.
+// dictionary — and version 2 files decode as before. The trailing
+// checksum catches truncated or corrupted files before a server boots
+// on bad data.
 
 var snapshotMagic = [4]byte{'W', 'S', 'N', 'P'}
 
 // SnapshotVersion is the current snapshot layout version. Version 2
-// added the embedded packed fuzzy index.
-const SnapshotVersion = 2
+// added the embedded packed fuzzy index; version 3 stores it as aligned
+// fixed-width slabs so OpenSnapshotMapped can serve it straight from
+// the page cache.
+const SnapshotVersion = 3
 
 // crcWriter hashes every byte it forwards.
 type crcWriter struct {
@@ -231,7 +237,13 @@ func (s *Snapshot) writeTo(w io.Writer, version byte) (int64, error) {
 			if _, err := cw.Write([]byte{1}); err != nil {
 				return cw.n, err
 			}
-			if err := s.Fuzzy.WriteBinary(cw); err != nil {
+			if version >= 3 {
+				// The raw writer pads from the current file offset so the
+				// slabs land at mmap-friendly alignment.
+				if err := s.Fuzzy.WriteRaw(cw, cw.n); err != nil {
+					return cw.n, err
+				}
+			} else if err := s.Fuzzy.WriteBinary(cw); err != nil {
 				return cw.n, err
 			}
 		}
@@ -246,23 +258,37 @@ func (s *Snapshot) writeTo(w io.Writer, version byte) (int64, error) {
 	return cw.n, bw.Flush()
 }
 
-// crcReader hashes every byte it yields; it satisfies io.ByteReader so
-// binary.ReadUvarint can consume it directly.
-type crcReader struct {
-	r   *bufio.Reader
+// snapReader counts and (optionally) hashes every byte it yields; it
+// satisfies io.ByteReader so binary.ReadUvarint can consume it
+// directly. The byte count drives the version 3 fuzzy section's
+// alignment padding; sum is nil when integrity was already verified
+// up front (the memory-mapped path checksums the whole file in one
+// pass before parsing).
+type snapReader struct {
+	r interface {
+		io.Reader
+		io.ByteReader
+	}
 	sum hash.Hash32
+	n   int64
 }
 
-func (cr *crcReader) Read(p []byte) (int, error) {
+func (cr *snapReader) Read(p []byte) (int, error) {
 	n, err := cr.r.Read(p)
-	cr.sum.Write(p[:n])
+	if cr.sum != nil {
+		cr.sum.Write(p[:n])
+	}
+	cr.n += int64(n)
 	return n, err
 }
 
-func (cr *crcReader) ReadByte() (byte, error) {
+func (cr *snapReader) ReadByte() (byte, error) {
 	b, err := cr.r.ReadByte()
 	if err == nil {
-		cr.sum.Write([]byte{b})
+		if cr.sum != nil {
+			cr.sum.Write([]byte{b})
+		}
+		cr.n++
 	}
 	return b, err
 }
@@ -274,7 +300,17 @@ const maxSnapshotString = 1 << 20
 // ReadSnapshot loads a snapshot serialized by WriteTo, verifying the
 // layout version and the trailing checksum.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
-	cr := &crcReader{r: bufio.NewReader(r), sum: crc32.NewIEEE()}
+	cr := &snapReader{r: bufio.NewReader(r), sum: crc32.NewIEEE()}
+	return readSnapshotFrom(cr, nil, nil)
+}
+
+// readSnapshotFrom is the shared decode core. mapped, when non-nil, is
+// the whole serialized file held in memory (an mmap) that cr is reading
+// from: the version 3 fuzzy section is then aliased in place via
+// match.MapPackedFuzzy with pin as its lifetime anchor, instead of
+// decoded onto the heap, and cr.sum is expected to be nil (integrity
+// pre-verified).
+func readSnapshotFrom(cr *snapReader, mapped []byte, pin any) (*Snapshot, error) {
 
 	readUvarint := func() (uint64, error) { return binary.ReadUvarint(cr) }
 	readString := func() (string, error) {
@@ -399,24 +435,44 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 		switch present {
 		case 0:
 		case 1:
-			// cr implements io.ByteReader, so the packed reader consumes
-			// exactly the section and leaves the checksum in place.
-			snap.Fuzzy, err = match.ReadPackedFuzzy(cr)
-			if err != nil {
-				return nil, fmt.Errorf("serve: reading packed fuzzy index: %w", err)
+			switch {
+			case ver >= 3 && mapped != nil:
+				// Alias the raw slabs in place; advance cr past the section
+				// so any trailing layout stays in sync.
+				p, end, err := match.MapPackedFuzzy(mapped, cr.n, pin)
+				if err != nil {
+					return nil, fmt.Errorf("serve: mapping packed fuzzy index: %w", err)
+				}
+				if _, err := io.CopyN(io.Discard, cr, end-cr.n); err != nil {
+					return nil, fmt.Errorf("serve: skipping mapped fuzzy index: %w", err)
+				}
+				snap.Fuzzy = p
+			case ver >= 3:
+				snap.Fuzzy, err = match.ReadPackedFuzzyRaw(cr, cr.n)
+				if err != nil {
+					return nil, fmt.Errorf("serve: reading packed fuzzy index: %w", err)
+				}
+			default:
+				// cr implements io.ByteReader, so the packed reader consumes
+				// exactly the section and leaves the checksum in place.
+				snap.Fuzzy, err = match.ReadPackedFuzzy(cr)
+				if err != nil {
+					return nil, fmt.Errorf("serve: reading packed fuzzy index: %w", err)
+				}
 			}
 		default:
 			return nil, fmt.Errorf("serve: bad fuzzy-index presence byte %d", present)
 		}
 	}
 
-	want := cr.sum.Sum32()
 	var stored [4]byte
 	if _, err := io.ReadFull(cr.r, stored[:]); err != nil {
 		return nil, fmt.Errorf("serve: reading snapshot checksum: %w", err)
 	}
-	if got := binary.BigEndian.Uint32(stored[:]); got != want {
-		return nil, fmt.Errorf("serve: snapshot checksum mismatch (stored %08x, computed %08x)", got, want)
+	if cr.sum != nil {
+		if got, want := binary.BigEndian.Uint32(stored[:]), cr.sum.Sum32(); got != want {
+			return nil, fmt.Errorf("serve: snapshot checksum mismatch (stored %08x, computed %08x)", got, want)
+		}
 	}
 	return snap, nil
 }

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"websyn/internal/match"
+)
+
+// writeTestSnapshotFile serializes snap at the given layout version into
+// a temp file and returns its path and bytes.
+func writeTestSnapshotFile(t *testing.T, snap *Snapshot, version byte) (string, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := snap.writeTo(&buf, version); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "test.snap")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, buf.Bytes()
+}
+
+func TestOpenSnapshotMapped(t *testing.T) {
+	snap := testSnapshot()
+	path, raw := writeTestSnapshotFile(t, snap, SnapshotVersion)
+
+	got, err := OpenSnapshotMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Fuzzy.Mapped() {
+		t.Errorf("current-version snapshot's fuzzy index not mapped")
+	}
+	if got.Dataset != snap.Dataset || got.MinSim != snap.MinSim {
+		t.Errorf("header diverged: got (%q, %v), want (%q, %v)", got.Dataset, got.MinSim, snap.Dataset, snap.MinSim)
+	}
+	if !reflect.DeepEqual(got.Canonicals, snap.Canonicals) {
+		t.Errorf("Canonicals %v, want %v", got.Canonicals, snap.Canonicals)
+	}
+	if !reflect.DeepEqual(dumpDict(got.Dict), dumpDict(snap.Dict)) {
+		t.Errorf("dictionary content diverged through the mapping")
+	}
+	// Slab-level equality with the source index, field by field (the
+	// backing pin legitimately differs).
+	if got.Fuzzy.NumStrings != snap.Fuzzy.NumStrings ||
+		!reflect.DeepEqual(got.Fuzzy.Grams, snap.Fuzzy.Grams) ||
+		!reflect.DeepEqual(got.Fuzzy.Offsets, snap.Fuzzy.Offsets) ||
+		!reflect.DeepEqual(got.Fuzzy.Postings, snap.Fuzzy.Postings) ||
+		!reflect.DeepEqual(got.Fuzzy.Mults, snap.Fuzzy.Mults) {
+		t.Errorf("mapped fuzzy slabs diverged from the source index")
+	}
+
+	// The mapped snapshot must serve byte-identically to the streamed one.
+	streamed, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewServer(got, Config{CacheSize: -1})
+	b := NewServer(streamed, Config{CacheSize: -1})
+	for _, q := range []string{
+		"showtimes for indy 4 near san francisco",
+		"madagascar 2 trailer",
+		"kingdom of the crystal skul",
+		"indianna jones 4",
+		"mdagascar",
+	} {
+		for _, mode := range []match.Mode{match.ModeSegment, match.ModeSpan, match.ModeFuzzy} {
+			req := match.Request{Query: q, Mode: mode, TopK: 3, Explain: true}
+			ra, errA := a.Do(req)
+			rb, errB := b.Do(req)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("%s %q: error divergence %v vs %v", mode, q, errA, errB)
+			}
+			ra.Timing, rb.Timing = match.Timing{}, match.Timing{}
+			if !reflect.DeepEqual(ra, rb) {
+				t.Errorf("%s %q: mapped and streamed snapshots disagree:\n got %+v\nwant %+v", mode, q, ra, rb)
+			}
+		}
+	}
+
+	// Whole-file digest must agree with the streaming reader's.
+	_, wantSHA, err := ReadSnapshotFileHashed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gotSHA, err := OpenSnapshotMappedHashed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSHA != wantSHA {
+		t.Errorf("mapped digest %s, streamed %s", gotSHA, wantSHA)
+	}
+	_ = raw
+}
+
+// TestOpenSnapshotMappedOldVersions pins that pre-raw-layout files still
+// open through the mapped entry point — decoded onto the heap, not
+// aliased.
+func TestOpenSnapshotMappedOldVersions(t *testing.T) {
+	for _, ver := range []byte{1, 2} {
+		snap := testSnapshot()
+		if ver == 1 {
+			snap.Fuzzy = nil
+		}
+		path, _ := writeTestSnapshotFile(t, snap, ver)
+		got, err := OpenSnapshotMapped(path)
+		if err != nil {
+			t.Fatalf("version %d: %v", ver, err)
+		}
+		if got.Fuzzy.Mapped() {
+			t.Errorf("version %d fuzzy index claims to be mapped", ver)
+		}
+		if ver >= 2 && !reflect.DeepEqual(got.Fuzzy, snap.Fuzzy) {
+			t.Errorf("version %d fuzzy index diverged through the mapped reader", ver)
+		}
+	}
+}
+
+func TestOpenSnapshotMappedRejectsCorrupt(t *testing.T) {
+	snap := testSnapshot()
+	_, raw := writeTestSnapshotFile(t, snap, SnapshotVersion)
+	dir := t.TempDir()
+	write := func(b []byte) string {
+		path := filepath.Join(dir, "corrupt.snap")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// Truncations at every interesting boundary.
+	for _, n := range []int{0, 3, 5, 16, len(raw) / 2, len(raw) - 5, len(raw) - 1} {
+		if _, err := OpenSnapshotMapped(write(raw[:n])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Bit flips across the file (every flip breaks the CRC).
+	for pos := 0; pos < len(raw); pos += 97 {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0x40
+		if _, err := OpenSnapshotMapped(write(mut)); err == nil {
+			t.Errorf("bit flip at %d accepted", pos)
+		}
+	}
+}
+
+// FuzzMmapSnapshotOpen drives arbitrary bytes through the mapped
+// snapshot parser. Inputs are parsed twice: once as-is (exercising the
+// whole-file CRC gate) and once with the CRC trailer recomputed so the
+// mutation survives into the structural parser — the in-place slab
+// mapping must reject truncated, bit-flipped and short-header sections
+// with an error, never a panic or an out-of-range read.
+func FuzzMmapSnapshotOpen(f *testing.F) {
+	snap := testSnapshot()
+	for _, ver := range []byte{1, 2, 3} {
+		var buf bytes.Buffer
+		if _, err := snap.writeTo(&buf, ver); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/2])
+	}
+	nofuzz := testSnapshot()
+	nofuzz.Fuzzy = nil
+	var buf bytes.Buffer
+	if _, err := nofuzz.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("WSNP"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		check := func(b []byte) {
+			snap, _, err := snapshotFromMapped(b, &mappedFile{data: b}, false)
+			if err != nil || snap == nil || snap.Fuzzy == nil {
+				return
+			}
+			// A structurally accepted fuzzy section must also survive index
+			// construction (which walks every posting) without panicking;
+			// a validation error is a legitimate outcome.
+			_, _ = snap.Dict.NewFuzzyIndexFromPacked(snap.Fuzzy, 0.55)
+		}
+		check(data)
+		if len(data) > 9 {
+			fixed := append([]byte(nil), data...)
+			binary.BigEndian.PutUint32(fixed[len(fixed)-4:], crc32.ChecksumIEEE(fixed[:len(fixed)-4]))
+			check(fixed)
+		}
+	})
+}

@@ -85,6 +85,21 @@ func ReadSnapshotFileHashed(path string) (*Snapshot, string, error) {
 	return serve.ReadSnapshotFileHashed(path)
 }
 
+// OpenSnapshotMapped loads a serving snapshot with its fuzzy posting
+// slabs memory-mapped straight out of the file (current-version
+// snapshots), so boot skips the posting decode entirely and the slab
+// pages stay shared with the OS page cache. See
+// docs/PERFORMANCE.md#memory-model.
+func OpenSnapshotMapped(path string) (*Snapshot, error) {
+	return serve.OpenSnapshotMapped(path)
+}
+
+// OpenSnapshotMappedHashed is OpenSnapshotMapped also returning the hex
+// SHA-256 of the file bytes.
+func OpenSnapshotMappedHashed(path string) (*Snapshot, string, error) {
+	return serve.OpenSnapshotMappedHashed(path)
+}
+
 // MineSnapshot runs the offline pipeline end to end — simulation, miner,
 // snapshot compilation — the one-call form behind cmd/dictbuild and
 // matchd's mine-at-startup mode. minSim <= 0 means DefaultFuzzyMinSim.
