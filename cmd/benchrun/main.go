@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchrun [-bench regex] [-count 3] [-pkg .] [-out BENCH_<date>.json]
+//	benchrun [-bench regex] [-count 3] [-pkg .] [-out bench/BENCH_<date>.json]
 //	         [-baseline BENCH_baseline.json] [-threshold 0.25]
 //	         [-write-baseline path]
 //
@@ -30,6 +30,7 @@ import (
 	"math"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
@@ -69,7 +70,7 @@ func main() {
 		bench     = flag.String("bench", GatedBenchmarks, "benchmark regex passed to go test -bench")
 		count     = flag.Int("count", 3, "runs per benchmark; the fastest is recorded")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
-		out       = flag.String("out", "", "trajectory file to write (default BENCH_<date>.json; empty string with -write-baseline skips it)")
+		out       = flag.String("out", "", "trajectory file to write (default bench/BENCH_<date>.json; empty string with -write-baseline skips it)")
 		baseline  = flag.String("baseline", "", "baseline file to gate against (empty = no gate)")
 		threshold = flag.Float64("threshold", 0.25, "maximum tolerated fractional ns/op regression")
 		writeBase = flag.String("write-baseline", "", "write this run as the new baseline to the given path")
@@ -98,11 +99,18 @@ func main() {
 
 	outPath := *out
 	if outPath == "" && *writeBase == "" {
-		outPath = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+		// Dated trajectory reports live under bench/ (gitignored), so
+		// repeated runs never litter the repo root with stale files.
+		outPath = filepath.Join("bench", "BENCH_"+time.Now().UTC().Format("2006-01-02")+".json")
 	}
 	for _, path := range []string{outPath, *writeBase} {
 		if path == "" {
 			continue
+		}
+		if dir := filepath.Dir(path); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal(err)
+			}
 		}
 		if err := writeFile(path, f); err != nil {
 			fatal(err)

@@ -65,6 +65,7 @@ func main() {
 		failOnError = flag.Bool("fail-on-error", false, "exit non-zero on any transport error or non-200 response")
 		maxP99      = flag.Duration("max-p99", 0, "exit non-zero when the overall or any per-domain p99 latency exceeds this (0 = no bound)")
 		minRequests = flag.Uint64("min-requests", 0, "exit non-zero when fewer requests complete (0 = no floor); catches a server that hangs mid-run without erroring")
+		summaryMD   = flag.String("summary-md", "", "append a markdown summary table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	)
 	flag.Parse()
 	if len(snapshots) == 0 {
@@ -107,6 +108,19 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *reportPath)
+	}
+	if *summaryMD != "" {
+		f, err := os.OpenFile(*summaryMD, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := f.WriteString(summaryMarkdown(rep)); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("appended summary to %s", *summaryMD)
 	}
 
 	failed := false
@@ -218,6 +232,34 @@ func breakdownLines(kind string, m map[string]loadtest.Percentiles) []string {
 			kind, k, p.P50, p.P95, p.P99, p.Max))
 	}
 	return out
+}
+
+// summaryMarkdown renders the report as a GitHub job-summary fragment:
+// a headline table plus per-class and per-domain latency rows.
+func summaryMarkdown(rep *loadtest.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Load report — %s\n\n", rep.URL)
+	fmt.Fprintf(&b, "| Requests | Errors | Non-200 | QPS | p50 | p95 | p99 | max |\n")
+	fmt.Fprintf(&b, "|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+	fmt.Fprintf(&b, "| %d | %d | %d | %.0f | %.2fms | %.2fms | %.2fms | %.2fms |\n\n",
+		rep.Requests, rep.Errors, rep.Non200, rep.AchievedQPS,
+		rep.Latency.P50, rep.Latency.P95, rep.Latency.P99, rep.Latency.Max)
+	writeBreakdown := func(title string, counts map[string]uint64, lats map[string]loadtest.Percentiles) {
+		if len(lats) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "| %s | requests | p50 | p95 | p99 | max |\n", title)
+		fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---:|\n")
+		for _, k := range sortedKeys(lats) {
+			p := lats[k]
+			fmt.Fprintf(&b, "| %s | %d | %.2fms | %.2fms | %.2fms | %.2fms |\n",
+				k, counts[k], p.P50, p.P95, p.P99, p.Max)
+		}
+		b.WriteString("\n")
+	}
+	writeBreakdown("Class", rep.ByClass, rep.LatencyByClass)
+	writeBreakdown("Domain", rep.ByDomain, rep.LatencyByDomain)
+	return b.String()
 }
 
 // sortedKeys returns a map's keys in ascending order.

@@ -80,6 +80,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -88,6 +89,7 @@ import (
 	"time"
 
 	"websyn"
+	"websyn/internal/fleet"
 )
 
 // multiFlag collects a repeatable string flag.
@@ -123,6 +125,9 @@ func main() {
 		drainTimeout   = flag.Duration("drain-timeout", 15*time.Second, "how long to drain in-flight requests on shutdown")
 		reloadInterval = flag.Duration("reload-interval", 0, "poll snapshot files for changes this often and hot-swap (0 = admin-triggered reloads only; requires -snapshot)")
 		canary         = flag.String("canary", "", "comma-separated queries a new snapshot must match before a hot swap (multi-domain: domain:query entries)")
+		fleetAddr      = flag.String("fleet-addr", "", "also serve the fleet wire protocol on this address (replica mode, see cmd/router)")
+		blobDir        = flag.String("blob-dir", "", "content-addressed blob directory to pull snapshots from (requires -snapshot; see cmd/router -publish)")
+		pullInterval   = flag.Duration("pull-interval", 2*time.Second, "blob-store pointer poll period with -blob-dir (0 = POST /admin/pull only)")
 	)
 	flag.Parse()
 
@@ -158,18 +163,27 @@ func main() {
 	if *defaultDomain != "" && !multiDomain {
 		log.Fatal("-default-domain requires multi-domain -snapshot name=path flags")
 	}
+	if *blobDir != "" && len(specs) == 0 {
+		log.Fatal("-blob-dir requires -snapshot (pulled snapshots land in the watched snapshot files)")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	var store *fleet.Store
+	if *blobDir != "" {
+		store = &fleet.Store{Dir: *blobDir}
+	}
+
 	start := time.Now()
 	var mux *http.ServeMux
+	var backend fleet.Backend
 	switch {
 	case multiDomain:
 		if *writeSnapshot != "" {
 			log.Fatal("-write-snapshot is a mine-at-startup flag; build per-domain snapshots with cmd/dictbuild")
 		}
-		mux = bootRegistry(ctx, specs, cfg, *defaultDomain, *reloadInterval, *canary, *useMmap)
+		mux, backend = bootRegistry(ctx, specs, cfg, *defaultDomain, *reloadInterval, *canary, *useMmap, store, *pullInterval)
 	case len(specs) == 1:
 		if *writeSnapshot != "" {
 			// Load + rewrite: upgrades an old-format snapshot file to the
@@ -184,7 +198,7 @@ func main() {
 			log.Printf("wrote snapshot %s", *writeSnapshot)
 			return
 		}
-		mux = bootSingle(ctx, specs[0].path, cfg, *reloadInterval, *canary, *useMmap)
+		mux, backend = bootSingle(ctx, specs[0].path, cfg, *reloadInterval, *canary, *useMmap, store, *pullInterval)
 	default:
 		snap, err := mineSnapshot(*dataset, *ipc, *icr, *seed)
 		if err != nil {
@@ -202,6 +216,23 @@ func main() {
 		s := websyn.NewMatchServer(snap, cfg)
 		mux = http.NewServeMux()
 		s.Mount(mux)
+		backend = s
+	}
+
+	// Replica mode: the same backend answers the compact wire protocol
+	// for a fleet router, next to the HTTP listener.
+	if *fleetAddr != "" {
+		ln, err := net.Listen("tcp", *fleetAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fsrv := fleet.NewServer(backend, nil)
+		go func() {
+			if err := fsrv.Serve(ctx, ln); err != nil {
+				log.Printf("fleet: %v", err)
+			}
+		}()
+		log.Printf("fleet: wire protocol listening on %s", ln.Addr())
 	}
 
 	log.Printf("serving ready in %v, listening on %s", time.Since(start).Round(time.Millisecond), *addr)
@@ -304,9 +335,18 @@ func resolveSpecs(flags multiFlag, manifest string) ([]domainSpec, error) {
 	return specs, nil
 }
 
+// defaultPullDomain is the blob-store domain name a single-snapshot
+// replica pulls: legacy deployments have no domain concept, but the
+// content-addressed store needs a pointer-file name.
+const defaultPullDomain = "default"
+
 // bootSingle is the legacy single-snapshot path, byte-identical to every
 // earlier matchd: one Server, one watcher, no domain routing.
-func bootSingle(ctx context.Context, path string, cfg websyn.ServeConfig, reloadInterval time.Duration, canary string, useMmap bool) *http.ServeMux {
+func bootSingle(ctx context.Context, path string, cfg websyn.ServeConfig, reloadInterval time.Duration, canary string, useMmap bool, store *fleet.Store, pullInterval time.Duration) (*http.ServeMux, fleet.Backend) {
+	blobSHA := ""
+	if store != nil {
+		blobSHA = bootFetchBlob(store, defaultPullDomain, path)
+	}
 	start := time.Now()
 	// The reloader needs the booted content's SHA-256 to seed its change
 	// detection; both loaders compute it during the load.
@@ -338,17 +378,32 @@ func bootSingle(ctx context.Context, path string, cfg websyn.ServeConfig, reload
 	}
 	r.Mount(mux)
 	go r.Run(ctx)
+	if store != nil {
+		pullers := fleet.NewPullers()
+		p := &fleet.Puller{Store: store, Domain: defaultPullDomain, Reloader: r, Interval: pullInterval}
+		p.SetBootSHA(blobSHA)
+		if err := pullers.Add(p); err != nil {
+			log.Fatal(err)
+		}
+		pullers.Mount(mux)
+		if pullInterval > 0 {
+			go pullers.Run(ctx)
+			log.Printf("blob pull: polling %s pointer in %s every %v", defaultPullDomain, store.Dir, pullInterval)
+		} else {
+			log.Printf("blob pull: POST /admin/pull fetches from %s", store.Dir)
+		}
+	}
 	if reloadInterval > 0 {
 		log.Printf("hot reload: polling %s every %v (POST /admin/reload to trigger now)", path, reloadInterval)
 	} else {
 		log.Printf("hot reload: POST /admin/reload swaps %s in", path)
 	}
-	return mux
+	return mux, s
 }
 
 // bootRegistry is the multi-domain path: one Server and one reload
 // watcher per named snapshot behind a domain Registry.
-func bootRegistry(ctx context.Context, specs []domainSpec, cfg websyn.ServeConfig, defaultDomain string, reloadInterval time.Duration, canary string, useMmap bool) *http.ServeMux {
+func bootRegistry(ctx context.Context, specs []domainSpec, cfg websyn.ServeConfig, defaultDomain string, reloadInterval time.Duration, canary string, useMmap bool, store *fleet.Store, pullInterval time.Duration) (*http.ServeMux, fleet.Backend) {
 	names := make([]string, len(specs))
 	for i, s := range specs {
 		names[i] = s.name
@@ -360,7 +415,12 @@ func bootRegistry(ctx context.Context, specs []domainSpec, cfg websyn.ServeConfi
 
 	reg := websyn.NewRegistry(cfg)
 	group := websyn.NewReloadGroup()
+	pullers := fleet.NewPullers()
 	for _, spec := range specs {
+		blobSHA := ""
+		if store != nil {
+			blobSHA = bootFetchBlob(store, spec.name, spec.path)
+		}
 		t0 := time.Now()
 		snap, sha, err := loadSnapshot(spec.path, useMmap)
 		if err != nil {
@@ -388,6 +448,16 @@ func bootRegistry(ctx context.Context, specs []domainSpec, cfg websyn.ServeConfi
 		if err := group.Add(spec.name, r); err != nil {
 			log.Fatal(err)
 		}
+		if store != nil {
+			p := &fleet.Puller{Store: store, Domain: spec.name, Reloader: r, Interval: pullInterval,
+				Logf: func(format string, args ...any) {
+					log.Printf("domain "+spec.name+": "+format, args...)
+				}}
+			p.SetBootSHA(blobSHA)
+			if err := pullers.Add(p); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 	if defaultDomain != "" {
 		if err := reg.SetDefault(defaultDomain); err != nil {
@@ -401,12 +471,47 @@ func bootRegistry(ctx context.Context, specs []domainSpec, cfg websyn.ServeConfi
 	reg.Mount(mux)
 	group.Mount(mux)
 	go group.Run(ctx)
+	if store != nil {
+		pullers.Mount(mux)
+		if pullInterval > 0 {
+			go pullers.Run(ctx)
+			log.Printf("blob pull: polling every domain pointer in %s every %v", store.Dir, pullInterval)
+		} else {
+			log.Printf("blob pull: POST /admin/pull?domain=<name> fetches from %s", store.Dir)
+		}
+	}
 	if reloadInterval > 0 {
 		log.Printf("hot reload: polling every domain snapshot every %v (POST /admin/reload?domain=<name> to trigger now)", reloadInterval)
 	} else {
 		log.Printf("hot reload: POST /admin/reload?domain=<name> swaps that domain's snapshot in")
 	}
-	return mux
+	return mux, reg
+}
+
+// bootFetchBlob syncs one domain's local spool file from its blob-store
+// pointer before boot, so a replica with an empty disk comes up serving
+// the fleet's current snapshot. Returns the fetched SHA ("" when the
+// store has no pointer yet, or the local file had to serve as fallback).
+func bootFetchBlob(store *fleet.Store, domain, path string) string {
+	sha, err := store.Current(domain)
+	if err != nil {
+		log.Fatalf("domain %s: %v", domain, err)
+	}
+	if sha == "" {
+		if _, statErr := os.Stat(path); statErr != nil {
+			log.Fatalf("domain %s: no local snapshot %s and no pointer in blob store %s", domain, path, store.Dir)
+		}
+		return ""
+	}
+	if err := store.Fetch(sha, path); err != nil {
+		if _, statErr := os.Stat(path); statErr == nil {
+			log.Printf("domain %s: blob fetch failed (%v), serving local %s", domain, err, path)
+			return ""
+		}
+		log.Fatalf("domain %s: %v", domain, err)
+	}
+	log.Printf("domain %s: boot-fetched %.12s from %s", domain, sha, store.Dir)
+	return sha
 }
 
 // parseCanaries splits the -canary flag. In single-domain mode (domains

@@ -1,0 +1,229 @@
+// Command router fronts a fleet of matchd replicas: one HTTP endpoint,
+// N replicas speaking the internal wire protocol behind it.
+//
+//	router -replica 127.0.0.1:9001=http://127.0.0.1:8001 \
+//	       -replica 127.0.0.1:9002=http://127.0.0.1:8002 \
+//	       -replica 127.0.0.1:9003=http://127.0.0.1:8003 \
+//	       -addr :8090 -blob-dir /srv/websyn/blobs
+//
+// Each -replica names a matchd wire address (-fleet-addr on the
+// replica) and, after '=', its optional HTTP admin base URL (used for
+// rolling snapshot publishes; omit it to exclude the replica from
+// publishes).
+//
+// Endpoints:
+//
+//	POST /v1/match       — same contract as matchd (docs/API.md);
+//	                       domain-pinned items ride a consistent-hash
+//	                       ring, federated/domainless ones round-robin
+//	GET  /healthz        — 200 while at least one replica is healthy
+//	GET  /statsz         — routing, hedging and per-replica health stats
+//	POST /admin/publish  — ?domain=<d>&path=<snapshot>: stage into the
+//	                       blob store and roll across the fleet, rolling,
+//	                       with the domain pointer flipped last
+//	                       (requires -blob-dir and replica admin URLs)
+//
+// Reliability: replicas are actively health-checked (-health-interval)
+// and ejected after -fail-after consecutive failures; while ejected
+// they only receive half-open probes, and -recover-after consecutive
+// successes re-admit them. A slow primary gets a hedged backup request
+// after the observed p95 latency (-hedge-delay pins it); transport
+// errors retry immediately on the next distinct replica, up to
+// -max-attempts, all within -timeout.
+//
+// Publish-only mode (no serving): -publish domain=path stages a
+// snapshot and, when replicas are configured, rolls it across them
+// before flipping the pointer; with no replicas it just seeds the blob
+// store. The process exits when every -publish entry is done:
+//
+//	router -blob-dir blobs -publish movies=movies.snap            # seed
+//	router -blob-dir blobs -replica ...=http://... -publish movies=v2.snap
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"websyn/internal/fleet"
+	"websyn/internal/serve"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var replicas, publishes multiFlag
+	flag.Var(&replicas, "replica", "matchd wire address, optionally =adminURL (repeatable)")
+	flag.Var(&publishes, "publish", "domain=snapshot-path to publish, then exit (repeatable; requires -blob-dir)")
+	var (
+		addr           = flag.String("addr", ":8090", "listen address")
+		timeout        = flag.Duration("timeout", 2*time.Second, "per-item budget across all attempts")
+		hedgeDelay     = flag.Duration("hedge-delay", 0, "fixed hedge delay (0 = adaptive p95)")
+		maxHedgeDelay  = flag.Duration("max-hedge-delay", 100*time.Millisecond, "adaptive hedge delay ceiling")
+		maxAttempts    = flag.Int("max-attempts", 3, "max distinct replicas tried per item")
+		healthInterval = flag.Duration("health-interval", time.Second, "active health-probe period")
+		healthTimeout  = flag.Duration("health-timeout", 500*time.Millisecond, "health-probe timeout")
+		failAfter      = flag.Int("fail-after", 3, "consecutive failures before ejection")
+		recoverAfter   = flag.Int("recover-after", 2, "consecutive probe successes before re-admission")
+		maxBatch       = flag.Int("max-batch", 256, "max queries per /v1/match batch")
+		blobDir        = flag.String("blob-dir", "", "content-addressed snapshot blob directory (enables /admin/publish)")
+		publishTimeout = flag.Duration("publish-timeout", 60*time.Second, "per-replica convergence budget during a publish")
+		drainTimeout   = flag.Duration("drain-timeout", 10*time.Second, "how long to drain in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	specs, err := parseReplicas(replicas)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var store *fleet.Store
+	if *blobDir != "" {
+		store = &fleet.Store{Dir: *blobDir}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if len(publishes) > 0 {
+		if store == nil {
+			log.Fatal("-publish requires -blob-dir")
+		}
+		if err := runPublishes(ctx, store, specs, publishes, *publishTimeout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if len(specs) == 0 {
+		log.Fatal("router needs at least one -replica (or -publish entries)")
+	}
+	rt, err := fleet.NewRouter(fleet.RouterConfig{
+		Replicas:       specs,
+		MaxBatch:       *maxBatch,
+		RequestTimeout: *timeout,
+		HedgeDelay:     *hedgeDelay,
+		MaxHedgeDelay:  *maxHedgeDelay,
+		MaxAttempts:    *maxAttempts,
+		HealthInterval: *healthInterval,
+		HealthTimeout:  *healthTimeout,
+		FailAfter:      *failAfter,
+		RecoverAfter:   *recoverAfter,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go rt.Run(ctx)
+
+	mux := http.NewServeMux()
+	rt.Mount(mux)
+	if store != nil {
+		coord := &fleet.Coordinator{Store: store, Replicas: rt.AdminURLs(), StepTimeout: *publishTimeout}
+		mux.HandleFunc("POST /admin/publish", func(w http.ResponseWriter, r *http.Request) {
+			domain := r.URL.Query().Get("domain")
+			path := r.URL.Query().Get("path")
+			if domain == "" || path == "" {
+				serve.WriteV1Error(w, http.StatusBadRequest, "publish needs ?domain= and ?path=")
+				return
+			}
+			report, err := coord.Publish(r.Context(), domain, path)
+			w.Header().Set("Content-Type", "application/json")
+			if err != nil {
+				w.WriteHeader(http.StatusInternalServerError)
+			}
+			fmt.Fprintf(w, "%s\n", mustJSON(report))
+		})
+	}
+
+	log.Printf("router: %d replicas, listening on %s", len(specs), *addr)
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      mux,
+		ReadTimeout:  5 * time.Second,
+		WriteTimeout: 120 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutdown signal received, draining for up to %v", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("server: %v", err)
+		}
+		log.Print("shutdown complete")
+	}
+}
+
+// parseReplicas expands -replica flags: "addr" or "addr=adminURL".
+func parseReplicas(flags multiFlag) ([]fleet.ReplicaSpec, error) {
+	var out []fleet.ReplicaSpec
+	for _, v := range flags {
+		addr, admin, _ := strings.Cut(v, "=")
+		addr, admin = strings.TrimSpace(addr), strings.TrimSpace(admin)
+		if addr == "" {
+			return nil, fmt.Errorf("router: bad -replica %q (want addr[=adminURL])", v)
+		}
+		out = append(out, fleet.ReplicaSpec{Addr: addr, AdminURL: admin})
+	}
+	return out, nil
+}
+
+// runPublishes handles -publish entries: rolling publishes when
+// replicas are configured, blob-store seeding otherwise.
+func runPublishes(ctx context.Context, store *fleet.Store, specs []fleet.ReplicaSpec, publishes multiFlag, stepTimeout time.Duration) error {
+	var admins []string
+	for _, s := range specs {
+		if s.AdminURL != "" {
+			admins = append(admins, s.AdminURL)
+		}
+	}
+	for _, entry := range publishes {
+		domain, path, ok := strings.Cut(entry, "=")
+		domain, path = strings.TrimSpace(domain), strings.TrimSpace(path)
+		if !ok || domain == "" || path == "" {
+			return fmt.Errorf("router: bad -publish %q (want domain=path)", entry)
+		}
+		if len(admins) == 0 {
+			sha, err := store.Publish(domain, path)
+			if err != nil {
+				return err
+			}
+			log.Printf("router: seeded %s <- %s (sha256 %.12s)", domain, path, sha)
+			continue
+		}
+		coord := &fleet.Coordinator{Store: store, Replicas: admins, StepTimeout: stepTimeout}
+		report, err := coord.Publish(ctx, domain, path)
+		if err != nil {
+			return err
+		}
+		log.Printf("router: published %s -> %.12s across %d replicas", domain, report.SHA, len(report.Rolled))
+	}
+	return nil
+}
+
+func mustJSON(v any) string {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Sprintf(`{"error":%q}`, err.Error())
+	}
+	return string(b)
+}

@@ -1,0 +1,268 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"websyn/internal/loadtest"
+	"websyn/internal/serve"
+	"websyn/internal/serve/reload"
+)
+
+// newFleetRouter builds a router over already-started wire replicas with
+// chaos-friendly health settings: fast probes, quick ejection.
+func newFleetRouter(t *testing.T, specs []ReplicaSpec) (*Router, *httptest.Server) {
+	t.Helper()
+	return startRouter(t, RouterConfig{
+		Replicas:       specs,
+		HealthInterval: 25 * time.Millisecond,
+		HealthTimeout:  250 * time.Millisecond,
+		FailAfter:      2,
+		RecoverAfter:   2,
+		RequestTimeout: 2 * time.Second,
+		Logf:           t.Logf,
+	})
+}
+
+// TestChaosReplicaKillZeroFailures is the in-process version of the CI
+// fleet-smoke gate: three multi-domain replicas behind the router, a
+// mixed workload in flight, one replica killed cold at the halfway
+// mark. Health ejection plus transport-error retry must absorb the
+// kill with zero failed requests.
+func TestChaosReplicaKillZeroFailures(t *testing.T) {
+	movies, cameras := testSnapshot(), testSnapshotCameras()
+
+	var specs []ReplicaSpec
+	var kills []func()
+	for i := 0; i < 3; i++ {
+		reg := serve.NewRegistry(serve.Config{})
+		if _, err := reg.Add("movies", testSnapshot(), serve.SnapshotMeta{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.Add("cameras", testSnapshotCameras(), serve.SnapshotMeta{}); err != nil {
+			t.Fatal(err)
+		}
+		addr, _, kill := startWireServer(t, reg)
+		specs = append(specs, ReplicaSpec{Addr: addr})
+		kills = append(kills, kill)
+	}
+	_, hs := newFleetRouter(t, specs)
+
+	w, err := loadtest.FromSnapshots(map[string]*serve.Snapshot{
+		"movies": movies, "cameras": cameras,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := loadtest.Run(context.Background(), w, loadtest.Options{
+		URL:         hs.URL,
+		QPS:         300,
+		Duration:    2 * time.Second,
+		Concurrency: 8,
+		Midway: func() {
+			t.Log("chaos: killing replica 0")
+			kills[0]()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests < 100 {
+		t.Fatalf("only %d requests sent — run too small to prove anything", rep.Requests)
+	}
+	if rep.Failed() {
+		t.Fatalf("replica kill leaked failures: %d transport errors, %d non-200 of %d requests",
+			rep.Errors, rep.Non200, rep.Requests)
+	}
+	t.Logf("chaos: %d requests, 0 failures, p99 %.1fms", rep.Requests, rep.Latency.P99)
+}
+
+// chaosReplica is one full replica for the rolling-publish test: wire
+// serving, admin HTTP (snapshot provenance + pull), reloader, puller.
+type chaosReplica struct {
+	spec  ReplicaSpec
+	admin *httptest.Server
+}
+
+func newChaosReplica(t *testing.T, store *Store, sha string) *chaosReplica {
+	t.Helper()
+	spool := filepath.Join(t.TempDir(), "movies.snap")
+	if err := store.Fetch(sha, spool); err != nil {
+		t.Fatal(err)
+	}
+	loaded, gotSHA, err := serve.ReadSnapshotFileHashed(spool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSHA != sha {
+		t.Fatalf("boot fetch hash mismatch: %.12s != %.12s", gotSHA, sha)
+	}
+	reg := serve.NewRegistry(serve.Config{})
+	srv, err := reg.Add("movies", loaded, serve.SnapshotMeta{Path: spool, SHA256: sha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := reload.New(srv, reload.Config{Path: spool, BootSHA: sha, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Puller{Store: store, Domain: "movies", Reloader: rl, Logf: t.Logf}
+	p.SetBootSHA(sha)
+	pullers := NewPullers()
+	if err := pullers.Add(p); err != nil {
+		t.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	reg.Mount(mux)
+	pullers.Mount(mux)
+	admin := httptest.NewServer(mux)
+	t.Cleanup(admin.Close)
+
+	addr, _, _ := startWireServer(t, reg)
+	return &chaosReplica{
+		spec:  ReplicaSpec{Addr: addr, AdminURL: admin.URL},
+		admin: admin,
+	}
+}
+
+// TestChaosRollingPublishZeroDowntime publishes a new snapshot across a
+// three-replica fleet while traffic flows: zero failed requests, full
+// convergence on the new SHA, and at no sampled instant does any
+// replica serve a version outside {old, new} — skew bounded to one.
+func TestChaosRollingPublishZeroDowntime(t *testing.T) {
+	store := &Store{Dir: filepath.Join(t.TempDir(), "blobs")}
+
+	v1path := filepath.Join(t.TempDir(), "v1.snap")
+	if err := testSnapshot().WriteFile(v1path); err != nil {
+		t.Fatal(err)
+	}
+	v1sha, err := store.Publish("movies", v1path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2path := filepath.Join(t.TempDir(), "v2.snap")
+	if err := testSnapshotV2().WriteFile(v2path); err != nil {
+		t.Fatal(err)
+	}
+
+	var replicas []*chaosReplica
+	var specs []ReplicaSpec
+	var adminURLs []string
+	for i := 0; i < 3; i++ {
+		r := newChaosReplica(t, store, v1sha)
+		replicas = append(replicas, r)
+		specs = append(specs, r.spec)
+		adminURLs = append(adminURLs, r.admin.URL)
+	}
+	_, hs := newFleetRouter(t, specs)
+
+	coord := &Coordinator{
+		Store:       store,
+		Replicas:    adminURLs,
+		StepTimeout: 10 * time.Second,
+		Poll:        20 * time.Millisecond,
+		Logf:        t.Logf,
+	}
+
+	// Sample every replica's serving SHA throughout the run; any value
+	// outside {v1, v2} (or a sampling error) breaks the skew bound.
+	sampleCtx, stopSampling := context.WithCancel(context.Background())
+	type sample struct {
+		admin string
+		sha   string
+		err   error
+	}
+	var samples []sample
+	samplingDone := make(chan struct{})
+	go func() {
+		defer close(samplingDone)
+		tick := time.NewTicker(15 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleCtx.Done():
+				return
+			case <-tick.C:
+				for _, admin := range adminURLs {
+					sha, err := coord.servingSHA(sampleCtx, admin, "movies")
+					samples = append(samples, sample{admin: admin, sha: sha, err: err})
+				}
+			}
+		}
+	}()
+
+	w, err := loadtest.FromSnapshots(map[string]*serve.Snapshot{"movies": testSnapshot()}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pubRep PublishReport
+	pubErr := make(chan error, 1)
+	rep, err := loadtest.Run(context.Background(), w, loadtest.Options{
+		URL:         hs.URL,
+		QPS:         300,
+		Duration:    2 * time.Second,
+		Concurrency: 8,
+		Midway: func() {
+			var perr error
+			pubRep, perr = coord.Publish(context.Background(), "movies", v2path)
+			pubErr <- perr
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perr := <-pubErr; perr != nil {
+		t.Fatalf("rolling publish failed: %v (report %+v)", perr, pubRep)
+	}
+	stopSampling()
+	<-samplingDone
+
+	v2sha := pubRep.SHA
+	if v2sha == v1sha || !pubRep.Flipped || len(pubRep.Rolled) != 3 {
+		t.Fatalf("publish report off: %+v", pubRep)
+	}
+	if rep.Failed() {
+		t.Fatalf("rolling publish leaked failures: %d transport errors, %d non-200 of %d requests",
+			rep.Errors, rep.Non200, rep.Requests)
+	}
+
+	// Skew bound: every successful sample is v1 or v2, never a third
+	// version or an empty serving surface.
+	checked := 0
+	for _, s := range samples {
+		if s.err != nil {
+			// Sampling races the test shutdown; a transport error after
+			// cancel is noise, mid-run it would also have failed loadtest.
+			continue
+		}
+		if s.sha != v1sha && s.sha != v2sha {
+			t.Fatalf("replica %s served unexpected sha %.12s during publish", s.admin, s.sha)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d usable samples — sampler never observed the rollout", checked)
+	}
+
+	// Full convergence: every replica ends on v2, and the pointer names it.
+	for _, r := range replicas {
+		sha, err := coord.servingSHA(context.Background(), r.admin.URL, "movies")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sha != v2sha {
+			t.Fatalf("replica %s still serving %.12s, want %.12s", r.admin.URL, sha, v2sha)
+		}
+	}
+	if cur, _ := store.Current("movies"); cur != v2sha {
+		t.Fatalf("pointer %.12s, want %.12s", cur, v2sha)
+	}
+	t.Logf("rolling publish: %d requests, 0 failures, %d skew samples clean, fleet on %.12s",
+		rep.Requests, checked, v2sha)
+}

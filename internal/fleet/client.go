@@ -1,0 +1,200 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"websyn/internal/fleet/wire"
+)
+
+// client is a wire-protocol transport for one replica: a small pool of
+// idle connections, each carrying one request at a time. Cancellation
+// is by deadline-poisoning: a watchdog goroutine slams the connection
+// deadline into the past when the request context dies, which unblocks
+// any in-flight read/write immediately. A cancelled or errored
+// connection is closed, never re-pooled.
+type client struct {
+	addr        string
+	dialTimeout time.Duration
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// maxIdleConns caps the per-replica idle pool. Beyond this, returned
+// connections are closed; the pool only has to absorb the steady-state
+// concurrency of one router.
+const maxIdleConns = 32
+
+func newClient(addr string, dialTimeout time.Duration) *client {
+	if dialTimeout <= 0 {
+		dialTimeout = 2 * time.Second
+	}
+	return &client{addr: addr, dialTimeout: dialTimeout}
+}
+
+// get returns a pooled connection or dials a fresh one. The bool is
+// true when the connection came from the pool (and so may be stale).
+func (c *client) get(ctx context.Context) (net.Conn, bool, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, net.ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, true, nil
+	}
+	c.mu.Unlock()
+
+	d := net.Dialer{Timeout: c.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, false, err
+	}
+	if _, err := io.WriteString(conn, wire.Magic); err != nil {
+		conn.Close()
+		return nil, false, fmt.Errorf("handshake %s: %w", c.addr, err)
+	}
+	return conn, false, nil
+}
+
+// put returns a healthy connection to the idle pool.
+func (c *client) put(conn net.Conn) {
+	conn.SetDeadline(time.Time{})
+	c.mu.Lock()
+	if c.closed || len(c.idle) >= maxIdleConns {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+	c.mu.Unlock()
+}
+
+// dropIdle closes all pooled connections (called on ejection so a
+// recovered replica starts from fresh connections).
+func (c *client) dropIdle() {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+}
+
+// close shuts the pool down for good.
+func (c *client) close() {
+	c.mu.Lock()
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+}
+
+// roundTrip sends one request frame and reads one response frame,
+// retrying once on a fresh connection if a pooled (possibly stale)
+// connection fails on first use. buf is an optional reuse buffer for
+// the response payload; the returned slice aliases it when large
+// enough.
+func (c *client) roundTrip(ctx context.Context, payload, buf []byte) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		conn, pooled, err := c.get(ctx)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.exchange(ctx, conn, payload, buf)
+		if err == nil {
+			c.put(conn)
+			return resp, nil
+		}
+		conn.Close()
+		// A pooled connection may have been closed server-side while
+		// idle; one retry on a guaranteed-fresh connection covers that
+		// without masking real failures.
+		if pooled && attempt == 0 && ctx.Err() == nil {
+			continue
+		}
+		return nil, err
+	}
+}
+
+// exchange performs one write+read on conn, poisoning the deadline if
+// ctx is cancelled mid-flight.
+func (c *client) exchange(ctx context.Context, conn net.Conn, payload, buf []byte) ([]byte, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	} else {
+		conn.SetDeadline(time.Time{})
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			conn.SetDeadline(time.Unix(1, 0))
+		case <-stop:
+		}
+	}()
+	defer func() {
+		close(stop)
+		<-done
+	}()
+
+	if err := wire.WriteFrame(conn, payload); err != nil {
+		return nil, err
+	}
+	resp, err := wire.ReadFrame(conn, buf)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// ping round-trips one OpPing frame within timeout.
+func (c *client) ping(ctx context.Context, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	resp, err := c.roundTrip(ctx, []byte{wire.OpPing}, nil)
+	if err != nil {
+		return err
+	}
+	if len(resp) != 1 || resp[0] != wire.OpPong {
+		return fmt.Errorf("ping %s: unexpected response opcode", c.addr)
+	}
+	return nil
+}
+
+// match round-trips one OpMatch frame and decodes the result.
+func (c *client) match(ctx context.Context, req []byte, buf []byte) (wire.Result, error) {
+	resp, err := c.roundTrip(ctx, req, buf)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	if len(resp) == 0 {
+		return wire.Result{}, fmt.Errorf("match %s: empty response frame", c.addr)
+	}
+	switch resp[0] {
+	case wire.OpResult:
+		return wire.DecodeResult(resp[1:])
+	case wire.OpError:
+		return wire.Result{}, fmt.Errorf("match %s: replica error: %s", c.addr, resp[1:])
+	default:
+		return wire.Result{}, fmt.Errorf("match %s: unexpected response opcode 0x%02x", c.addr, resp[0])
+	}
+}

@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"websyn/internal/serve"
+)
+
+// Coordinator drives a rolling, bounded-skew snapshot publish across a
+// fleet. The sequence for one publish:
+//
+//  1. Stage the snapshot into the blob store under its content hash —
+//     visible to nobody (the domain pointer still names the old blob).
+//  2. Replica by replica, serially: POST /admin/pull with the staged
+//     SHA, then poll GET /admin/snapshot until the replica reports it
+//     is serving that SHA. Serial rollout means the fleet only ever
+//     holds two versions at once (skew ≤ 1), and a replica that
+//     rejects the snapshot (parse, canary) aborts the publish with the
+//     old pointer — and every untouched replica — intact.
+//  3. Flip the domain pointer last, so replicas that boot or resync
+//     later converge on the new blob.
+type Coordinator struct {
+	Store *Store
+	// Replicas are the admin base URLs (e.g. http://127.0.0.1:8081) to
+	// roll over, in order.
+	Replicas []string
+	// Client is the HTTP client for admin calls (default: 5s timeout).
+	Client *http.Client
+	// StepTimeout bounds one replica's pull+converge (default 30s).
+	StepTimeout time.Duration
+	// Poll is the convergence poll period (default 200ms).
+	Poll time.Duration
+	Logf func(format string, args ...any)
+}
+
+// ReplicaPublish is one replica's outcome within a publish.
+type ReplicaPublish struct {
+	AdminURL string  `json:"admin_url"`
+	Swapped  bool    `json:"swapped"`
+	Millis   float64 `json:"ms"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// PublishReport describes one rolling publish end to end.
+type PublishReport struct {
+	Domain  string           `json:"domain"`
+	SHA     string           `json:"sha"`
+	Rolled  []ReplicaPublish `json:"rolled"`
+	Flipped bool             `json:"pointer_flipped"`
+	Error   string           `json:"error,omitempty"`
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+func (c *Coordinator) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// Publish stages src and rolls it across every replica, flipping the
+// domain pointer only after the whole fleet converged. The report is
+// returned even on error (Error set, Flipped false) so callers can show
+// exactly which replica stopped the rollout.
+func (c *Coordinator) Publish(ctx context.Context, domain, src string) (PublishReport, error) {
+	rep := PublishReport{Domain: domain}
+	sha, err := c.Store.Stage(src)
+	if err != nil {
+		rep.Error = err.Error()
+		return rep, err
+	}
+	rep.SHA = sha
+	c.logf("fleet: publish %s: staged %s as %.12s", domain, src, sha)
+
+	for _, admin := range c.Replicas {
+		t0 := time.Now()
+		swapped, err := c.rollOne(ctx, admin, domain, sha)
+		step := ReplicaPublish{AdminURL: admin, Swapped: swapped, Millis: float64(time.Since(t0).Nanoseconds()) / 1e6}
+		if err != nil {
+			step.Error = err.Error()
+			rep.Rolled = append(rep.Rolled, step)
+			rep.Error = fmt.Sprintf("replica %s: %s — publish aborted, pointer unchanged", admin, err)
+			return rep, fmt.Errorf("fleet: publish %s: %s", domain, rep.Error)
+		}
+		rep.Rolled = append(rep.Rolled, step)
+		c.logf("fleet: publish %s: %s converged on %.12s in %.0fms", domain, admin, sha, step.Millis)
+	}
+
+	if err := c.Store.SetCurrent(domain, sha); err != nil {
+		rep.Error = err.Error()
+		return rep, err
+	}
+	rep.Flipped = true
+	c.logf("fleet: publish %s: pointer -> %.12s", domain, sha)
+	return rep, nil
+}
+
+// rollOne pushes one staged SHA to one replica and waits for its
+// serving surface to report it.
+func (c *Coordinator) rollOne(ctx context.Context, admin, domain, sha string) (swapped bool, err error) {
+	stepTimeout := c.StepTimeout
+	if stepTimeout <= 0 {
+		stepTimeout = 30 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, stepTimeout)
+	defer cancel()
+
+	pullURL := strings.TrimRight(admin, "/") + "/admin/pull?" + url.Values{
+		"domain": {domain}, "sha": {sha},
+	}.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, pullURL, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return false, fmt.Errorf("pull: %w", err)
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	var pr pullResult
+	if err := json.Unmarshal(body, &pr); err != nil {
+		return false, fmt.Errorf("pull: HTTP %d: %.200s", resp.StatusCode, body)
+	}
+	if pr.Error != "" {
+		return false, fmt.Errorf("pull rejected: %s", pr.Error)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("pull: HTTP %d", resp.StatusCode)
+	}
+
+	// The pull call is synchronous, but what matters is the serving
+	// surface: poll the snapshot provenance until the replica itself
+	// says it serves the staged bytes.
+	poll := c.Poll
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		cur, err := c.servingSHA(ctx, admin, domain)
+		if err == nil && cur == sha {
+			return pr.Swapped, nil
+		}
+		select {
+		case <-ctx.Done():
+			if err != nil {
+				return false, fmt.Errorf("converge: %w (last error: %v)", ctx.Err(), err)
+			}
+			return false, fmt.Errorf("converge: %w (still serving %.12s)", ctx.Err(), cur)
+		case <-time.After(poll):
+		}
+	}
+}
+
+// servingSHA asks one replica which snapshot SHA a domain serves.
+func (c *Coordinator) servingSHA(ctx context.Context, admin, domain string) (string, error) {
+	u := strings.TrimRight(admin, "/") + "/admin/snapshot?" + url.Values{"domain": {domain}}.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("snapshot: HTTP %d", resp.StatusCode)
+	}
+	var info serve.SnapshotInfo
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&info); err != nil {
+		return "", err
+	}
+	return info.Snapshot.SHA256, nil
+}

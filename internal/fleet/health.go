@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// replica is one routable backend plus its health state machine.
+//
+// States: healthy <-> ejected. FailAfter consecutive failures (active
+// probe or passive request feedback) eject the replica; while ejected
+// only half-open probes touch it, and RecoverAfter consecutive probe
+// successes re-admit it. A flap during half-open resets the success
+// count, so an unstable replica stays out until it holds steady.
+type replica struct {
+	addr     string
+	adminURL string
+	client   *client
+
+	healthy atomic.Bool
+
+	mu         sync.Mutex
+	consecFail int
+	consecOK   int
+
+	ejections atomic.Uint64
+}
+
+func newReplica(addr, adminURL string, dialTimeout time.Duration) *replica {
+	rep := &replica{addr: addr, adminURL: adminURL, client: newClient(addr, dialTimeout)}
+	rep.healthy.Store(true)
+	return rep
+}
+
+// reportResult feeds one observation (active probe or passive request
+// outcome) into the state machine. failAfter/recoverAfter are the
+// consecutive-count thresholds.
+func (rep *replica) reportResult(ok bool, failAfter, recoverAfter int) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if ok {
+		rep.consecFail = 0
+		if rep.healthy.Load() {
+			return
+		}
+		rep.consecOK++
+		if rep.consecOK >= recoverAfter {
+			rep.consecOK = 0
+			rep.healthy.Store(true)
+		}
+		return
+	}
+	rep.consecOK = 0
+	if !rep.healthy.Load() {
+		return
+	}
+	rep.consecFail++
+	if rep.consecFail >= failAfter {
+		rep.consecFail = 0
+		rep.healthy.Store(false)
+		rep.ejections.Add(1)
+		// Pooled connections to a bad replica are suspect; recovery
+		// starts from fresh dials.
+		rep.client.dropIdle()
+	}
+}
+
+// healthLoop actively probes one replica until ctx is cancelled. A
+// healthy replica is pinged every interval as a liveness floor (a quiet
+// fleet still detects death); an ejected one is probed at the same
+// cadence in half-open mode.
+func (r *Router) healthLoop(ctx context.Context, rep *replica) {
+	t := time.NewTicker(r.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		wasHealthy := rep.healthy.Load()
+		err := rep.client.ping(ctx, r.cfg.HealthTimeout)
+		if ctx.Err() != nil {
+			return
+		}
+		rep.reportResult(err == nil, r.cfg.FailAfter, r.cfg.RecoverAfter)
+		if nowHealthy := rep.healthy.Load(); nowHealthy != wasHealthy {
+			if nowHealthy {
+				r.cfg.Logf("fleet: replica %s recovered, re-admitted", rep.addr)
+			} else {
+				r.cfg.Logf("fleet: replica %s ejected (health check: %v)", rep.addr, err)
+			}
+		}
+	}
+}

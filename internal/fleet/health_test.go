@@ -1,0 +1,205 @@
+package fleet
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReplicaStateMachine drives reportResult deterministically: the
+// consecutive-count thresholds, the half-open reset on flap, and the
+// rule that an unstable replica is never re-admitted early.
+func TestReplicaStateMachine(t *testing.T) {
+	const failAfter, recoverAfter = 3, 2
+	rep := newReplica("127.0.0.1:1", "", time.Second)
+	report := func(ok bool) { rep.reportResult(ok, failAfter, recoverAfter) }
+
+	// Failures below the threshold, interrupted by a success, never eject.
+	report(false)
+	report(false)
+	report(true)
+	report(false)
+	report(false)
+	if !rep.healthy.Load() {
+		t.Fatal("ejected below the consecutive-failure threshold")
+	}
+	// The third consecutive failure ejects.
+	report(false)
+	if rep.healthy.Load() {
+		t.Fatal("not ejected after 3 consecutive failures")
+	}
+	if got := rep.ejections.Load(); got != 1 {
+		t.Fatalf("ejections = %d, want 1", got)
+	}
+
+	// Half-open: one probe success is not enough, and a flap resets the
+	// streak — a replica that can't hold recoverAfter consecutive
+	// successes stays out no matter how many total successes it racks up.
+	for i := 0; i < 10; i++ {
+		report(true)
+		if rep.healthy.Load() {
+			t.Fatalf("re-admitted after a single success (iteration %d)", i)
+		}
+		report(false)
+	}
+	// A held streak re-admits.
+	report(true)
+	report(true)
+	if !rep.healthy.Load() {
+		t.Fatal("not re-admitted after consecutive successes")
+	}
+}
+
+// flapProxy is a TCP proxy that can be flipped down (connections
+// refused, live pipes cut) and back up — a replica that flaps without
+// the real backend ever dying.
+type flapProxy struct {
+	ln     net.Listener
+	target string
+
+	mu    sync.Mutex
+	up    bool
+	conns map[net.Conn]struct{}
+}
+
+func newFlapProxy(t *testing.T, target string) *flapProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flapProxy{ln: ln, target: target, up: true, conns: make(map[net.Conn]struct{})}
+	go p.acceptLoop()
+	t.Cleanup(func() { ln.Close(); p.setUp(false) })
+	return p
+}
+
+func (p *flapProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *flapProxy) setUp(up bool) {
+	p.mu.Lock()
+	p.up = up
+	if !up {
+		for c := range p.conns {
+			c.Close()
+		}
+		p.conns = make(map[net.Conn]struct{})
+	}
+	p.mu.Unlock()
+}
+
+func (p *flapProxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		up := p.up
+		if up {
+			p.conns[conn] = struct{}{}
+		}
+		p.mu.Unlock()
+		if !up {
+			conn.Close()
+			continue
+		}
+		go p.pipe(conn)
+	}
+}
+
+func (p *flapProxy) pipe(client net.Conn) {
+	server, err := net.Dial("tcp", p.target)
+	if err != nil {
+		client.Close()
+		return
+	}
+	p.mu.Lock()
+	p.conns[server] = struct{}{}
+	p.mu.Unlock()
+	go func() { io.Copy(server, client); server.Close(); client.Close() }()
+	io.Copy(client, server)
+	client.Close()
+	server.Close()
+}
+
+// TestFlappingReplicaEjectionAndRecovery runs the full loop end to end:
+// a replica goes dark, gets ejected, receives zero routed requests
+// while ejected, then recovers only after holding consecutive probe
+// successes.
+func TestFlappingReplicaEjectionAndRecovery(t *testing.T) {
+	flappyAddr, flappySrv, _ := startWireServer(t, testBackend())
+	proxy := newFlapProxy(t, flappyAddr)
+	stableAddr, _, _ := startWireServer(t, testBackend())
+
+	const recoverAfter = 5
+	const healthInterval = 30 * time.Millisecond
+	rt, hs := startRouter(t, RouterConfig{
+		Replicas:       []ReplicaSpec{{Addr: proxy.addr()}, {Addr: stableAddr}},
+		HealthInterval: healthInterval,
+		HealthTimeout:  200 * time.Millisecond,
+		FailAfter:      2,
+		RecoverAfter:   recoverAfter,
+		RequestTimeout: time.Second,
+		Logf:           t.Logf,
+	})
+
+	waitHealthy := func(addr string, want bool, within time.Duration) {
+		t.Helper()
+		deadline := time.Now().Add(within)
+		for time.Now().Before(deadline) {
+			if rt.HealthySnapshot()[addr] == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("replica %s did not become healthy=%v within %v", addr, want, within)
+	}
+
+	// Both replicas serve while healthy.
+	if status, _ := postMatch(t, hs.URL, `{"query": "indy 4"}`); status != http.StatusOK {
+		t.Fatalf("HTTP %d before flap", status)
+	}
+
+	// Down: the replica must be ejected.
+	proxy.setUp(false)
+	waitHealthy(proxy.addr(), false, 3*time.Second)
+
+	// While ejected, no match request may reach it: the router routes
+	// around it, and every request still succeeds.
+	before := flappySrv.Stats().Requests
+	for i := 0; i < 30; i++ {
+		if status, _ := postMatch(t, hs.URL, `{"query": "madagascar 2"}`); status != http.StatusOK {
+			t.Fatalf("request %d during ejection: HTTP %d", i, status)
+		}
+	}
+	if after := flappySrv.Stats().Requests; after != before {
+		t.Fatalf("ejected replica served %d match requests", after-before)
+	}
+
+	// Back up: recovery requires recoverAfter consecutive probe
+	// successes, so well before that window the replica must still be
+	// out (the first possible re-admission is recoverAfter intervals
+	// away).
+	proxy.setUp(true)
+	time.Sleep(healthInterval)
+	if rt.HealthySnapshot()[proxy.addr()] {
+		t.Fatal("replica re-admitted before holding consecutive probe successes")
+	}
+	waitHealthy(proxy.addr(), true, 5*time.Second)
+
+	// Re-admitted: traffic flows to it again.
+	before = flappySrv.Stats().Requests
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && flappySrv.Stats().Requests == before {
+		if status, _ := postMatch(t, hs.URL, `{"query": "indy 4"}`); status != http.StatusOK {
+			t.Fatalf("HTTP %d after recovery", status)
+		}
+	}
+	if flappySrv.Stats().Requests == before {
+		t.Fatal("recovered replica never served a request again")
+	}
+}

@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"websyn/internal/fleet/wire"
+	"websyn/internal/match"
+	"websyn/internal/serve"
+)
+
+// slowBackend delays every answer — a healthy-but-slow replica.
+type slowBackend struct {
+	inner Backend
+	delay time.Duration
+}
+
+func (s slowBackend) DoItem(it match.Request, domains []string) serve.V1Result {
+	time.Sleep(s.delay)
+	return s.inner.DoItem(it, domains)
+}
+
+// TestHedgedRequestWinsAndCancelsLoser sends one item to a slow primary
+// with a fast backup behind a short hedge delay: the backup's answer
+// must win quickly, the loser's in-flight attempt must be cancelled
+// (its connection closed, never pooled), and no goroutine may leak.
+func TestHedgedRequestWinsAndCancelsLoser(t *testing.T) {
+	const slowDelay = 400 * time.Millisecond
+	slowAddr, _, _ := startWireServer(t, slowBackend{inner: testBackend(), delay: slowDelay})
+	fastAddr, fastSrv, _ := startWireServer(t, testBackend())
+
+	rt, err := NewRouter(RouterConfig{
+		Replicas:       []ReplicaSpec{{Addr: slowAddr}, {Addr: fastAddr}},
+		HedgeDelay:     10 * time.Millisecond,
+		RequestTimeout: 2 * time.Second,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, fast := rt.replicas[0], rt.replicas[1]
+
+	payload := wire.AppendRequest([]byte{wire.OpMatch}, match.Request{Query: "indy 4"}, nil)
+
+	t0 := time.Now()
+	res, err := rt.send(context.Background(), []*replica{slow, fast}, payload)
+	took := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Response == nil || len(res.Response.Matches) == 0 {
+		t.Fatalf("hedged result empty: %+v", res)
+	}
+	if took >= slowDelay {
+		t.Fatalf("hedged request took %v — waited out the slow primary", took)
+	}
+	if got := rt.hedges.Load(); got != 1 {
+		t.Errorf("hedges = %d, want 1", got)
+	}
+	if got := rt.hedgeWins.Load(); got != 1 {
+		t.Errorf("hedgeWins = %d, want 1", got)
+	}
+	if got := fastSrv.Stats().Requests; got != 1 {
+		t.Errorf("fast replica served %d requests, want 1", got)
+	}
+
+	// The losing attempt's connection was cancelled mid-flight: it must
+	// have been closed, not returned to the idle pool, or a later
+	// request would read the stale response.
+	slow.client.mu.Lock()
+	slowIdle := len(slow.client.idle)
+	slow.client.mu.Unlock()
+	if slowIdle != 0 {
+		t.Errorf("cancelled connection returned to the idle pool (%d idle)", slowIdle)
+	}
+
+	// No goroutine leak: the watchdog, the losing attempt and the
+	// server-side handler all unwind. An absolute NumGoroutine compare is
+	// flaky alongside the rest of the suite, so measure growth instead:
+	// run many more hedged requests — a leak (watchdog or attempt stuck
+	// per request) grows linearly with the count, incidental runtime
+	// goroutines don't.
+	const extra = 10
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < extra; i++ {
+		if _, err := rt.send(context.Background(), []*replica{slow, fast}, payload); err != nil {
+			t.Fatalf("follow-up send %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines grew with hedged requests: baseline %d, now %d after %d more sends",
+		baseline, runtime.NumGoroutine(), extra)
+}
+
+// TestRetryOnDeadReplica: a transport error moves to the next distinct
+// replica immediately, without burning the hedge delay or failing the
+// request.
+func TestRetryOnDeadReplica(t *testing.T) {
+	deadAddr, _, kill := startWireServer(t, testBackend())
+	kill()
+	liveAddr, _, _ := startWireServer(t, testBackend())
+
+	rt, err := NewRouter(RouterConfig{
+		Replicas:       []ReplicaSpec{{Addr: deadAddr}, {Addr: liveAddr}},
+		HedgeDelay:     time.Second, // far beyond the test budget: only the retry path can win
+		RequestTimeout: 2 * time.Second,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := wire.AppendRequest([]byte{wire.OpMatch}, match.Request{Query: "madagascar 2"}, nil)
+	t0 := time.Now()
+	res, err := rt.send(context.Background(), []*replica{rt.replicas[0], rt.replicas[1]}, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(t0); took >= time.Second {
+		t.Fatalf("retry took %v — waited for the hedge timer instead of retrying on error", took)
+	}
+	if res.Response == nil {
+		t.Fatal("retry returned no response")
+	}
+	if got := rt.retries.Load(); got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+}

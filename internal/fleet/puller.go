@@ -1,0 +1,259 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"websyn/internal/serve/reload"
+)
+
+// Puller keeps one domain of one replica converged on its blob-store
+// pointer. It fetches the pointed-at blob (hash-verified) into the
+// reloader's watched spool path and triggers a reload, which reuses the
+// whole existing safety ladder for free: parse validation, canary
+// queries, atomic generation install, reject-keeps-old-serving.
+//
+// Distribution is pull-based: the publisher only moves a pointer file,
+// and every replica converges on its own schedule. A replica that was
+// down during a publish catches up on its next sync — there is no
+// publish-time fan-out to miss.
+type Puller struct {
+	Store    *Store
+	Domain   string
+	Reloader *reload.Reloader
+	// Interval is the pointer poll period for Run (default 2s).
+	Interval time.Duration
+	Logf     func(format string, args ...any)
+
+	mu      sync.Mutex // serializes pulls and guards lastSHA
+	lastSHA string     // last blob SHA fetched and offered to the reloader
+
+	pulls    atomic.Uint64
+	fetches  atomic.Uint64
+	failures atomic.Uint64
+	lastErr  atomic.Pointer[string]
+}
+
+func (p *Puller) logf(format string, args ...any) {
+	if p.Logf != nil {
+		p.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// SetBootSHA records the SHA the replica booted on, so the first sync
+// against an unchanged pointer is a no-op instead of a redundant fetch.
+func (p *Puller) SetBootSHA(sha string) {
+	p.mu.Lock()
+	p.lastSHA = sha
+	p.mu.Unlock()
+}
+
+// Sync converges on the domain's current pointer: a no-op when the
+// pointer matches the last pulled SHA, a fetch+reload otherwise.
+func (p *Puller) Sync() (swapped bool, err error) {
+	sha, err := p.Store.Current(p.Domain)
+	if err != nil {
+		return false, p.fail(err)
+	}
+	if sha == "" {
+		return false, nil // nothing published yet
+	}
+	return p.PullSHA(sha)
+}
+
+// PullSHA fetches one specific blob and offers it to the reloader. The
+// SHA is remembered even when the reloader rejects it (bad parse,
+// canary failure): re-offering known-bad bytes every tick would burn a
+// build per poll, and the reloader's status already carries the
+// rejection. A new publish changes the SHA and clears the jam.
+func (p *Puller) PullSHA(sha string) (swapped bool, err error) {
+	if !validSHA(sha) {
+		return false, p.fail(fmt.Errorf("fleet: pull %s: bad sha %q", p.Domain, sha))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pulls.Add(1)
+	if sha == p.lastSHA {
+		return false, nil
+	}
+	if err := p.Store.Fetch(sha, p.Reloader.Path()); err != nil {
+		return false, p.fail(err)
+	}
+	p.fetches.Add(1)
+	p.lastSHA = sha
+	swapped, err = p.Reloader.Reload(false)
+	if err != nil {
+		return false, p.fail(fmt.Errorf("fleet: pull %s %.12s: %w", p.Domain, sha, err))
+	}
+	if swapped {
+		p.lastErr.Store(nil)
+		p.logf("fleet: %s pulled %.12s and swapped", p.Domain, sha)
+	}
+	return swapped, nil
+}
+
+func (p *Puller) fail(err error) error {
+	p.failures.Add(1)
+	msg := err.Error()
+	p.lastErr.Store(&msg)
+	return err
+}
+
+// Run polls the domain pointer every Interval until ctx is cancelled.
+func (p *Puller) Run(ctx context.Context) {
+	interval := p.Interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := p.Sync(); err != nil {
+				p.logf("fleet: pull %s: %v", p.Domain, err)
+			}
+		}
+	}
+}
+
+// PullStatus is one puller's JSON status.
+type PullStatus struct {
+	Domain   string `json:"domain"`
+	LastSHA  string `json:"last_sha,omitempty"`
+	Pulls    uint64 `json:"pulls"`
+	Fetches  uint64 `json:"fetches"`
+	Failures uint64 `json:"failures"`
+	LastErr  string `json:"last_error,omitempty"`
+}
+
+// Status returns a point-in-time view of the puller.
+func (p *Puller) Status() PullStatus {
+	p.mu.Lock()
+	sha := p.lastSHA
+	p.mu.Unlock()
+	st := PullStatus{
+		Domain:   p.Domain,
+		LastSHA:  sha,
+		Pulls:    p.pulls.Load(),
+		Fetches:  p.fetches.Load(),
+		Failures: p.failures.Load(),
+	}
+	if msg := p.lastErr.Load(); msg != nil {
+		st.LastErr = *msg
+	}
+	return st
+}
+
+// Pullers is a replica's set of per-domain pullers plus their admin
+// HTTP surface — the receiving end of a coordinator-driven rolling
+// publish.
+type Pullers struct {
+	byDomain map[string]*Puller
+	names    []string
+	def      string
+}
+
+// NewPullers groups pullers; the first added is the ?domain= default.
+func NewPullers() *Pullers {
+	return &Pullers{byDomain: make(map[string]*Puller)}
+}
+
+// Add registers one domain's puller.
+func (ps *Pullers) Add(p *Puller) error {
+	if _, dup := ps.byDomain[p.Domain]; dup {
+		return fmt.Errorf("fleet: puller for domain %q registered twice", p.Domain)
+	}
+	ps.byDomain[p.Domain] = p
+	ps.names = append(ps.names, p.Domain)
+	sort.Strings(ps.names)
+	if ps.def == "" {
+		ps.def = p.Domain
+	}
+	return nil
+}
+
+// Run drives every puller's poll loop until ctx is cancelled.
+func (ps *Pullers) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, p := range ps.byDomain {
+		wg.Add(1)
+		go func(p *Puller) {
+			defer wg.Done()
+			p.Run(ctx)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// resolve picks the puller for an optional ?domain= query parameter.
+func (ps *Pullers) resolve(w http.ResponseWriter, r *http.Request) *Puller {
+	name := r.URL.Query().Get("domain")
+	if name == "" {
+		name = ps.def
+	}
+	p, ok := ps.byDomain[name]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown domain %q", name), http.StatusNotFound)
+		return nil
+	}
+	return p
+}
+
+// pullResult is the JSON shape of POST /admin/pull.
+type pullResult struct {
+	Domain  string `json:"domain"`
+	SHA     string `json:"sha"`
+	Swapped bool   `json:"swapped"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Mount registers the pull admin surface:
+//
+//	POST /admin/pull?domain=<d>&sha=<hex>  — fetch that blob and reload
+//	                                         now; no sha syncs to the
+//	                                         domain's current pointer
+//	GET  /admin/pull/status                — all pullers' counters
+func (ps *Pullers) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /admin/pull", func(w http.ResponseWriter, r *http.Request) {
+		p := ps.resolve(w, r)
+		if p == nil {
+			return
+		}
+		sha := r.URL.Query().Get("sha")
+		var swapped bool
+		var err error
+		if sha == "" {
+			swapped, err = p.Sync()
+			sha = p.Status().LastSHA
+		} else {
+			swapped, err = p.PullSHA(sha)
+		}
+		out := pullResult{Domain: p.Domain, SHA: sha, Swapped: swapped}
+		if err != nil {
+			out.Error = err.Error()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			writeJSONBody(w, out)
+			return
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /admin/pull/status", func(w http.ResponseWriter, _ *http.Request) {
+		out := make(map[string]PullStatus, len(ps.names))
+		for name, p := range ps.byDomain {
+			out[name] = p.Status()
+		}
+		writeJSON(w, out)
+	})
+}

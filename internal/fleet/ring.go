@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over replica indices. Domain-pinned
+// queries hash to a point on the ring and walk clockwise, so the same
+// (domain, query) lands on the same replica while it stays healthy —
+// which keeps per-replica result caches hot — and shifts only 1/N of
+// keys when a replica is ejected.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// vnodesPerReplica smooths the key distribution; 64 virtual nodes per
+// replica keeps imbalance under ~15% for small fleets.
+const vnodesPerReplica = 64
+
+func newRing(n int) *ring {
+	r := &ring{points: make([]ringPoint, 0, n*vnodesPerReplica)}
+	for i := 0; i < n; i++ {
+		for v := 0; v < vnodesPerReplica; v++ {
+			h := hashKey("replica-" + strconv.Itoa(i) + "#" + strconv.Itoa(v))
+			r.points = append(r.points, ringPoint{hash: h, replica: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// order walks the ring clockwise from key's hash and returns up to max
+// distinct replicas for which ok(replica) is true, in preference order.
+// The first entry is the primary; the rest are hedge/retry targets.
+func (r *ring) order(key string, max int, ok func(int) bool) []int {
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, max)
+	seen := make(map[int]bool, max)
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.replica] || !ok(p.replica) {
+			continue
+		}
+		seen[p.replica] = true
+		out = append(out, p.replica)
+		if len(out) == max {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+package fleet
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+)
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSONBody(w, v)
+}
+
+// writeJSONBody encodes v without touching headers — for handlers that
+// already wrote a non-200 status.
+func writeJSONBody(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("fleet: encoding response: %v", err)
+	}
+}

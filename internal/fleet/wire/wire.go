@@ -1,0 +1,397 @@
+// Package wire is the fleet's internal binary protocol: the compact,
+// length-prefixed framing matchd replicas serve next to HTTP (the
+// -fleet-addr listener) and the router speaks on the internal hop.
+//
+// JSON is the right contract for clients, but on the router→replica hop
+// every request would pay encode/decode of a verbose envelope twice per
+// hop. The wire format instead length-prefixes a flat varint/float64
+// encoding of the one request/response pair the serving tier already
+// uses (match.Request / match.Response), cutting per-request bytes and
+// allocations without inventing a second data model.
+//
+// Connection lifecycle: the client dials, writes the 4-byte Magic once,
+// then exchanges frames synchronously — one request frame, one response
+// frame, in order. Connections are long-lived and pooled by the router.
+//
+// Frame layout:
+//
+//	uint32 LE payload length | payload
+//
+// The first payload byte is the opcode; the rest is the opcode's body.
+// Replies set the high bit of the request opcode. OpError (with a
+// message body) reports a protocol-level failure, after which the server
+// closes the connection; per-item matching errors travel inside a
+// Result instead and keep the connection healthy.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"websyn/internal/match"
+)
+
+// Magic is the 4-byte handshake a client writes immediately after
+// dialing; a server drops connections that open with anything else.
+// The trailing digit versions the protocol.
+const Magic = "WFP1"
+
+// Opcodes. Replies set the high bit of their request opcode.
+const (
+	OpPing   byte = 0x01
+	OpMatch  byte = 0x02
+	OpPong   byte = 0x81
+	OpResult byte = 0x82
+	OpError  byte = 0xFF
+)
+
+// MaxFrame bounds a frame payload. A match response over a synonym
+// dictionary is a few KB; 16 MiB leaves room for pathological explain
+// traces while stopping a corrupt length prefix from allocating the
+// universe.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge reports a length prefix beyond MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame's payload, reusing buf when it is large
+// enough. The returned slice aliases buf (or a fresh allocation) and is
+// valid until the next ReadFrame with the same buf.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Result is one query's outcome on the wire: the replica-side mirror of
+// the HTTP surface's V1Result. Err is a per-item matching/routing error
+// (empty query, unknown domain, ...) — the connection stays usable.
+type Result struct {
+	Response *match.Response
+	Cached   bool
+	Err      string
+}
+
+// ---- Encoding ----
+//
+// Strings are uvarint length + bytes, non-negative ints are uvarint,
+// float64s are 8 LE bytes of their IEEE bits, bools one byte.
+
+// AppendRequest appends the encoding of one routed match request:
+// the match.Request fields plus the fan-out domains list.
+func AppendRequest(dst []byte, req match.Request, domains []string) []byte {
+	dst = appendString(dst, req.Query)
+	dst = appendString(dst, string(req.Mode))
+	dst = appendString(dst, req.Domain)
+	dst = binary.AppendUvarint(dst, uint64(req.TopK))
+	dst = binary.AppendUvarint(dst, uint64(req.MaxSpanTokens))
+	dst = appendFloat(dst, req.MinSim)
+	dst = appendBool(dst, req.Explain)
+	dst = binary.AppendUvarint(dst, uint64(len(domains)))
+	for _, d := range domains {
+		dst = appendString(dst, d)
+	}
+	return dst
+}
+
+// DecodeRequest decodes AppendRequest's output.
+func DecodeRequest(b []byte) (match.Request, []string, error) {
+	d := decoder{b: b}
+	var req match.Request
+	req.Query = d.str()
+	req.Mode = match.Mode(d.str())
+	req.Domain = d.str()
+	req.TopK = d.uint(match.MaxTopK)
+	req.MaxSpanTokens = d.uint(match.MaxMaxSpanTokens)
+	req.MinSim = d.f64()
+	req.Explain = d.bool()
+	n := d.count(maxListLen)
+	var domains []string
+	if n > 0 && d.err == nil {
+		domains = make([]string, 0, min(n, 64))
+		for i := 0; i < n && d.err == nil; i++ {
+			domains = append(domains, d.str())
+		}
+	}
+	if err := d.finish("request"); err != nil {
+		return match.Request{}, nil, err
+	}
+	return req, domains, nil
+}
+
+// AppendResult appends the encoding of one Result.
+func AppendResult(dst []byte, res Result) []byte {
+	var flags byte
+	if res.Cached {
+		flags |= 1
+	}
+	if res.Response != nil {
+		flags |= 2
+	}
+	dst = append(dst, flags)
+	dst = appendString(dst, res.Err)
+	if res.Response == nil {
+		return dst
+	}
+	r := res.Response
+	dst = appendString(dst, r.Query)
+	dst = appendString(dst, r.Remainder)
+	dst = appendString(dst, r.Domain)
+	dst = appendFloat(dst, r.Timing.TotalMicros)
+	dst = appendFloat(dst, r.Timing.SegmentMicros)
+	dst = appendFloat(dst, r.Timing.FuzzyMicros)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Matches)))
+	for i := range r.Matches {
+		m := &r.Matches[i]
+		dst = binary.AppendUvarint(dst, uint64(m.EntityID))
+		dst = binary.AppendUvarint(dst, uint64(m.Start))
+		dst = binary.AppendUvarint(dst, uint64(m.End))
+		dst = appendFloat(dst, m.Score)
+		dst = appendFloat(dst, m.Similarity)
+		dst = appendString(dst, m.Canonical)
+		dst = appendString(dst, m.Span)
+		dst = appendString(dst, m.Source)
+		dst = appendString(dst, m.Method)
+		dst = appendString(dst, m.Domain)
+		dst = appendBool(dst, m.Corrected)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Alternates)))
+		for j := range m.Alternates {
+			a := &m.Alternates[j]
+			dst = binary.AppendUvarint(dst, uint64(a.EntityID))
+			dst = appendString(dst, a.Canonical)
+			dst = appendString(dst, a.Text)
+			dst = appendFloat(dst, a.Score)
+			dst = appendFloat(dst, a.Similarity)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(r.Trace)))
+	for i := range r.Trace {
+		t := &r.Trace[i]
+		dst = appendString(dst, t.Stage)
+		dst = appendString(dst, t.Detail)
+		dst = appendString(dst, t.Domain)
+	}
+	return dst
+}
+
+// DecodeResult decodes AppendResult's output. The returned Response (and
+// everything it holds) is freshly allocated and owned by the caller.
+func DecodeResult(b []byte) (Result, error) {
+	d := decoder{b: b}
+	flags := d.byte()
+	res := Result{Cached: flags&1 != 0}
+	res.Err = d.str()
+	if flags&2 == 0 {
+		if err := d.finish("result"); err != nil {
+			return Result{}, err
+		}
+		return res, nil
+	}
+	r := &match.Response{}
+	r.Query = d.str()
+	r.Remainder = d.str()
+	r.Domain = d.str()
+	r.Timing.TotalMicros = d.f64()
+	r.Timing.SegmentMicros = d.f64()
+	r.Timing.FuzzyMicros = d.f64()
+	nm := d.count(maxListLen)
+	if nm > 0 && d.err == nil {
+		r.Matches = make([]match.SpanMatch, 0, min(nm, 256))
+		for i := 0; i < nm && d.err == nil; i++ {
+			var m match.SpanMatch
+			m.EntityID = d.uint(math.MaxInt32)
+			m.Start = d.uint(math.MaxInt32)
+			m.End = d.uint(math.MaxInt32)
+			m.Score = d.f64()
+			m.Similarity = d.f64()
+			m.Canonical = d.str()
+			m.Span = d.str()
+			m.Source = d.str()
+			m.Method = d.str()
+			m.Domain = d.str()
+			m.Corrected = d.bool()
+			na := d.count(maxListLen)
+			if na > 0 && d.err == nil {
+				m.Alternates = make([]match.Alternate, 0, min(na, 64))
+				for j := 0; j < na && d.err == nil; j++ {
+					var a match.Alternate
+					a.EntityID = d.uint(math.MaxInt32)
+					a.Canonical = d.str()
+					a.Text = d.str()
+					a.Score = d.f64()
+					a.Similarity = d.f64()
+					m.Alternates = append(m.Alternates, a)
+				}
+			}
+			r.Matches = append(r.Matches, m)
+		}
+	}
+	nt := d.count(maxListLen)
+	if nt > 0 && d.err == nil {
+		r.Trace = make([]match.TraceStep, 0, min(nt, 256))
+		for i := 0; i < nt && d.err == nil; i++ {
+			var t match.TraceStep
+			t.Stage = d.str()
+			t.Detail = d.str()
+			t.Domain = d.str()
+			r.Trace = append(r.Trace, t)
+		}
+	}
+	if err := d.finish("result"); err != nil {
+		return Result{}, err
+	}
+	res.Response = r
+	return res, nil
+}
+
+// maxListLen caps decoded element counts before the per-element bounds
+// check kicks in; combined with the remaining-bytes check in count it
+// stops a hostile count from pre-allocating beyond the payload.
+const maxListLen = 1 << 20
+
+// decoder is a sticky-error reader over one frame payload: the first
+// malformed field poisons it, every later read returns zero values, and
+// finish reports the one error (or leftover bytes) once.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// count reads a uvarint bounded by both max and the bytes that remain —
+// every counted element costs at least one byte, so a count beyond
+// len(d.b) is corrupt by construction.
+func (d *decoder) count(max int) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(max) || v > uint64(len(d.b)) {
+		d.fail("count %d out of range", v)
+		return 0
+	}
+	return int(v)
+}
+
+// uint reads a non-negative scalar bounded only by max. Unlike count it
+// carries no per-element byte cost: a scalar's VALUE (an entity ID, a
+// token offset) says nothing about how many bytes follow, so the
+// remaining-bytes check would reject perfectly valid large values near
+// the end of a frame.
+func (d *decoder) uint(max int) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(max) {
+		d.fail("value %d out of range", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) str() string {
+	n := d.count(MaxFrame)
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *decoder) f64() float64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *decoder) bool() bool { return d.byte() != 0 }
+
+func (d *decoder) finish(what string) error {
+	if d.err != nil {
+		return fmt.Errorf("wire: decoding %s: %w", what, d.err)
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("wire: decoding %s: %d trailing bytes", what, len(d.b))
+	}
+	return nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}

@@ -29,6 +29,11 @@ type Options struct {
 	Concurrency int
 	// Timeout is the per-request HTTP timeout. 0 means 5s.
 	Timeout time.Duration
+	// Midway, when set with a positive Duration, fires once from its own
+	// goroutine at the run's halfway point while traffic is in full
+	// flight. Chaos harnesses use it to kill a replica or trigger a
+	// snapshot publish mid-run and then assert the report stayed clean.
+	Midway func()
 }
 
 // Report is the JSON output of a load run.
@@ -152,6 +157,11 @@ func Run(ctx context.Context, w *Workload, opt Options) (*Report, error) {
 			byClass:  make(map[string][]float64),
 			byDomain: make(map[string][]float64),
 		}
+	}
+
+	if opt.Midway != nil && opt.Duration > 0 {
+		halfway := time.AfterFunc(opt.Duration/2, opt.Midway)
+		defer halfway.Stop()
 	}
 
 	for wk := 0; wk < opt.Concurrency; wk++ {

@@ -255,24 +255,44 @@ func (reg *Registry) handleV1Match(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	results := make([]V1Result, len(items))
 	runPool(reg.cfg.BatchWorkers, len(items), func(i int) {
-		it := items[i]
-		if it.Domain != "" {
-			srv, ok := reg.domains[it.Domain]
-			if !ok {
-				results[i] = V1Result{Error: fmt.Sprintf("unknown domain %q (registered: %s)", it.Domain, strings.Join(reg.names, ", "))}
-				return
-			}
-			results[i] = reg.routeOne(target{it.Domain, srv}, it, true)
-			return
-		}
-		if len(fan) == 1 {
-			results[i] = reg.routeOne(fan[0], it, explicit)
-			return
-		}
-		results[i] = reg.federate(fan, it)
+		results[i] = reg.routeItem(fan, items[i], explicit)
 	})
 	reg.v1Lat.observe(time.Since(t0))
 	writeJSON(w, V1Response{Count: len(results), Results: results})
+}
+
+// routeItem answers one item against a resolved fan-out: an item pinned
+// to a domain takes an exact (stamped) route, a single-target fan
+// degenerates to one route, anything else federates.
+func (reg *Registry) routeItem(fan []target, it match.Request, explicit bool) V1Result {
+	if it.Domain != "" {
+		srv, ok := reg.domains[it.Domain]
+		if !ok {
+			return V1Result{Error: fmt.Sprintf("unknown domain %q (registered: %s)", it.Domain, strings.Join(reg.names, ", "))}
+		}
+		return reg.routeOne(target{it.Domain, srv}, it, true)
+	}
+	if len(fan) == 1 {
+		return reg.routeOne(fan[0], it, explicit)
+	}
+	return reg.federate(fan, it)
+}
+
+// DoItem answers one routed /v1/match item programmatically — the entry
+// point the fleet wire protocol calls into. domains is the item's
+// fan-out list (nil or empty = every registered domain), with the same
+// grammar as the HTTP field: names or "*". Routing errors are per-item,
+// exactly as the HTTP surface reports them.
+func (reg *Registry) DoItem(it match.Request, domains []string) V1Result {
+	fan := reg.all()
+	explicit := len(domains) > 0
+	if explicit {
+		var err error
+		if fan, err = reg.resolve(domains); err != nil {
+			return V1Result{Error: err.Error()}
+		}
+	}
+	return reg.routeItem(fan, it, explicit)
 }
 
 // routeOne answers one item on one domain. stamp marks the response with

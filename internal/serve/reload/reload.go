@@ -167,6 +167,11 @@ func New(srv *serve.Server, cfg Config) (*Reloader, error) {
 	return r, nil
 }
 
+// Path returns the snapshot file the reloader watches and loads from —
+// the local spool path a fleet snapshot puller must write fetched
+// snapshots to before triggering Reload.
+func (r *Reloader) Path() string { return r.cfg.Path }
+
 // Run polls cfg.Path every cfg.Interval until ctx is cancelled. With a
 // non-positive interval it returns immediately. Run never touches the
 // HTTP listener: cancelling it (e.g. when shutdown begins draining)

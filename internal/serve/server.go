@@ -417,6 +417,27 @@ func (s *Server) Do(req match.Request) (match.Response, error) {
 	return detachResponse(res), nil
 }
 
+// DoItem answers one routed /v1/match item programmatically — the entry
+// point the fleet wire protocol calls into. A single-snapshot server has
+// exactly one dictionary, so domain routing (a pinned domain or a
+// domains fan-out list) is rejected with the same message the HTTP
+// handler uses; errors are per-item, never transport-level. The returned
+// response may share slices with the request cache: read-only.
+func (s *Server) DoItem(it match.Request, domains []string) V1Result {
+	if len(domains) > 0 {
+		return V1Result{Error: "domains requires a multi-domain server (matchd -snapshot name=path)"}
+	}
+	if it.Domain != "" {
+		return V1Result{Error: fmt.Sprintf("domain %q: domain routing requires a multi-domain server (matchd -snapshot name=path)", it.Domain)}
+	}
+	s.routedQueries.Add(1)
+	res, cached, err := s.do(it)
+	if err != nil {
+		return V1Result{Error: err.Error()}
+	}
+	return V1Result{Response: &res, Cached: cached}
+}
+
 // detachResponse deep-copies the slices a caller could mutate, so
 // neither the caller nor the cache can corrupt the other.
 func detachResponse(r match.Response) match.Response {
@@ -627,6 +648,11 @@ func (s *Server) bodyLimit() int64 {
 func v1BodyLimit(maxBatch int) int64 {
 	return int64(1<<20) + 512*int64(maxBatch)
 }
+
+// V1BodyLimit is the /v1/match request-body cap for a given batch
+// limit — exported so the fleet router applies the same cap as the
+// replicas behind it.
+func V1BodyLimit(maxBatch int) int64 { return v1BodyLimit(maxBatch) }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest

@@ -69,6 +69,13 @@ type v1Error struct {
 	Error string `json:"error"`
 }
 
+// WriteV1Error writes a request-level /v1/match failure in the JSON
+// error shape. Exported for front ends (the fleet router) that must
+// speak the exact same error grammar as the serving tier.
+func WriteV1Error(w http.ResponseWriter, status int, format string, args ...any) {
+	writeV1Error(w, status, format, args...)
+}
+
 func writeV1Error(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -101,9 +108,13 @@ func inheritDefaults(item, top match.Request) match.Request {
 	return item
 }
 
-// decodeV1 parses a POST /v1/match body, writing the 4xx itself on
-// failure. Shared by the single-domain Server and the domain Registry so
-// both speak the exact same request grammar.
+// DecodeV1 parses a POST /v1/match body, writing the 4xx itself on
+// failure. Shared by the single-domain Server, the domain Registry and
+// the fleet router so all three speak the exact same request grammar.
+func DecodeV1(w http.ResponseWriter, r *http.Request, limit int64) (V1Request, bool) {
+	return decodeV1(w, r, limit)
+}
+
 func decodeV1(w http.ResponseWriter, r *http.Request, limit int64) (V1Request, bool) {
 	var req V1Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
@@ -120,9 +131,14 @@ func decodeV1(w http.ResponseWriter, r *http.Request, limit int64) (V1Request, b
 	return req, true
 }
 
-// v1Items expands a decoded request into its per-item list, applying
+// V1Items expands a decoded request into its per-item list, applying
 // batch-level defaults. A non-empty message (with its HTTP status)
-// reports a request-level failure.
+// reports a request-level failure. Exported for the fleet router, which
+// expands a client batch and scatters the items across replicas.
+func V1Items(req V1Request, maxBatch int) (items []match.Request, status int, msg string) {
+	return v1Items(req, maxBatch)
+}
+
 func v1Items(req V1Request, maxBatch int) (items []match.Request, status int, msg string) {
 	items = req.Queries
 	if len(items) == 0 {
