@@ -142,7 +142,9 @@ func main() {
 			if err != nil {
 				w.WriteHeader(http.StatusInternalServerError)
 			}
-			fmt.Fprintf(w, "%s\n", mustJSON(report))
+			if _, err := fmt.Fprintf(w, "%s\n", mustJSON(report)); err != nil {
+				log.Printf("router: writing publish report: %v", err)
+			}
 		})
 	}
 

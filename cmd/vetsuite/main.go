@@ -1,0 +1,88 @@
+// Command vetsuite runs websyn's custom static analyzers (package
+// internal/analysis) over the repo and fails when any invariant is
+// violated. It is the CI `analyze` gate:
+//
+//	go run ./cmd/vetsuite ./...
+//
+// Flags:
+//
+//	-list    print the analyzers and exit
+//	-only a  run a single analyzer by name (repeatable, comma-separated)
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"websyn/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	listFlag := flag.Bool("list", false, "print the analyzers and exit")
+	onlyFlag := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	suite := analysis.Suite()
+	if *listFlag {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	if *onlyFlag != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*onlyFlag, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range suite {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "vetsuite: unknown analyzer %q (see -list)\n", name)
+			return 2
+		}
+		suite = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vetsuite: %v\n", err)
+		return 2
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		for _, a := range suite {
+			diags = append(diags, analysis.Run(a, pkg)...)
+		}
+		diags = append(diags, analysis.MalformedIgnores(pkg)...)
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		findings += len(diags)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "vetsuite: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

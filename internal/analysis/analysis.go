@@ -1,0 +1,207 @@
+// Package analysis is websyn's static-analysis suite: a set of
+// custom analyzers, compiled into cmd/vetsuite, that mechanically
+// enforce the repo's load-bearing invariants — the rules the compiler
+// cannot check and that PRs 6–7 left to convention and regression
+// tests:
+//
+//   - arenaescape: arena-backed match responses must not outlive their
+//     scratch without passing through CloneResponse/detachResponse.
+//   - mmappin: slabs and gram strings that may alias a memory-mapped
+//     snapshot must never be re-homed without their finalizer pin.
+//   - genhandle: serving state is reached through the atomic
+//     generation handle per request, never cached across Install.
+//   - wirebounds: the WFP1 codec's scalar-vs-count bound discipline
+//     (see the spec in internal/fleet/wire/wire.go).
+//   - hotpathalloc: //websyn:hotpath functions stay free of the
+//     constructs that break the zero-alloc budget.
+//   - writecheck: HTTP handlers must not discard write/encode errors.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Reportf) but is built on the standard library only,
+// so the repo stays dependency-free: packages load through
+// `go list -export` and typecheck against gc export data (load.go),
+// and analyzer tests run on self-contained fixtures (fixture.go).
+//
+// Two source annotations steer the suite (grammar in docs/ANALYSIS.md):
+//
+//	//websyn:hotpath
+//	    on a function's doc comment: opt the function into
+//	    hotpathalloc's allocation-construct checks.
+//
+//	//websyn:ignore <analyzer> <reason>
+//	    on (or immediately above) an offending line: suppress that
+//	    analyzer's diagnostics for the line. The reason is mandatory;
+//	    a bare ignore is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //websyn:ignore directives.
+	Name string
+	// Doc is a one-paragraph description, shown by `vetsuite -list`.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil when the checker
+// recorded none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Suite returns every analyzer vetsuite runs, in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		ArenaEscape,
+		MmapPin,
+		GenHandle,
+		WireBounds,
+		HotPathAlloc,
+		WriteCheck,
+	}
+}
+
+// ignoreDirective is one parsed //websyn:ignore comment.
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+const ignorePrefix = "//websyn:ignore"
+
+// parseIgnores extracts every //websyn:ignore directive in the package.
+// Malformed directives (missing analyzer or reason) are returned
+// separately so the driver can report them: a silent bad suppression is
+// worse than none.
+func parseIgnores(fset *token.FileSet, files []*ast.File) (ok []ignoreDirective, malformed []token.Pos) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, c.Pos())
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ok = append(ok, ignoreDirective{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return ok, malformed
+}
+
+// Run executes one analyzer over one package and returns its findings
+// with //websyn:ignore suppression applied. A directive suppresses
+// diagnostics of its analyzer on the directive's own line and on the
+// line directly below it (the standalone-comment-above form).
+func Run(a *Analyzer, pkg *Package) []Diagnostic {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	a.Run(pass)
+	ignores, _ := parseIgnores(pkg.Fset, pkg.Files)
+	out := pass.diags[:0]
+	for _, d := range pass.diags {
+		if !suppressed(d, ignores) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+func suppressed(d Diagnostic, ignores []ignoreDirective) bool {
+	for _, ig := range ignores {
+		if ig.analyzer != d.Analyzer || ig.file != d.Pos.Filename {
+			continue
+		}
+		if ig.line == d.Pos.Line || ig.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// MalformedIgnores reports every //websyn:ignore directive in the
+// package that lacks an analyzer name or a reason, as diagnostics of a
+// pseudo-analyzer named "ignore". The driver appends them to its
+// output so a typo'd suppression fails the build instead of silently
+// suppressing nothing (or, worse, something).
+func MalformedIgnores(pkg *Package) []Diagnostic {
+	_, malformed := parseIgnores(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, pos := range malformed {
+		out = append(out, Diagnostic{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: "ignore",
+			Message:  "malformed //websyn:ignore: want `//websyn:ignore <analyzer> <reason>`",
+		})
+	}
+	return out
+}

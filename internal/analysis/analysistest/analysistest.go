@@ -1,0 +1,112 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against `want` comments — a self-contained
+// analogue of golang.org/x/tools/go/analysis/analysistest, split out
+// of the analysis package so cmd/vetsuite never links testing.
+//
+// Expected findings use analysistest's comment grammar:
+//
+//	w.Write(b) // want `unchecked error`
+//
+// Each `want` carries one or more backquoted or double-quoted regexps;
+// every diagnostic on that line must match one, and every want must be
+// matched by a diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"websyn/internal/analysis"
+)
+
+// wantRx extracts the quoted regexps of one `want` comment.
+var wantRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type wantMark struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// parseWants collects the expected-diagnostic marks of a fixture.
+func parseWants(fset *token.FileSet, files []*ast.File) ([]*wantMark, error) {
+	var wants []*wantMark
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				i := strings.Index(c.Text, "want ")
+				if i < 0 {
+					continue
+				}
+				quoted := wantRx.FindAllString(c.Text[i+len("want "):], -1)
+				if len(quoted) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quoted {
+					var pat string
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							return nil, fmt.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &wantMark{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// Run loads testdata/src/<dir> (relative to the test's working
+// directory), runs the analyzer over it, and fails the test on any
+// mismatch between reported diagnostics and the fixture's `want`
+// marks. //websyn:ignore suppression is active, so fixtures can assert
+// the escape hatch works.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := analysis.LoadFixture(filepath.Join("testdata", "src"), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := parseWants(pkg.Fset, pkg.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.Run(a, pkg)
+	diags = append(diags, analysis.MalformedIgnores(pkg)...)
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.rx)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ArenaEscape enforces the arena lifecycle rule from the zero-alloc
+// match path (internal/match/arena.go, docs/PERFORMANCE.md "Memory
+// model"): a *Response returned by Engine.MatchScratch or
+// Engine.MatchPrepared — and the response a DoView/doGenView visit
+// callback receives — aliases a pooled scratch arena that the next
+// request rewrites. Such a value, or anything string- or slice-shaped
+// derived from it, must not escape the function that owns the scratch:
+// not returned, not stored in a struct field or package variable, not
+// sent on a channel — unless it first passes through
+// match.CloneResponse (or serve's detachResponse), which deep-copies
+// exactly the arena-aliasing strings.
+//
+// Derived values of plain numeric or boolean type (len(res.Matches),
+// res.Timing.TotalMicros) carry no aliases and are allowed anywhere.
+var ArenaEscape = &Analyzer{
+	Name: "arenaescape",
+	Doc: "flags arena-backed match responses (MatchScratch/MatchPrepared/DoView) " +
+		"escaping their scratch scope without CloneResponse/detachResponse",
+	Run: runArenaEscape,
+}
+
+// arena-producing methods and the sanctioned detach functions.
+var (
+	arenaProducers = []string{"MatchScratch", "MatchPrepared"}
+	arenaVisitors  = map[string]bool{"DoView": true, "doGenView": true}
+	arenaCloners   = map[string]bool{"CloneResponse": true, "detachResponse": true}
+)
+
+func runArenaEscape(pass *Pass) {
+	eachFuncDecl(pass.Files, func(fn *ast.FuncDecl) {
+		checkArenaFunc(pass, fn.Body)
+	})
+}
+
+// checkArenaFunc analyzes one function body: finds the arena-tainted
+// variables, then flags their escapes. Visit closures passed to
+// DoView/doGenView are analyzed as part of the enclosing body (their
+// parameters are tainted too).
+func checkArenaFunc(pass *Pass, body *ast.BlockStmt) {
+	tainted := map[types.Object]bool{}
+
+	// Seed: results of MatchScratch/MatchPrepared calls, and *Response
+	// parameters of function literals passed to a visit-style API.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && len(n.Lhs) >= 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					if _, ok := methodCall(pass.Info, call, "Engine", arenaProducers...); ok {
+						if id, ok := n.Lhs[0].(*ast.Ident); ok {
+							if obj := pass.Info.Defs[id]; obj != nil {
+								tainted[obj] = true
+							} else if obj := pass.Info.Uses[id]; obj != nil {
+								tainted[obj] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if arenaVisitors[calleeName(n)] {
+				for _, arg := range n.Args {
+					lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+					if !ok || lit.Type.Params == nil {
+						continue
+					}
+					for _, field := range lit.Type.Params.List {
+						for _, name := range field.Names {
+							if obj := pass.Info.Defs[name]; obj != nil && namedName(obj.Type()) == "Response" {
+								tainted[obj] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Propagate through plain `x := res` / `x = res` re-bindings so the
+	// obvious laundering does not evade the check.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != len(asg.Rhs) {
+				return true
+			}
+			for i := range asg.Rhs {
+				src, ok := ast.Unparen(asg.Rhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				srcObj := pass.Info.Uses[src]
+				if srcObj == nil || !tainted[srcObj] {
+					continue
+				}
+				dst, ok := asg.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				dstObj := pass.Info.Defs[dst]
+				if dstObj == nil {
+					dstObj = pass.Info.Uses[dst]
+				}
+				if dstObj != nil && !tainted[dstObj] {
+					tainted[dstObj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	if len(tainted) == 0 {
+		return
+	}
+
+	// Escape sites.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if exprAliasesArena(pass, res, tainted) {
+					pass.Reportf(res.Pos(), "arena-backed response escapes via return without CloneResponse; it aliases a pooled scratch the next request rewrites")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if !exprAliasesArena(pass, rhs, tainted) {
+					continue
+				}
+				if _, isSel := ast.Unparen(lhs).(*ast.SelectorExpr); isSel {
+					pass.Reportf(rhs.Pos(), "arena-backed response stored in a struct field without CloneResponse; it aliases a pooled scratch the next request rewrites")
+				} else if isPkgLevelVar(pass.Info, lhs) {
+					pass.Reportf(rhs.Pos(), "arena-backed response stored in a package variable without CloneResponse; it aliases a pooled scratch the next request rewrites")
+				}
+			}
+		case *ast.SendStmt:
+			if exprAliasesArena(pass, n.Value, tainted) {
+				pass.Reportf(n.Value.Pos(), "arena-backed response sent on a channel without CloneResponse; it aliases a pooled scratch the next request rewrites")
+			}
+		}
+		return true
+	})
+}
+
+// exprAliasesArena reports whether e may carry arena-aliasing memory:
+// it mentions a tainted variable outside any CloneResponse/detach
+// call, and its own type can hold an alias (anything but a plain
+// numeric/bool).
+func exprAliasesArena(pass *Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	if t := pass.TypeOf(e); t != nil {
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString == 0 {
+			return false // ints, floats, bools carry no alias
+		}
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && arenaCloners[calleeName(call)] {
+			return false // cloned: do not descend
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A closure mentioning the value does not put it in this
+			// expression's result; escapes inside the closure body are
+			// caught by the statement walk.
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && tainted[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Fixture loading — the package half of the self-contained analogue of
+// golang.org/x/tools/go/analysis/analysistest (the `want`-mark test
+// harness lives in the analysistest subpackage, which is the only part
+// that imports testing). Fixture packages live under
+// testdata/src/<dir>/ and declare every type they need locally (or
+// import stub packages like testdata/src/fmt), so loading them needs
+// no `go list`, no network and no export data: plain parsing plus
+// go/types with a directory-backed importer.
+
+// fixtureImporter resolves import paths against a fixture root
+// directory: import "fmt" loads root/fmt. Packages are typechecked
+// from source recursively and memoized.
+type fixtureImporter struct {
+	root  string
+	fset  *token.FileSet
+	cache map[string]*fixturePkg
+}
+
+type fixturePkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	p, err := im.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.types, nil
+}
+
+func (im *fixtureImporter) load(path string) (*fixturePkg, error) {
+	if p, ok := im.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q: %v", path, err)
+	}
+	var files []*ast.File
+	for _, e := range names {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %q: no Go files", path)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: im}
+	tpkg, err := conf.Check(path, im.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q: %v", path, err)
+	}
+	p := &fixturePkg{files: files, types: tpkg, info: info}
+	im.cache[path] = p
+	return p, nil
+}
+
+// LoadFixture loads testdata/src/<dir> (relative to root) as a
+// typechecked Package.
+func LoadFixture(root, dir string) (*Package, error) {
+	im := &fixtureImporter{root: root, fset: token.NewFileSet(), cache: make(map[string]*fixturePkg)}
+	p, err := im.load(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		PkgPath: dir,
+		Fset:    im.fset,
+		Files:   p.files,
+		Types:   p.types,
+		Info:    p.info,
+	}, nil
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GenHandle enforces the generation-handle rule from the serving layer
+// (internal/serve/server.go): the live `generation` is reached through
+// an atomic pointer swapped by Install, and its members (engine, dict,
+// fuzzy, cache, per-generation scratch pool, canonical tables) are
+// immutable snapshots that become stale the moment a new snapshot is
+// installed. Code must re-load the generation per request; caching a
+// generation — or any of its members — in a struct field or package
+// variable pins a stale dataset across hot reloads and, worse, mixes
+// entities from different generations in one response.
+//
+// Returning a member from an accessor is fine (the caller's use is
+// still per-call), as is the serve package's own `&Generation{g: g}`
+// wrapper, which is the sanctioned way to hand a pinned snapshot to
+// Prepare/Install.
+var GenHandle = &Analyzer{
+	Name: "genhandle",
+	Doc: "flags generation members (engine/dict/fuzzy/cache/...) cached in struct fields " +
+		"or package variables across Install",
+	Run: runGenHandle,
+}
+
+// genMemberFields are the per-generation members whose lifetime is the
+// generation's.
+var genMemberFields = map[string]bool{
+	"engine": true, "dict": true, "fuzzy": true, "cache": true,
+	"canonicals": true, "byNorm": true, "synonyms": true, "scratch": true,
+}
+
+// genExtraction matches an expression that IS a generation value or a
+// direct member selection on one (g.engine, s.gen.Load().dict) —
+// after stripping conversions. Deeper derivations (g.dict.Len(),
+// g.canonicals[id]) yield plain data, not handles, and are not
+// matched.
+func genExtraction(pass *Pass, e ast.Expr) bool {
+	e = unwrapConv(pass.Info, e)
+	if namedName(pass.TypeOf(e)) == "generation" {
+		return true
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok && genMemberFields[sel.Sel.Name] {
+		return namedName(pass.TypeOf(sel.X)) == "generation"
+	}
+	return false
+}
+
+func runGenHandle(pass *Pass) {
+	eachFuncDecl(pass.Files, func(fn *ast.FuncDecl) {
+		// Locals holding an extraction, so two-step escapes
+		// (e := g.engine; p.engine = e) are caught too.
+		handles := map[types.Object]bool{}
+		isHandle := func(e ast.Expr) bool {
+			if genExtraction(pass, e) {
+				return true
+			}
+			if id, ok := unwrapConv(pass.Info, e).(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil && handles[obj] {
+					return true
+				}
+			}
+			return false
+		}
+
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if !isHandle(n.Rhs[i]) {
+						continue
+					}
+					switch {
+					case isFieldSelector(lhs):
+						pass.Reportf(n.Rhs[i].Pos(), "generation member cached in a struct field; it goes stale at the next Install — re-load the generation per request")
+					case isPkgLevelVar(pass.Info, lhs):
+						pass.Reportf(n.Rhs[i].Pos(), "generation member cached in a package variable; it goes stale at the next Install — re-load the generation per request")
+					default:
+						if id, ok := lhs.(*ast.Ident); ok {
+							if obj := pass.Info.Defs[id]; obj != nil {
+								handles[obj] = true
+							} else if obj := pass.Info.Uses[id]; obj != nil {
+								handles[obj] = true
+							}
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				// &Generation{g: g} is the sanctioned pinned-snapshot
+				// wrapper; any other literal capturing a member is a cache.
+				if namedName(pass.TypeOf(n)) == "Generation" {
+					return true
+				}
+				for _, elt := range n.Elts {
+					val := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						val = kv.Value
+					}
+					if isHandle(val) {
+						pass.Reportf(val.Pos(), "generation member captured in a composite literal; it goes stale at the next Install — re-load the generation per request")
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// isFieldSelector reports whether lhs is a selector store (x.f = ...)
+// rather than a plain local.
+func isFieldSelector(lhs ast.Expr) bool {
+	_, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	return ok
+}

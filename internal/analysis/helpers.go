@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Analyzers identify the repo's marker types and functions by name
+// (type name, method name, package name) rather than by full import
+// path, so the same logic runs unchanged over the real packages and
+// over the self-contained test fixtures, which re-declare the shapes
+// locally. The names involved (Scratch, MatchScratch, PackedFuzzy,
+// generation, decoder, ...) are specific enough that collisions with
+// unrelated code are not a practical concern in this repo.
+
+// deref unwraps pointers and aliases to the underlying (possibly
+// named) type.
+func deref(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	return t
+}
+
+// namedName returns the name of t's (pointer-unwrapped) named type, or
+// "".
+func namedName(t types.Type) string {
+	if n, ok := deref(t).(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// typePkgName returns the package name declaring t's named type, or "".
+func typePkgName(t types.Type) string {
+	if n, ok := deref(t).(*types.Named); ok {
+		if p := n.Obj().Pkg(); p != nil {
+			return p.Name()
+		}
+	}
+	return ""
+}
+
+// calleePkgName returns the name of the package a call's callee is
+// declared in ("" for builtins, locals and indirect calls through
+// variables).
+func calleePkgName(info *types.Info, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	obj := info.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Name()
+}
+
+// calleeName returns the bare function or method name of a call, or "".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// methodCall matches a call of the form X.name(...) where X's named
+// type is typeName, returning the receiver expression.
+func methodCall(info *types.Info, call *ast.CallExpr, typeName string, names ...string) (recv ast.Expr, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false
+	}
+	found := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, false
+	}
+	if namedName(info.TypeOf(sel.X)) != typeName {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// unwrapConv strips parens and single-argument conversions/casts
+// (e.g. int(x), uint64(x)) down to the underlying expression.
+func unwrapConv(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		e = ast.Unparen(e)
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return e
+		}
+		// A conversion's Fun denotes a type, not a value.
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			e = call.Args[0]
+			continue
+		}
+		return e
+	}
+}
+
+// rootIdent returns the leftmost identifier of a selector/index chain
+// (x in x.f[i].g), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isPkgLevelVar reports whether an expression is (or roots at) a
+// package-level variable.
+func isPkgLevelVar(info *types.Info, e ast.Expr) bool {
+	id := rootIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}
+
+// funcDoc reports whether a function's doc comment contains a
+// directive line (e.g. "websyn:hotpath").
+func funcDoc(fn *ast.FuncDecl, directive string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, "//"+directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// eachFuncDecl applies f to every function declaration with a body.
+func eachFuncDecl(files []*ast.File, f func(*ast.FuncDecl)) {
+	for _, file := range files {
+		for _, d := range file.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				f(fn)
+			}
+		}
+	}
+}
+
+// pointerShaped reports whether boxing a value of type t into an
+// interface stores the value directly in the interface word — i.e.
+// the conversion cannot allocate.
+func pointerShaped(t types.Type) bool {
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc guards the zero-alloc request path (gated by
+// TestEngineAllocBudget): functions annotated `//websyn:hotpath` in
+// their doc comment must not contain the constructs that reliably
+// allocate per call:
+//
+//   - fmt calls (every fmt call allocates for its variadic boxing);
+//   - map literals and slice literals (escape analysis gives up on
+//     most of them once they leave the statement);
+//   - closures that capture variables (the capture block heap-escapes);
+//   - interface conversions that box a non-pointer-shaped value,
+//     explicit or implicit (including variadic ...any arguments).
+//
+// Non-capturing function literals, pointer/map/chan/func values
+// crossing into interfaces, and array/struct literals are allowed —
+// none of them force a heap allocation by themselves.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "forbids fmt, escaping map/slice literals, capturing closures and boxing " +
+		"interface conversions inside //websyn:hotpath functions",
+	Run: runHotPathAlloc,
+}
+
+// HotPathDirective is the doc-comment annotation that opts a function
+// into the check.
+const HotPathDirective = "websyn:hotpath"
+
+func runHotPathAlloc(pass *Pass) {
+	eachFuncDecl(pass.Files, func(fn *ast.FuncDecl) {
+		if !funcDoc(fn, HotPathDirective) {
+			return
+		}
+		checkHotFunc(pass, fn)
+	})
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if calleePkgName(pass.Info, n) == "fmt" {
+				pass.Reportf(n.Pos(), "fmt call in //websyn:hotpath function allocates for variadic boxing; build the string by hand or move formatting off the hot path")
+				return true
+			}
+			checkImplicitBoxing(pass, n)
+		case *ast.CompositeLit:
+			switch pass.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in //websyn:hotpath function allocates; hoist it to a package variable or the scratch arena")
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in //websyn:hotpath function allocates; reuse a scratch buffer instead")
+			}
+		case *ast.FuncLit:
+			if captured := closureCaptures(pass, fn, n); captured != "" {
+				pass.Reportf(n.Pos(), "closure in //websyn:hotpath function captures %q and heap-allocates its capture block; pass state explicitly or hoist the closure", captured)
+			}
+			return false // a non-capturing literal's body is its own (cold) scope
+		}
+		return true
+	})
+}
+
+// checkImplicitBoxing flags arguments whose concrete non-pointer-shaped
+// value is passed to an interface-typed parameter — the conversion the
+// compiler inserts allocates unless the value is pointer-shaped.
+func checkImplicitBoxing(pass *Pass, call *ast.CallExpr) {
+	ftv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if ftv.IsType() {
+		// Explicit conversion: flag any(x)/error(x) boxing a concrete
+		// non-pointer-shaped value.
+		if types.IsInterface(ftv.Type) && len(call.Args) == 1 {
+			at := pass.TypeOf(call.Args[0])
+			if at != nil && !types.IsInterface(at) && !pointerShaped(at) {
+				if b, ok := at.Underlying().(*types.Basic); !ok || b.Kind() != types.UntypedNil {
+					pass.Reportf(call.Pos(), "value of type %s boxed into interface %s in //websyn:hotpath function; boxing a non-pointer value allocates", at, ftv.Type)
+				}
+			}
+		}
+		return
+	}
+	sig, ok := ftv.Type.(*types.Signature)
+	if !ok {
+		return // builtin (len, append, make, min) — no boxing
+	}
+	params := sig.Params()
+	var boxed []string
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // arg is already the slice
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || pointerShaped(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		boxed = append(boxed, at.String())
+	}
+	// One diagnostic per call, at the call position, so a single
+	// //websyn:ignore covers a multi-line argument list.
+	if len(boxed) > 0 {
+		pass.Reportf(call.Pos(), "call boxes %d non-pointer value(s) (%s) into interface parameters in //websyn:hotpath function; boxing allocates", len(boxed), strings.Join(boxed, ", "))
+	}
+}
+
+// closureCaptures returns the name of a variable the literal captures
+// from the enclosing function, or "".
+func closureCaptures(pass *Pass, fn *ast.FuncDecl, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.Parent() == nil {
+			return true
+		}
+		// Package-level and universe-scope objects are not captures.
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		// Declared inside the literal itself (params, locals)?
+		if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		// Declared inside the enclosing function but outside the
+		// literal: a genuine capture.
+		if fn.Pos() <= v.Pos() && v.Pos() < fn.End() {
+			captured = v.Name()
+			return false
+		}
+		return true
+	})
+	return captured
+}

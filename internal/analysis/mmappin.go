@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MmapPin enforces the snapshot-pinning rule from the mmap path
+// (internal/match/mmap.go): the packed slabs of a PackedFuzzy or
+// FuzzyIndex (Grams/Offsets/Postings/Mults and their unexported
+// twins) may point straight into a memory-mapped file whose lifetime
+// is tied to the container's `backing` pin. Copying a slab reference
+// into a new struct, a struct field, or a package variable without
+// also carrying the pin (or the whole container) creates a dangling
+// view: once the original container is garbage the mapping is
+// unmapped and the slab faults.
+//
+// Local variables are fine — they cannot outlive the frame that holds
+// the container alive — and so are stores back onto the same
+// container (fi.offsets = append(fi.offsets, ...)).
+var MmapPin = &Analyzer{
+	Name: "mmappin",
+	Doc: "flags packed-slab references (Grams/Offsets/Postings/Mults) copied out of a " +
+		"PackedFuzzy/FuzzyIndex without carrying the mmap backing pin",
+	Run: runMmapPin,
+}
+
+var (
+	slabFields = map[string]bool{
+		"Grams": true, "Offsets": true, "Postings": true, "Mults": true,
+		"grams": true, "offsets": true, "postings": true, "mults": true,
+	}
+	slabContainers = map[string]bool{"PackedFuzzy": true, "FuzzyIndex": true}
+	pinFields      = map[string]bool{"backing": true, "Backing": true}
+)
+
+// slabExtraction matches X.f where f is a slab field and X is a
+// slab-container value, returning the container expression.
+func slabExtraction(pass *Pass, e ast.Expr) (container ast.Expr, ok bool) {
+	sel, isSel := ast.Unparen(e).(*ast.SelectorExpr)
+	if !isSel || !slabFields[sel.Sel.Name] {
+		return nil, false
+	}
+	if !slabContainers[namedName(pass.TypeOf(sel.X))] {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// sameRoot reports whether two expressions root at the same
+// identifier (fi.offsets and fi.backing → true).
+func sameRoot(pass *Pass, a, b ast.Expr) bool {
+	ra, rb := rootIdent(a), rootIdent(b)
+	if ra == nil || rb == nil {
+		return false
+	}
+	oa := pass.Info.Uses[ra]
+	ob := pass.Info.Uses[rb]
+	return oa != nil && oa == ob
+}
+
+func runMmapPin(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkSlabLit(pass, n)
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if len(n.Rhs) != len(n.Lhs) {
+						break
+					}
+					container, ok := slabExtraction(pass, n.Rhs[i])
+					if !ok {
+						continue
+					}
+					// Stores back onto the same container keep slab and
+					// pin together.
+					if sel, isSel := ast.Unparen(lhs).(*ast.SelectorExpr); isSel {
+						if sameRoot(pass, sel, container) {
+							continue
+						}
+						pass.Reportf(n.Rhs[i].Pos(), "packed slab stored in a struct field without the mmap backing pin; the mapping can be unmapped while this reference lives")
+					} else if isPkgLevelVar(pass.Info, lhs) {
+						pass.Reportf(n.Rhs[i].Pos(), "packed slab stored in a package variable without the mmap backing pin; the mapping can be unmapped while this reference lives")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSlabLit flags struct literals that capture a slab from a
+// container but no pin: no sibling element carries the container
+// itself, its backing field, or its Mapped()/Backing() accessor.
+// Slice/array/map literals are exempt — they are iteration views, not
+// re-homed containers; the dangerous shape is a new struct that
+// outlives the original.
+func checkSlabLit(pass *Pass, lit *ast.CompositeLit) {
+	if t := pass.TypeOf(lit); t != nil {
+		if _, ok := t.Underlying().(*types.Struct); !ok {
+			return
+		}
+	}
+	type extraction struct {
+		expr      ast.Expr
+		container ast.Expr
+	}
+	var slabs []extraction
+	pinned := false
+
+	for _, elt := range lit.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		if container, ok := slabExtraction(pass, val); ok {
+			slabs = append(slabs, extraction{val, container})
+			continue
+		}
+		v := ast.Unparen(val)
+		// The whole container as a sibling keeps the pin alive.
+		if slabContainers[namedName(pass.TypeOf(v))] {
+			pinned = true
+		}
+		// An explicit pin: X.backing, or the Mapped()/Backing() accessor.
+		if sel, ok := v.(*ast.SelectorExpr); ok && pinFields[sel.Sel.Name] && slabContainers[namedName(pass.TypeOf(sel.X))] {
+			pinned = true
+		}
+		if call, ok := v.(*ast.CallExpr); ok {
+			if _, ok := methodCall(pass.Info, call, "PackedFuzzy", "Mapped", "Backing"); ok {
+				pinned = true
+			} else if _, ok := methodCall(pass.Info, call, "FuzzyIndex", "Mapped", "Backing"); ok {
+				pinned = true
+			}
+		}
+	}
+
+	if pinned {
+		return
+	}
+	for _, s := range slabs {
+		pass.Reportf(s.expr.Pos(), "packed slab copied into a composite literal without the mmap backing pin; add the container's backing to the new struct or copy the data")
+	}
+}

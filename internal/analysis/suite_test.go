@@ -1,0 +1,67 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"websyn/internal/analysis"
+	"websyn/internal/analysis/analysistest"
+)
+
+// Each analyzer is pinned to a fixture package under testdata/src that
+// encodes the invariant's historical bug shapes (the PR 7
+// decoder.count scalar regression, the dropped CloneResponse, the
+// Packed() missing pin, the stale generation cache) alongside the
+// conforming patterns that must stay silent.
+
+func TestArenaEscape(t *testing.T) { analysistest.Run(t, analysis.ArenaEscape, "arenaescape") }
+
+func TestMmapPin(t *testing.T) { analysistest.Run(t, analysis.MmapPin, "mmappin") }
+
+func TestGenHandle(t *testing.T) { analysistest.Run(t, analysis.GenHandle, "genhandle") }
+
+func TestWireBounds(t *testing.T) { analysistest.Run(t, analysis.WireBounds, "wirebounds") }
+
+func TestHotPathAlloc(t *testing.T) { analysistest.Run(t, analysis.HotPathAlloc, "hotpathalloc") }
+
+func TestWriteCheck(t *testing.T) { analysistest.Run(t, analysis.WriteCheck, "writecheck") }
+
+// TestMalformedIgnore checks the directive grammar directly: a missing
+// analyzer or reason is reported, a well-formed directive is not.
+func TestMalformedIgnore(t *testing.T) {
+	pkg, err := analysis.LoadFixture("testdata/src", "badignore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.MalformedIgnores(pkg)
+	if len(diags) != 2 {
+		t.Fatalf("got %d malformed-ignore diagnostics, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "ignore" || !strings.Contains(d.Message, "malformed //websyn:ignore") {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// TestSuiteOnRepo is the loader's integration test: Load resolves a
+// real package of this module through `go list -export` and the gc
+// importer, and the analyzers come back clean — the same invariant the
+// CI analyze job enforces repo-wide.
+func TestSuiteOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go list -export load in -short mode")
+	}
+	pkgs, err := analysis.Load("../..", []string{"./internal/fleet/wire"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	for _, a := range analysis.Suite() {
+		for _, d := range analysis.Run(a, pkgs[0]) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}

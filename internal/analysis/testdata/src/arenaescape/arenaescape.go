@@ -1,0 +1,96 @@
+// Fixture for arenaescape: local re-declarations of the arena API
+// shapes (Engine.MatchScratch/MatchPrepared, CloneResponse,
+// Server.DoView) plus the escape patterns the analyzer must catch —
+// including the historical dropped-CloneResponse shape.
+package arenaescape
+
+type SpanMatch struct{ Span string }
+
+type Response struct {
+	Query   string
+	Matches []SpanMatch
+}
+
+type Request struct{ Query string }
+
+type Scratch struct{}
+
+type Engine struct{}
+
+func (e *Engine) MatchScratch(req Request, sc *Scratch) (*Response, error) {
+	return &Response{}, nil
+}
+
+func (e *Engine) MatchPrepared(req Request, sc *Scratch) (*Response, error) {
+	return &Response{}, nil
+}
+
+func CloneResponse(r *Response) Response { return *r }
+
+type Server struct{}
+
+func (s *Server) DoView(req Request, visit func(res *Response, cached bool)) error {
+	visit(&Response{}, false)
+	return nil
+}
+
+type holder struct {
+	last  *Response
+	query string
+}
+
+var global *Response
+
+func badFieldStore(e *Engine, h *holder, sc *Scratch) {
+	res, _ := e.MatchScratch(Request{}, sc)
+	h.last = res // want `arena-backed response stored in a struct field`
+}
+
+func badReturn(e *Engine, sc *Scratch) *Response {
+	res, _ := e.MatchPrepared(Request{}, sc)
+	return res // want `escapes via return without CloneResponse`
+}
+
+func badGlobal(e *Engine, sc *Scratch) {
+	res, _ := e.MatchScratch(Request{}, sc)
+	global = res // want `stored in a package variable`
+}
+
+// badDoView is the dropped-clone shape: DoView's response is only
+// valid during visit, but a derived string is smuggled into a field.
+func badDoView(s *Server, h *holder) {
+	_ = s.DoView(Request{}, func(res *Response, cached bool) {
+		h.query = res.Query // want `stored in a struct field`
+	})
+}
+
+// badAlias launders the response through a second local first.
+func badAlias(e *Engine, sc *Scratch) *Response {
+	res, _ := e.MatchScratch(Request{}, sc)
+	r2 := res
+	return r2 // want `escapes via return`
+}
+
+func badSend(e *Engine, sc *Scratch, ch chan *Response) {
+	res, _ := e.MatchScratch(Request{}, sc)
+	ch <- res // want `sent on a channel`
+}
+
+// goodClone detaches before returning — the sanctioned pattern.
+func goodClone(e *Engine, sc *Scratch) Response {
+	res, _ := e.MatchScratch(Request{}, sc)
+	return CloneResponse(res)
+}
+
+// goodScalar derives alias-free data; fine to return.
+func goodScalar(e *Engine, sc *Scratch) int {
+	res, _ := e.MatchScratch(Request{}, sc)
+	return len(res.Matches)
+}
+
+// goodLocal keeps the response inside the scratch scope.
+func goodLocal(e *Engine, sc *Scratch) bool {
+	res, _ := e.MatchScratch(Request{}, sc)
+	keep := res
+	return keep != nil
+}

@@ -1,0 +1,19 @@
+// Fixture for the //websyn:ignore grammar itself, exercised by
+// TestMalformedIgnore through the package API (not analysistest): one
+// well-formed directive and two malformed ones.
+package badignore
+
+func ok() {
+	//websyn:ignore writecheck a proper reason
+	_ = 1
+}
+
+func missingReason() {
+	//websyn:ignore writecheck
+	_ = 2
+}
+
+func missingEverything() {
+	//websyn:ignore
+	_ = 3
+}

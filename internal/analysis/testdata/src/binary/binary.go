@@ -1,0 +1,14 @@
+// Package binary is a fixture stub for the binary.LittleEndian length
+// reads wirebounds treats as raw frame headers.
+package binary
+
+type byteOrder struct{}
+
+func (byteOrder) Uint16(b []byte) uint16 { return 0 }
+func (byteOrder) Uint32(b []byte) uint32 { return 0 }
+func (byteOrder) Uint64(b []byte) uint64 { return 0 }
+
+var (
+	LittleEndian byteOrder
+	BigEndian    byteOrder
+)

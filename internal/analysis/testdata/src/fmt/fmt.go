@@ -1,0 +1,11 @@
+// Package fmt is a fixture stub: just enough surface for analyzers
+// that match fmt by package name. Implementations are inert.
+package fmt
+
+func Sprintf(format string, a ...any) string { return format }
+
+func Fprint(w any, a ...any) (int, error) { return 0, nil }
+
+func Fprintf(w any, format string, a ...any) (int, error) { return 0, nil }
+
+func Fprintln(w any, a ...any) (int, error) { return 0, nil }

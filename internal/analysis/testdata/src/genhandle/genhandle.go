@@ -1,0 +1,73 @@
+// Fixture for genhandle: the generation-handle shapes from
+// internal/serve (atomic handle, immutable members, the sanctioned
+// Generation wrapper) and the stale-cache patterns — including the
+// historical cached-engine-across-Install shape.
+package genhandle
+
+type Engine struct{}
+
+type Dictionary struct{}
+
+type generation struct {
+	id     uint64
+	engine *Engine
+	dict   *Dictionary
+}
+
+type genPtr struct{ g *generation }
+
+func (p *genPtr) Load() *generation { return p.g }
+
+type Server struct{ gen genPtr }
+
+// Generation is the sanctioned pinned-snapshot wrapper (Prepare's
+// return value).
+type Generation struct{ g *generation }
+
+type proxy struct {
+	engine *Engine
+	gen    *generation
+}
+
+var globalEngine *Engine
+
+// badField is the stale-cache shape: the engine outlives the next
+// Install inside a long-lived struct.
+func badField(s *Server, p *proxy) {
+	p.engine = s.gen.Load().engine // want `cached in a struct field`
+}
+
+func badGlobal(s *Server) {
+	globalEngine = s.gen.Load().engine // want `cached in a package variable`
+}
+
+func badWhole(s *Server, p *proxy) {
+	p.gen = s.gen.Load() // want `cached in a struct field`
+}
+
+// badTwoStep launders the member through a local first.
+func badTwoStep(s *Server, p *proxy) {
+	e := s.gen.Load().engine
+	p.engine = e // want `cached in a struct field`
+}
+
+func badLit(s *Server) *proxy {
+	return &proxy{engine: s.gen.Load().engine} // want `captured in a composite literal`
+}
+
+// goodLocal re-loads per call and uses the member locally.
+func goodLocal(s *Server) *Engine {
+	g := s.gen.Load()
+	return g.engine
+}
+
+// goodWrapper is the sanctioned Prepare/Install handoff.
+func goodWrapper(g *generation) *Generation {
+	return &Generation{g: g}
+}
+
+// goodDerived: data derived from a member is plain data, not a handle.
+func goodDerived(s *Server, p *proxy) uint64 {
+	id := s.gen.Load().id
+	return id
+}

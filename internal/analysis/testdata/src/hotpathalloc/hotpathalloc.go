@@ -1,0 +1,67 @@
+// Fixture for hotpathalloc: annotated functions exercising each
+// forbidden construct, plus the allocation-free shapes that must stay
+// unflagged and the //websyn:ignore escape hatch.
+package hotpathalloc
+
+import "fmt"
+
+type item struct{ name string }
+
+func sink(v any) {}
+
+//websyn:hotpath
+func badFmt(q string) string {
+	return fmt.Sprintf("q=%s", q) // want `fmt call in //websyn:hotpath function`
+}
+
+//websyn:hotpath
+func badMapLit() map[string]int {
+	return map[string]int{"a": 1} // want `map literal in //websyn:hotpath function`
+}
+
+//websyn:hotpath
+func badSliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal in //websyn:hotpath function`
+}
+
+//websyn:hotpath
+func badCapture(items []item) func() int {
+	return func() int { return len(items) } // want `captures "items"`
+}
+
+//websyn:hotpath
+func badBox(n int) {
+	sink(n) // want `boxes 1 non-pointer value`
+}
+
+//websyn:hotpath
+func badConv(n int) any {
+	return any(n) // want `boxed into interface`
+}
+
+// goodPointer: pointer-shaped values cross into interfaces for free.
+//
+//websyn:hotpath
+func goodPointer(it *item) {
+	sink(it)
+}
+
+// goodClosure captures nothing; no capture block is allocated.
+//
+//websyn:hotpath
+func goodClosure() func(int) int {
+	return func(x int) int { return x * 2 }
+}
+
+// okIgnored shows the escape hatch: Explain-gated formatting.
+//
+//websyn:hotpath
+func okIgnored(q string) string {
+	//websyn:ignore hotpathalloc formatting is cold, behind a debug flag
+	return fmt.Sprintf("q=%s", q)
+}
+
+// coldPath is unannotated: free to allocate.
+func coldPath() map[string]int {
+	return map[string]int{"a": 1}
+}

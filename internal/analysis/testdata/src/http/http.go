@@ -1,0 +1,8 @@
+// Package http is a fixture stub declaring the ResponseWriter shape
+// writecheck keys on.
+package http
+
+type ResponseWriter interface {
+	Write(b []byte) (int, error)
+	WriteHeader(statusCode int)
+}

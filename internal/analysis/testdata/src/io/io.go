@@ -1,0 +1,4 @@
+// Package io is a fixture stub for the io.WriteString shape.
+package io
+
+func WriteString(w any, s string) (int, error) { return 0, nil }

@@ -1,0 +1,9 @@
+// Package json is a fixture stub declaring the Encoder shape
+// writecheck keys on.
+package json
+
+type Encoder struct{ w any }
+
+func NewEncoder(w any) *Encoder { return &Encoder{w: w} }
+
+func (e *Encoder) Encode(v any) error { return nil }

@@ -1,0 +1,77 @@
+// Fixture for mmappin: a local PackedFuzzy with the slab fields and
+// backing pin, plus the re-homing patterns that dangle a mapped slab.
+package mmappin
+
+type PackedFuzzy struct {
+	NumStrings int
+	Grams      []string
+	Offsets    []int32
+	Postings   []int32
+	Mults      []int32
+	backing    any
+}
+
+func (p *PackedFuzzy) Mapped() bool { return p.backing != nil }
+
+type view struct {
+	offsets []int32
+	backing any
+}
+
+type wrapper struct {
+	src      *PackedFuzzy
+	postings []int32
+}
+
+type holder struct{ mults []int32 }
+
+var leaked []int32
+
+// leakyView is the historical Packed() bug shape: slabs re-homed into
+// a new struct with the pin left behind.
+func leakyView(p *PackedFuzzy) *view {
+	return &view{
+		offsets: p.Offsets, // want `composite literal without the mmap backing pin`
+	}
+}
+
+// pinnedView carries the pin alongside the slab.
+func pinnedView(p *PackedFuzzy) *view {
+	return &view{
+		offsets: p.Offsets,
+		backing: p.backing,
+	}
+}
+
+// wholeContainer keeps the container itself, which owns the pin.
+func wholeContainer(p *PackedFuzzy) *wrapper {
+	return &wrapper{src: p, postings: p.Postings}
+}
+
+func leakGlobal(p *PackedFuzzy) {
+	leaked = p.Postings // want `package variable without the mmap backing pin`
+}
+
+func leakField(h *holder, p *PackedFuzzy) {
+	h.mults = p.Mults // want `struct field without the mmap backing pin`
+}
+
+// sameContainer mutates a slab in place on its own container.
+func sameContainer(p *PackedFuzzy) {
+	p.Offsets = p.Offsets[:0]
+}
+
+// iterate ranges over a transient slice-literal view; nothing escapes.
+func iterate(p *PackedFuzzy) int {
+	n := 0
+	for _, s := range [][]int32{p.Offsets, p.Postings} {
+		n += len(s)
+	}
+	return n
+}
+
+// localCopy is fine: a local cannot outlive the frame pinning p.
+func localCopy(p *PackedFuzzy) int {
+	offs := p.Offsets
+	return len(offs)
+}

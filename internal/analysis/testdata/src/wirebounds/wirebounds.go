@@ -1,0 +1,79 @@
+// Fixture for wirebounds: a local decoder with the count/uint bound
+// helpers and the WFP1 misuse shapes — including the historical
+// scalar-decoded-with-count regression.
+package wire
+
+import "binary"
+
+const (
+	MaxFrame   = 16 << 20
+	maxListLen = 1 << 20
+	maxTopK    = 50
+)
+
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) uvarint() uint64 { return 0 }
+
+func (d *decoder) count(max int) int { return int(d.uvarint()) }
+
+func (d *decoder) uint(max uint64) uint64 { return d.uvarint() }
+
+func (d *decoder) str(max int) string { return "" }
+
+type request struct {
+	TopK  int
+	Terms []string
+}
+
+// badScalar is the historical regression: a truncated frame makes
+// count clamp the scalar instead of failing.
+func badScalar(d *decoder) request {
+	var r request
+	r.TopK = d.count(maxTopK) // want `scalar field decoded with decoder.count`
+	return r
+}
+
+func goodScalar(d *decoder) request {
+	var r request
+	r.TopK = int(d.uint(maxTopK))
+	return r
+}
+
+func badList(d *decoder) []string {
+	n := d.uint(maxListLen)
+	out := make([]string, 0, n)      // want `allocation sized from decoder.uint`
+	for i := uint64(0); i < n; i++ { // want `loop bound from decoder.uint`
+		out = append(out, d.str(64))
+	}
+	return out
+}
+
+func goodList(d *decoder) []string {
+	n := d.count(maxListLen)
+	out := make([]string, 0, min(n, 64))
+	for i := 0; i < n; i++ {
+		out = append(out, d.str(64))
+	}
+	return out
+}
+
+func badRaw(d *decoder) uint64 {
+	return d.uvarint() // want `raw decoder.uvarint outside count/uint`
+}
+
+func badFrame(hdr []byte) []byte {
+	n := binary.LittleEndian.Uint32(hdr)
+	return make([]byte, n) // want `no MaxFrame check`
+}
+
+func goodFrame(hdr []byte) []byte {
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > MaxFrame {
+		return nil
+	}
+	return make([]byte, n)
+}

@@ -1,0 +1,50 @@
+// Fixture for writecheck: discarded ResponseWriter/Encoder writes in
+// every flagged shape, the checked equivalents, and the escape hatch.
+package writecheck
+
+import (
+	"fmt"
+	"http"
+	"io"
+	"json"
+)
+
+var lastErr error
+
+func healthz(w http.ResponseWriter) {
+	fmt.Fprintln(w, "ok") // want `fmt.Fprintln to ResponseWriter discards`
+}
+
+func handler(w http.ResponseWriter, body []byte) {
+	w.Write(body)             // want `ResponseWriter.Write discards`
+	io.WriteString(w, "done") // want `io.WriteString to ResponseWriter discards`
+}
+
+func encode(w http.ResponseWriter, v any) {
+	json.NewEncoder(w).Encode(v) // want `Encoder.Encode discards`
+}
+
+func checked(w http.ResponseWriter, v any) {
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		lastErr = err
+	}
+	if _, err := fmt.Fprintln(w, "ok"); err != nil {
+		lastErr = err
+	}
+	if _, err := w.Write(nil); err != nil {
+		lastErr = err
+	}
+}
+
+type builder struct{}
+
+func (b *builder) Write(p []byte) (int, error) { return len(p), nil }
+
+// cold: Write on a non-ResponseWriter is none of our business.
+func cold(b *builder) {
+	b.Write(nil)
+}
+
+func ignored(w http.ResponseWriter) {
+	fmt.Fprintln(w, "ok") //websyn:ignore writecheck best-effort probe, client liveness irrelevant
+}

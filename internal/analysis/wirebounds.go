@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WireBounds enforces the WFP1 codec rules spelled out in
+// internal/fleet/wire/wire.go ("Wire codec spec"):
+//
+//   - B1: payload bytes are read only through the decoder's checked
+//     helpers; a raw uvarint outside count/uint has no bound at all.
+//   - B2: scalar fields use decoder.uint, whose bound is a pure value
+//     cap. decoder.count's bound is min(cap, remaining bytes) — right
+//     for element counts, silently wrong for scalars: a short frame
+//     clamps the value instead of failing.
+//   - B3: element counts use decoder.count, so a hostile length
+//     prefix cannot make the decoder allocate or loop beyond the
+//     bytes actually present.
+//   - F2: any allocation sized from raw frame bytes (a length header
+//     read with binary.*Endian) is checked against MaxFrame first.
+//
+// The analyzer only runs inside packages named "wire".
+var WireBounds = &Analyzer{
+	Name: "wirebounds",
+	Doc: "enforces the WFP1 decoder discipline: uint for scalars, count for element " +
+		"counts, no raw uvarints, MaxFrame-capped allocations",
+	Run: runWireBounds,
+}
+
+// boundKind tags what bound discipline produced a local's value.
+type boundKind int
+
+const (
+	kindNone  boundKind = iota
+	kindCount           // decoder.count: min(cap, remaining-bytes) bound
+	kindUint            // decoder.uint: value-only bound
+	kindRaw             // binary.*Endian.Uint32/64: unchecked frame bytes
+)
+
+func runWireBounds(pass *Pass) {
+	if pass.Pkg.Name() != "wire" {
+		return
+	}
+	eachFuncDecl(pass.Files, func(fn *ast.FuncDecl) {
+		checkWireFunc(pass, fn)
+	})
+}
+
+// decoderBoundCall matches d.count(...) / d.uint(...) on a value of
+// type decoder.
+func decoderBoundCall(pass *Pass, e ast.Expr) (kind boundKind, call *ast.CallExpr) {
+	c, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return kindNone, nil
+	}
+	if _, ok := methodCall(pass.Info, c, "decoder", "count"); ok {
+		return kindCount, c
+	}
+	if _, ok := methodCall(pass.Info, c, "decoder", "uint"); ok {
+		return kindUint, c
+	}
+	return kindNone, nil
+}
+
+// rawHeaderCall matches binary.LittleEndian.Uint32(...) and friends —
+// a length header lifted straight from frame bytes.
+func rawHeaderCall(e ast.Expr) bool {
+	c, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Uint32" && sel.Sel.Name != "Uint64" && sel.Sel.Name != "Uint16") {
+		return false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return inner.Sel.Name == "LittleEndian" || inner.Sel.Name == "BigEndian"
+}
+
+// exprKind resolves the bound discipline of an expression: a bound
+// call, a raw header read, or a local known to hold one (through
+// conversions and min(...)).
+func exprKind(pass *Pass, e ast.Expr, locals map[types.Object]boundKind) boundKind {
+	e = unwrapConv(pass.Info, e)
+	if k, _ := decoderBoundCall(pass, e); k != kindNone {
+		return k
+	}
+	if rawHeaderCall(e) {
+		return kindRaw
+	}
+	if call, ok := e.(*ast.CallExpr); ok && calleeName(call) == "min" {
+		// min(n, 64) inherits n's discipline — a tighter cap never
+		// launders a wrong bound kind.
+		for _, arg := range call.Args {
+			if k := exprKind(pass, arg, locals); k != kindNone {
+				return k
+			}
+		}
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pass.Info.Uses[id]; obj != nil {
+			return locals[obj]
+		}
+	}
+	return kindNone
+}
+
+func checkWireFunc(pass *Pass, fn *ast.FuncDecl) {
+	// count/uint themselves are the only sanctioned uvarint readers.
+	inBoundHelper := fn.Name.Name == "count" || fn.Name.Name == "uint" || fn.Name.Name == "uvarint"
+
+	locals := map[types.Object]boundKind{}
+	// hasMaxFrameCheck: the function compares something against
+	// MaxFrame, satisfying F2 for its raw header reads.
+	hasMaxFrameCheck := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.GTR, token.LSS, token.GEQ, token.LEQ:
+				for _, side := range []ast.Expr{b.X, b.Y} {
+					if id := rootIdent(side); id != nil && id.Name == "MaxFrame" {
+						hasMaxFrameCheck = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				k := exprKind(pass, n.Rhs[i], locals)
+				if k == kindNone {
+					continue
+				}
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						locals[obj] = k
+					} else if obj := pass.Info.Uses[id]; obj != nil {
+						locals[obj] = k
+					}
+					continue
+				}
+				// B2: a field store is a scalar decode.
+				if k == kindCount {
+					pass.Reportf(n.Rhs[i].Pos(), "scalar field decoded with decoder.count, whose bound is min(cap, remaining bytes): a truncated frame silently clamps the value; use decoder.uint (wire spec rule B2)")
+				}
+			}
+		case *ast.CallExpr:
+			// B1: raw uvarint outside the bound helpers.
+			if !inBoundHelper {
+				if _, ok := methodCall(pass.Info, n, "decoder", "uvarint"); ok {
+					pass.Reportf(n.Pos(), "raw decoder.uvarint outside count/uint: the value is unbounded; use decoder.count for element counts or decoder.uint for scalars (wire spec rule B1)")
+				}
+			}
+			// B3 / F2: allocation sized from a wire-derived length.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" && len(n.Args) >= 2 {
+				for _, sz := range n.Args[1:] {
+					switch exprKind(pass, sz, locals) {
+					case kindUint:
+						pass.Reportf(sz.Pos(), "allocation sized from decoder.uint, whose bound is a value cap only: a hostile length prefix can demand the full cap with no bytes behind it; use decoder.count (wire spec rule B3)")
+					case kindRaw:
+						if !hasMaxFrameCheck {
+							pass.Reportf(sz.Pos(), "allocation sized from a raw frame length with no MaxFrame check in this function (wire spec rule F2)")
+						}
+					}
+				}
+			}
+		case *ast.ForStmt:
+			// B3: looping a uint-bounded value while consuming payload
+			// has the same failure mode as the allocation.
+			if n.Cond == nil {
+				return true
+			}
+			b, ok := n.Cond.(*ast.BinaryExpr)
+			if !ok || (b.Op != token.LSS && b.Op != token.LEQ) {
+				return true
+			}
+			if exprKind(pass, b.Y, locals) != kindUint {
+				return true
+			}
+			bodyDecodes := false
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					if sel, ok := c.Fun.(*ast.SelectorExpr); ok && namedName(pass.TypeOf(sel.X)) == "decoder" {
+						bodyDecodes = true
+					}
+				}
+				return true
+			})
+			if bodyDecodes {
+				pass.Reportf(b.Y.Pos(), "loop bound from decoder.uint drives payload reads: a hostile count spins the decoder past the frame; use decoder.count (wire spec rule B3)")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WriteCheck flags HTTP response writes whose error is silently
+// discarded: fmt.Fprint* to an http.ResponseWriter, direct
+// w.Write/w.WriteString calls, io.WriteString(w, ...), and
+// json Encoder.Encode used as a bare statement. A failed response
+// write usually means the client is gone; the handler should at
+// minimum log it (see serve.writeJSON for the house pattern) so
+// half-written responses are visible in operation, not silent.
+var WriteCheck = &Analyzer{
+	Name: "writecheck",
+	Doc: "flags discarded errors from ResponseWriter writes " +
+		"(fmt.Fprint*, Write, io.WriteString, json Encode)",
+	Run: runWriteCheck,
+}
+
+// isResponseWriter matches values whose type is a named interface
+// called ResponseWriter (net/http's, or a fixture's stub).
+func isResponseWriter(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Name() != "ResponseWriter" {
+		return false
+	}
+	return types.IsInterface(named)
+}
+
+func runWriteCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkDiscardedWrite(pass, call)
+			return true
+		})
+	}
+}
+
+// checkDiscardedWrite reports a call used as a bare statement when it
+// is one of the response-write shapes.
+func checkDiscardedWrite(pass *Pass, call *ast.CallExpr) {
+	name := calleeName(call)
+	switch name {
+	case "Fprint", "Fprintf", "Fprintln":
+		if calleePkgName(pass.Info, call) == "fmt" && len(call.Args) > 0 && isResponseWriter(pass.TypeOf(call.Args[0])) {
+			pass.Reportf(call.Pos(), "fmt.%s to ResponseWriter discards the write error; check it and log failures (see serve.writeJSON)", name)
+		}
+	case "WriteString":
+		// io.WriteString(w, s) or w.WriteString(s).
+		if calleePkgName(pass.Info, call) == "io" && len(call.Args) > 0 && isResponseWriter(pass.TypeOf(call.Args[0])) {
+			pass.Reportf(call.Pos(), "io.WriteString to ResponseWriter discards the write error; check it and log failures (see serve.writeJSON)")
+			return
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isResponseWriter(pass.TypeOf(sel.X)) {
+			pass.Reportf(call.Pos(), "ResponseWriter.WriteString discards the write error; check it and log failures (see serve.writeJSON)")
+		}
+	case "Write":
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isResponseWriter(pass.TypeOf(sel.X)) {
+			pass.Reportf(call.Pos(), "ResponseWriter.Write discards the write error; check it and log failures (see serve.writeJSON)")
+		}
+	case "Encode":
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		t := deref(pass.TypeOf(sel.X))
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "Encoder" &&
+			named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "json" {
+			pass.Reportf(call.Pos(), "json Encoder.Encode discards the encode/write error; check it and log failures (see serve.writeJSON)")
+		}
+	}
+}

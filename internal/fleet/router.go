@@ -521,7 +521,7 @@ func (r *Router) HealthySnapshot() map[string]bool {
 func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	for _, rep := range r.replicas {
 		if rep.healthy.Load() {
-			fmt.Fprintln(w, "ok")
+			writeText(w, "ok\n")
 			return
 		}
 	}

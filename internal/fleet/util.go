@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"io"
 	"log"
 	"net/http"
 )
@@ -18,5 +19,13 @@ func writeJSONBody(w http.ResponseWriter, v any) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		log.Printf("fleet: encoding response: %v", err)
+	}
+}
+
+// writeText writes a small plain-text body (healthz and friends),
+// logging a failed write like writeJSONBody does.
+func writeText(w http.ResponseWriter, body string) {
+	if _, err := io.WriteString(w, body); err != nil {
+		log.Printf("fleet: writing response: %v", err)
 	}
 }

@@ -102,10 +102,39 @@ type Result struct {
 	Err      string
 }
 
-// ---- Encoding ----
+// ---- Wire codec spec (WFP1) ----
 //
-// Strings are uvarint length + bytes, non-negative ints are uvarint,
-// float64s are 8 LE bytes of their IEEE bits, bools one byte.
+// The rules below are what the wirebounds analyzer (internal/analysis,
+// cmd/vetsuite) enforces mechanically; the rule IDs appear in its
+// diagnostics.
+//
+// Frame layer:
+//
+//	F1 — frame grammar. A connection opens with the 4-byte Magic, then
+//	     carries frames of `uint32 LE payload length | payload`. The
+//	     first payload byte is the opcode, the rest the opcode's body.
+//	     Replies set the high bit of the request opcode.
+//	F2 — frame cap. No allocation may be sized from a wire-derived
+//	     length that has not been checked against MaxFrame (16 MiB).
+//	     ReadFrame rejects bigger prefixes with ErrFrameTooLarge before
+//	     allocating; anything else reading a raw length header must do
+//	     the same.
+//
+// Body layer. Strings are uvarint length + bytes, non-negative ints
+// are uvarint, float64s are 8 LE bytes of their IEEE bits, bools one
+// byte. Decoding discipline:
+//
+//	B1 — no raw varints. Payload values are read only through the
+//	     decoder's checked helpers (count/uint/str/f64/bool); a bare
+//	     uvarint has no bound at all.
+//	B2 — scalars use decoder.uint, whose bound is a pure value cap
+//	     (TopK ≤ MaxTopK regardless of how many bytes follow).
+//	     decoder.count's min(cap, remaining-bytes) bound is wrong for
+//	     scalars: a truncated frame silently clamps the value instead
+//	     of failing.
+//	B3 — element counts use decoder.count, bounded by both the cap and
+//	     the bytes actually remaining, so a hostile length prefix can
+//	     neither over-allocate nor spin the decode loop past the frame.
 
 // AppendRequest appends the encoding of one routed match request:
 // the match.Request fields plus the fan-out domains list.

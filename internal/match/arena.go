@@ -83,6 +83,8 @@ func unsafeString(b []byte) string {
 // single space-joined byte buffer with per-token views. It returns the
 // token views; they (and every string a subsequent MatchPrepared
 // response carries) are valid until the scratch is reused.
+//
+//websyn:hotpath
 func (sc *Scratch) Tokenize(query string) []string {
 	sc.norm = sc.norm[:0]
 	sc.tokOff = sc.tokOff[:0]
@@ -121,6 +123,8 @@ func (sc *Scratch) Norm() string { return sc.qnorm }
 
 // span returns the query surface of tokens [i, j) — a substring of the
 // normalized query, since tokens are space-joined in the arena.
+//
+//websyn:hotpath
 func (sc *Scratch) span(i, j int) string {
 	return sc.qnorm[sc.tokOff[2*i]:sc.tokOff[2*(j-1)+1]]
 }
@@ -130,6 +134,8 @@ func (sc *Scratch) span(i, j int) string {
 // references live in sc. The returned response is valid until the next
 // call using the same scratch; callers that retain it must copy it out
 // first (CloneResponse).
+//
+//websyn:hotpath
 func (e *Engine) MatchScratch(req Request, sc *Scratch) (*Response, error) {
 	req = req.WithDefaults()
 	if err := req.Validate(); err != nil {
@@ -142,6 +148,8 @@ func (e *Engine) MatchScratch(req Request, sc *Scratch) (*Response, error) {
 // MatchPrepared is MatchScratch for callers that already tokenized the
 // query into sc — e.g. a serving tier that called sc.Tokenize(req.Query)
 // to build its cache key. sc must hold exactly req.Query's tokenization.
+//
+//websyn:hotpath
 func (e *Engine) MatchPrepared(req Request, sc *Scratch) (*Response, error) {
 	req = req.WithDefaults()
 	if err := req.Validate(); err != nil {
@@ -286,6 +294,8 @@ func (c *matchCtx) doneTrace() []TraceStep {
 // fuzzyLookup consults the trigram index through its arena path when
 // available, falling back to the allocating FuzzyLookup interface for
 // custom indexes. norm must be normalized text (arena spans are).
+//
+//websyn:hotpath
 func (c *matchCtx) fuzzyLookup(norm string, limit int) []arenaHit {
 	if c.af != nil {
 		return c.af.lookupArena(c.sc, norm, limit)
@@ -306,6 +316,8 @@ func (c *matchCtx) fuzzyLookup(norm string, limit int) []arenaHit {
 // segment is the arena twin of Dictionary.SegmentTokens fused with
 // Engine.fromTrieMatch: one greedy left-to-right pass, marking consumed
 // tokens and emitting matches with their alternate ranges.
+//
+//websyn:hotpath
 func (c *matchCtx) segment() {
 	sc := c.sc
 	for start := 0; start < len(sc.tokens); start++ {
@@ -361,6 +373,7 @@ func (c *matchCtx) segment() {
 		sc.matches = append(sc.matches, sm)
 		sc.altRange = append(sc.altRange, [2]int32{altStart, int32(len(sc.alts))})
 		if c.req.Explain {
+			//websyn:ignore hotpathalloc trace is Explain-gated diagnostics, off the steady-state path
 			c.trace("segment", "span %q [%d,%d) -> entity %d %q (score %.3g, %s, %s)",
 				sm.Span, sm.Start, sm.End, sm.EntityID, sm.Canonical, sm.Score, sm.Source, sm.Method)
 		}
@@ -369,6 +382,8 @@ func (c *matchCtx) segment() {
 
 // longestFrom walks the trie from tokens[start] with typo correction,
 // returning the node of the longest span ending with entries.
+//
+//websyn:hotpath
 func (c *matchCtx) longestFrom(start int) (best *trieNode, bestEnd int, bestCorrected bool) {
 	d := c.e.dict
 	node := d.root
@@ -398,6 +413,8 @@ func (c *matchCtx) longestFrom(start int) (best *trieNode, bestEnd int, bestCorr
 
 // bestEntryOf returns the winning entry: highest score, ties to the
 // lowest entity ID — the order Dictionary.Lookup sorts by.
+//
+//websyn:hotpath
 func bestEntryOf(entries []Entry) Entry {
 	best := entries[0]
 	for _, e := range entries[1:] {
@@ -411,6 +428,8 @@ func bestEntryOf(entries []Entry) Entry {
 // sortedEntries copies a node's entries into the scratch and sorts them
 // like Dictionary.Lookup (score desc, entity ID asc) without touching
 // the shared trie node. Entry lists are tiny; insertion sort suffices.
+//
+//websyn:hotpath
 func sortedEntries(sc *Scratch, entries []Entry) []Entry {
 	out := sc.entries[:0]
 	out = append(out, entries...)
@@ -424,6 +443,8 @@ func sortedEntries(sc *Scratch, entries []Entry) []Entry {
 }
 
 // entryLess orders entries score-descending, entity-ID-ascending.
+//
+//websyn:hotpath
 func entryLess(a, b Entry) bool {
 	if a.Score != b.Score {
 		return a.Score > b.Score
@@ -432,6 +453,8 @@ func entryLess(a, b Entry) bool {
 }
 
 // wholeFuzzy is the arena twin of Engine.wholeFuzzy (ModeFuzzy).
+//
+//websyn:hotpath
 func (c *matchCtx) wholeFuzzy() {
 	sc := c.sc
 	nTokens := len(sc.tokens)
@@ -457,16 +480,20 @@ func (c *matchCtx) wholeFuzzy() {
 		sc.altRange = append(sc.altRange, [2]int32{})
 		emitted = true
 		if c.req.Explain {
+			//websyn:ignore hotpathalloc trace is Explain-gated diagnostics, off the steady-state path
 			c.trace("fuzzy", "%q -> entity %d %q (sim %.3f)", h.text, h.best.EntityID, c.e.canonical(h.best.EntityID), h.sim)
 		}
 	}
 	if !emitted && c.req.Explain {
+		//websyn:ignore hotpathalloc trace is Explain-gated diagnostics, off the steady-state path
 		c.trace("fuzzy", "no hit above threshold for %q", sc.qnorm)
 	}
 }
 
 // spanPass is the arena twin of Engine.spanPass: resolve leftover token
 // runs through the trigram index with the greedy window sweep.
+//
+//websyn:hotpath
 func (c *matchCtx) spanPass() {
 	sc := c.sc
 	tokens := sc.tokens
@@ -492,12 +519,14 @@ func (c *matchCtx) spanPass() {
 			sc.altRange = append(sc.altRange, altR)
 			accepted = true
 			if c.req.Explain {
+				//websyn:ignore hotpathalloc trace is Explain-gated diagnostics, off the steady-state path
 				c.trace("span-fuzzy", "span %q [%d,%d) -> %q -> entity %d %q (sim %.3f)",
 					sc.span(sm.Start, sm.End), sm.Start, sm.End, sm.Span, sm.EntityID, sm.Canonical, sm.Similarity)
 			}
 			i = sm.End
 		}
 		if !accepted && c.req.Explain {
+			//websyn:ignore hotpathalloc trace is Explain-gated diagnostics, off the steady-state path
 			c.trace("span-fuzzy", "run %q [%d,%d): no candidate above threshold",
 				sc.span(runStart, runEnd), runStart, runEnd)
 		}
@@ -509,6 +538,8 @@ func (c *matchCtx) spanPass() {
 // window starting at token i and keep the highest-similarity match
 // (ties to the wider window). Each losing window's alternates are
 // truncated back off the arena; the winner's range rides along.
+//
+//websyn:hotpath
 func (c *matchCtx) bestSpanAt(i, runEnd int) (SpanMatch, [2]int32, bool) {
 	sc := c.sc
 	maxL := min(c.req.MaxSpanTokens, runEnd-i)
@@ -554,6 +585,8 @@ func (c *matchCtx) bestSpanAt(i, runEnd int) (SpanMatch, [2]int32, bool) {
 // resolveSpanHits is the arena twin of Engine.resolveSpanHits: first
 // usable hit wins, later hits on distinct entities become alternates
 // (appended to the arena; the caller tracks the range).
+//
+//websyn:hotpath
 func (c *matchCtx) resolveSpanHits(hits []arenaHit, start, end int, minSim float64) (SpanMatch, bool) {
 	sc := c.sc
 	var sm SpanMatch
@@ -601,6 +634,8 @@ func (c *matchCtx) resolveSpanHits(hits []arenaHit, start, end int, minSim float
 
 // seenEntity is the arena replacement for resolveSpanHits' seen map: the
 // per-span entity list is bounded by TopK, so a linear scan wins.
+//
+//websyn:hotpath
 func seenEntity(seen []int, id int) bool {
 	for _, s := range seen {
 		if s == id {
@@ -613,6 +648,8 @@ func seenEntity(seen []int, id int) bool {
 // fixAlternates attaches each match's alternate range as a view into the
 // arena. Deferred until all appends are done: growing sc.alts may move
 // its backing array, which would strand earlier views.
+//
+//websyn:hotpath
 func (c *matchCtx) fixAlternates() {
 	sc := c.sc
 	for i := range sc.matches {
@@ -623,6 +660,8 @@ func (c *matchCtx) fixAlternates() {
 }
 
 // mergeInto interleaves two Start-ordered match lists into *dst.
+//
+//websyn:hotpath
 func mergeInto(dst *[]SpanMatch, a, b []SpanMatch) []SpanMatch {
 	out := (*dst)[:0]
 	i, j := 0, 0
@@ -643,6 +682,8 @@ func mergeInto(dst *[]SpanMatch, a, b []SpanMatch) []SpanMatch {
 
 // correctArena is Dictionary.correct without the edit-distance DP
 // allocations: the k=1 band degenerates to a two-pointer scan.
+//
+//websyn:hotpath
 func (d *Dictionary) correctArena(tok string) string {
 	if len(tok) < 4 || d.vocab[tok] {
 		return ""
@@ -670,6 +711,8 @@ func (d *Dictionary) correctArena(tok string) string {
 // and b is at most 1, without allocating: any single-edit alignment must
 // spend its edit at the first rune mismatch, after which the remaining
 // suffixes must be byte-equal.
+//
+//websyn:hotpath
 func editWithin1(a, b string) bool {
 	if a == b {
 		return true

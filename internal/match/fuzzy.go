@@ -242,6 +242,7 @@ type gramAccum struct {
 	total int
 }
 
+//websyn:hotpath
 func (a *gramAccum) add(g string) {
 	a.total++
 	if a.index != nil {
@@ -273,6 +274,8 @@ func (a *gramAccum) add(g string) {
 // (arena reuse: pass sc.qg[:0] and keep the grown result). For ASCII
 // queries — the overwhelmingly common case — gram strings are substrings
 // of norm and no per-gram allocation happens.
+//
+//websyn:hotpath
 func queryGramsInto(out []queryGram, norm string) ([]queryGram, int) {
 	ascii := true
 	for i := 0; i < len(norm); i++ {
@@ -314,6 +317,8 @@ func queryGramsInto(out []queryGram, norm string) ([]queryGram, int) {
 // distinct-count prunes, because a string like "aaaaaaa" can clear the
 // multiset bound through multiplicity while sharing a single distinct
 // gram.
+//
+//websyn:hotpath
 func minSharedGrams(minSim float64, qTotal int) int32 {
 	ms := int32(math.Ceil(minSim * float64(qTotal) / 2))
 	if ms < 1 {
@@ -327,6 +332,8 @@ func minSharedGrams(minSim float64, qTotal int) int32 {
 // most 2*min(a,b), so b must lie within [a*s/(2-s), a*(2-s)/s]. One gram
 // of slack on each side absorbs float rounding; the exact similarity test
 // decides the boundary.
+//
+//websyn:hotpath
 func lengthWindow(minSim float64, qTotal int) (lo, hi int32) {
 	a := float64(qTotal)
 	lo = int32(math.Floor(a*minSim/(2-minSim))) - 1
@@ -359,6 +366,8 @@ func (fi *FuzzyIndex) Lookup(query string, limit int) []FuzzyHit {
 // already-normalized query (qDistinct = len(qGrams); qTotal = multiset
 // total). Qualifying (text, similarity) pairs are appended to out,
 // unsorted.
+//
+//websyn:hotpath
 func (fi *FuzzyIndex) scan(qGrams []queryGram, qDistinct, qTotal int, out []scoredHit) []scoredHit {
 	sc := fi.scratch.Get().(*fuzzyScratch)
 	defer fi.scratch.Put(sc)
@@ -437,6 +446,8 @@ func selectTop(cands []scoredHit, limit int) []scoredHit {
 // size limit replaces the full sort, so Lookup(q, 1) never sorts
 // hundreds of hits. The kept set and its order are identical to a full
 // sort followed by truncation (hitBetter is a total order).
+//
+//websyn:hotpath
 func selectTopInto(cands []scoredHit, limit int, buf []scoredHit) (res, heapBuf []scoredHit) {
 	if limit <= 0 || len(cands) <= limit {
 		slices.SortFunc(cands, cmpHit)
@@ -508,6 +519,8 @@ func exactFallback(d *Dictionary, norm string) []FuzzyHit {
 // lookupArena is the arena twin of Lookup: norm must already be
 // normalized (the engine only passes arena spans, which are), and every
 // intermediate lives in sc. Results are identical to Lookup's.
+//
+//websyn:hotpath
 func (fi *FuzzyIndex) lookupArena(sc *Scratch, norm string, limit int) []arenaHit {
 	if norm == "" {
 		return nil
@@ -526,6 +539,8 @@ func (fi *FuzzyIndex) lookupArena(sc *Scratch, norm string, limit int) []arenaHi
 // materializeArena resolves selected candidates into arena hits: only
 // the best entry per string is computed (an O(entries) scan instead of a
 // sorted copy), because the engine never reads past the winner.
+//
+//websyn:hotpath
 func materializeArena(d *Dictionary, cands []scoredHit, sc *Scratch) []arenaHit {
 	out := sc.hits[:0]
 	for _, c := range cands {
@@ -540,6 +555,8 @@ func materializeArena(d *Dictionary, cands []scoredHit, sc *Scratch) []arenaHit 
 }
 
 // exactFallbackArena is exactFallback without the entry-list copy.
+//
+//websyn:hotpath
 func exactFallbackArena(d *Dictionary, norm string, sc *Scratch) []arenaHit {
 	if es := d.lookupNormEntries(norm); len(es) > 0 {
 		sc.hits = append(sc.hits[:0], arenaHit{text: norm, sim: 1, best: bestEntryOf(es), ok: true})

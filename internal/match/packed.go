@@ -36,7 +36,9 @@ type PackedFuzzy struct {
 func (p *PackedFuzzy) Mapped() bool { return p != nil && p.backing != nil }
 
 // Packed exports the index's posting lists. The returned struct shares
-// the index's backing arrays and must be treated as read-only.
+// the index's backing arrays and must be treated as read-only. It
+// carries the index's mmap pin so the export of a mapped index stays
+// valid after the index itself is dropped.
 func (fi *FuzzyIndex) Packed() *PackedFuzzy {
 	return &PackedFuzzy{
 		NumStrings: len(fi.strings),
@@ -44,6 +46,7 @@ func (fi *FuzzyIndex) Packed() *PackedFuzzy {
 		Offsets:    fi.offsets,
 		Postings:   fi.postings,
 		Mults:      fi.mults,
+		backing:    fi.backing,
 	}
 }
 

@@ -126,6 +126,8 @@ func (sfi *ShardedFuzzyIndex) BestEntity(query string) (Entry, bool) {
 // cores — into one shared candidate buffer; the merged top-k selection
 // is order-independent (hitBetter is a total order), so results are
 // identical to the parallel Lookup's.
+//
+//websyn:hotpath
 func (sfi *ShardedFuzzyIndex) lookupArena(sc *Scratch, norm string, limit int) []arenaHit {
 	if norm == "" {
 		return nil

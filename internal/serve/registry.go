@@ -199,7 +199,7 @@ func (reg *Registry) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("GET /statsz", reg.handleStatsz)
 	mux.HandleFunc("GET /admin/snapshot", reg.handleAdminSnapshot)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+		writeText(w, "ok\n")
 	})
 }
 

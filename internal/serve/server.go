@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime"
@@ -294,6 +295,8 @@ func (s *Server) Engine() *match.Engine { return s.gen.Load().engine }
 // "indy   4" share an entry; norm is the arena's space-joined token
 // sequence). Built with one allocation — this runs on the cache-hit
 // fast path.
+//
+//websyn:hotpath
 func requestKey(req match.Request, norm string) string {
 	var b strings.Builder
 	b.Grow(len(string(req.Mode)) + len(norm) + 32)
@@ -331,6 +334,8 @@ func requestKey(req match.Request, norm string) string {
 // request performs zero heap allocations end to end; with caching on,
 // the only per-request allocations are the cache key and — on a miss —
 // the one stable clone the cache retains.
+//
+//websyn:hotpath
 func (s *Server) doGenView(g *generation, req match.Request, visit func(res *match.Response, cached, stable bool)) error {
 	req = req.WithDefaults()
 	if err := req.Validate(); err != nil {
@@ -608,7 +613,7 @@ func (s *Server) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /admin/snapshot", s.handleAdminSnapshot)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+		writeText(w, "ok\n")
 	})
 }
 
@@ -864,5 +869,13 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		log.Printf("serve: encoding response: %v", err)
+	}
+}
+
+// writeText writes a small plain-text body (healthz and friends),
+// logging a failed write like writeJSON does.
+func writeText(w http.ResponseWriter, body string) {
+	if _, err := io.WriteString(w, body); err != nil {
+		log.Printf("serve: writing response: %v", err)
 	}
 }
