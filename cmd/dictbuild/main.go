@@ -30,6 +30,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"reflect"
 	"time"
 
 	"websyn"
@@ -54,6 +55,7 @@ func main() {
 		icr     = flag.Float64("icr", 0.1, "ICR threshold γ")
 		seed    = flag.Uint64("seed", 0, "simulation seed (0 = default)")
 		minSim  = flag.Float64("min-sim", websyn.DefaultFuzzyMinSim, "fuzzy similarity threshold stored in the snapshot")
+		verify  = flag.Bool("verify", false, "re-read each written snapshot (streamed and mmapped) and fail unless the dictionary and attribute vocabulary round-trip")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -68,7 +70,7 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, v := range verticals {
-			build(v.ds, cfg, *seed, *minSim, filepath.Join(*out, v.name+".snap"))
+			build(v.ds, cfg, *seed, *minSim, filepath.Join(*out, v.name+".snap"), *verify)
 		}
 		return
 	}
@@ -77,11 +79,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	build(ds, cfg, *seed, *minSim, *out)
+	build(ds, cfg, *seed, *minSim, *out, *verify)
 }
 
 // build mines one vertical and writes its snapshot.
-func build(ds websyn.Dataset, cfg websyn.MinerConfig, seed uint64, minSim float64, out string) {
+func build(ds websyn.Dataset, cfg websyn.MinerConfig, seed uint64, minSim float64, out string, verify bool) {
 	start := time.Now()
 	log.Printf("building %v simulation and mining (IPC %d, ICR %g)...", ds, cfg.IPC, cfg.ICR)
 	snap, err := websyn.MineSnapshot(ds, cfg, seed, minSim)
@@ -102,4 +104,45 @@ func build(ds websyn.Dataset, cfg websyn.MinerConfig, seed uint64, minSim float6
 	log.Printf("wrote %s: %d dictionary entries, %d entities, %d fuzzy trigrams, %d bytes in %v",
 		out, snap.Dict.Len(), len(snap.Canonicals), grams, info.Size(),
 		time.Since(start).Round(time.Millisecond))
+	if v := snap.Vocab; v != nil {
+		values := 0
+		for _, c := range v.Categorical {
+			values += len(c.Values)
+		}
+		log.Printf("  vocabulary %q: %d numeric columns, %d categorical columns (%d values)",
+			v.Domain, len(v.Numeric), len(v.Categorical), values)
+	}
+	if verify {
+		verifyRoundTrip(snap, out)
+	}
+}
+
+// verifyRoundTrip re-reads a just-written snapshot through both readers
+// (streamed decode and mmap) and fails the build unless the dictionary
+// and the attribute vocabulary survive byte-for-byte. This is the CI
+// gate that keeps the WSNP vocabulary section honest: a codec slip that
+// silently drops or mangles the vocabulary would otherwise only surface
+// as missing /v2 predicates in production.
+func verifyRoundTrip(want *websyn.Snapshot, path string) {
+	check := func(kind string, got *websyn.Snapshot) {
+		if got.Dict.Len() != want.Dict.Len() {
+			log.Fatalf("verify (%s): %d dictionary entries read back, wrote %d",
+				kind, got.Dict.Len(), want.Dict.Len())
+		}
+		if !reflect.DeepEqual(got.Vocab, want.Vocab) {
+			log.Fatalf("verify (%s): attribute vocabulary did not round-trip through %s",
+				kind, path)
+		}
+	}
+	streamed, err := websyn.ReadSnapshotFile(path)
+	if err != nil {
+		log.Fatalf("verify: re-reading %s: %v", path, err)
+	}
+	check("streamed", streamed)
+	mapped, err := websyn.OpenSnapshotMapped(path)
+	if err != nil {
+		log.Fatalf("verify: mmapping %s: %v", path, err)
+	}
+	check("mmap", mapped)
+	log.Printf("  verified: dictionary and vocabulary round-trip (streamed + mmap)")
 }

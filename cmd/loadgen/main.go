@@ -5,7 +5,9 @@
 // target server serves — so it mixes the three query classes the
 // matcher distinguishes (exact dictionary hits, one-edit typos,
 // concatenated span-fuzzy spans) plus background noise, on whatever
-// dictionary is actually deployed:
+// dictionary is actually deployed. Snapshots carrying an attribute
+// vocabulary additionally generate an `attributes` class that the
+// runner sends at POST /v2/match (gate it with -require-class):
 //
 //	loadgen -url http://127.0.0.1:8080 -snapshot movies.snap \
 //	    -qps 200 -duration 10s -report load.json
@@ -52,8 +54,9 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
-	var snapshots multiFlag
+	var snapshots, requireClasses multiFlag
 	flag.Var(&snapshots, "snapshot", "snapshot to derive the workload from: a path, or name=path (repeatable, mixed-domain); required")
+	flag.Var(&requireClasses, "require-class", "exit non-zero unless this query class completed at least one request (repeatable); use `attributes` to gate the /v2 rewrite surface")
 	var (
 		url         = flag.String("url", "http://127.0.0.1:8080", "target server base URL")
 		qps         = flag.Float64("qps", 200, "target request rate (0 = unpaced)")
@@ -131,6 +134,15 @@ func main() {
 	if completed := rep.Requests - rep.Errors; *minRequests > 0 && completed < *minRequests {
 		log.Printf("FAIL: only %d requests completed, floor is %d", completed, *minRequests)
 		failed = true
+	}
+	// A workload that silently stopped generating a class (e.g. a
+	// vocabulary-less snapshot producing no attributes queries) would
+	// otherwise pass every latency gate while covering nothing.
+	for _, c := range requireClasses {
+		if rep.ByClass[c] == 0 {
+			log.Printf("FAIL: class %s completed no requests", c)
+			failed = true
+		}
 	}
 	if *maxP99 > 0 {
 		// A latency bound over zero completed requests would vacuously

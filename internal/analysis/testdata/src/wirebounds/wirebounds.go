@@ -65,6 +65,45 @@ func badRaw(d *decoder) uint64 {
 	return d.uvarint() // want `raw decoder.uvarint outside count/uint`
 }
 
+// predicate mirrors the v2 attribute element of a WFP1 result: a list
+// of structs mixing scalar fields (Start/End token offsets) with the
+// list count itself, so both bound families appear in one decode.
+type predicate struct {
+	Column     string
+	Start, End int
+}
+
+// badPredicates decodes the v2 attribute list with the wrong bound
+// helper in both positions: the element count sized straight from uint
+// and the scalar token offsets clamped with count.
+func badPredicates(d *decoder) []predicate {
+	n := d.uint(maxListLen)
+	out := make([]predicate, 0, n)   // want `allocation sized from decoder.uint`
+	for i := uint64(0); i < n; i++ { // want `loop bound from decoder.uint`
+		var p predicate
+		p.Column = d.str(64)
+		p.Start = d.count(maxListLen) // want `scalar field decoded with decoder.count`
+		p.End = d.count(maxListLen)   // want `scalar field decoded with decoder.count`
+		out = append(out, p)
+	}
+	return out
+}
+
+// goodPredicates is the shipped shape: count bounds the list length
+// (B3, capped pre-allocation), uint bounds each scalar offset (B2).
+func goodPredicates(d *decoder) []predicate {
+	n := d.count(maxListLen)
+	out := make([]predicate, 0, min(n, 64))
+	for i := 0; i < n; i++ {
+		var p predicate
+		p.Column = d.str(64)
+		p.Start = int(d.uint(maxListLen))
+		p.End = int(d.uint(maxListLen))
+		out = append(out, p)
+	}
+	return out
+}
+
 func badFrame(hdr []byte) []byte {
 	n := binary.LittleEndian.Uint32(hdr)
 	return make([]byte, n) // want `no MaxFrame check`

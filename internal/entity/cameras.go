@@ -307,6 +307,7 @@ func Cameras2008() (*Catalog, error) {
 		if nick, ok := cameraNicknames[textnorm.Normalize(canon)]; ok {
 			e.Nicknames = append([]string(nil), nick...)
 		}
+		deriveCameraAttrs(e, p.tier)
 		entities[i] = e
 	}
 

@@ -75,6 +75,17 @@ type Entity struct {
 	// in the paper's motivation.
 	Nicknames []string
 
+	// Attribute columns: the structured fields the rewrite stage
+	// (internal/rewrite) mines per-domain vocabularies from, so queries
+	// like "cheap canon 40d under $500" resolve their non-entity tokens
+	// into typed predicates. Zero values mean the column is absent for
+	// this entity.
+	Year       int     // release year (movies, software)
+	Genre      string  // movie genre ("adventure", "comedy", ...)
+	PriceUSD   float64 // camera street price in USD
+	Megapixels float64 // camera sensor resolution
+	ZoomX      float64 // camera optical zoom factor
+
 	// PopRank is the popularity rank within the catalog (0 = most searched).
 	// Weight is the entity's share of the domain's query volume; catalog
 	// weights sum to 1.

@@ -142,6 +142,8 @@ func Movies2008() (*Catalog, error) {
 			Sequel:    m.sequel,
 			Subtitle:  m.subtitle,
 			Nicknames: append([]string(nil), m.nicknames...),
+			Year:      2008,
+			Genre:     movieGenre(m.title, i),
 		}
 		ranks[i] = i // table order == popularity order
 	}

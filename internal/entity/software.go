@@ -120,6 +120,7 @@ func Software2008() (*Catalog, error) {
 			Franchise: s.product,
 			Sequel:    s.version,
 			Nicknames: append([]string(nil), s.nicknames...),
+			Year:      2008, // the D3 feed snapshot era
 		}
 		ranks[i] = i
 	}

@@ -1,0 +1,205 @@
+// Attribute-rewrite acceptance sets: curated per-domain queries with the
+// predicates the /v2 rewrite stage must extract. The sets live here (not
+// in a serving test) so the offline eval suite can score a built
+// snapshot's vocabulary the same way it scores mined synonym precision —
+// and so CI can gate dictbuild output on attribute quality per domain.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"websyn/internal/match"
+)
+
+// WantPredicate is one expected predicate, matched structurally: Column
+// and Op must equal; Value/Text are checked when non-zero. Span/source
+// provenance is deliberately unchecked — the acceptance sets pin the
+// parse semantics, not the lexicon internals.
+type WantPredicate struct {
+	Column string
+	Op     string
+	Value  float64
+	Text   string
+}
+
+// AttributeCase is one acceptance query for a domain's rewrite stage.
+type AttributeCase struct {
+	// Query is the raw query, entity mention and attribute phrases mixed.
+	Query string
+	// WantEntity, when non-empty, is the canonical string the top span
+	// match must resolve to.
+	WantEntity string
+	// WantPredicates are the predicates the rewrite must extract, in
+	// order.
+	WantPredicates []WantPredicate
+	// WantResidual is the expected post-rewrite residual text.
+	WantResidual string
+}
+
+// AttributeSet is one domain's acceptance cases.
+type AttributeSet struct {
+	Domain string
+	Cases  []AttributeCase
+}
+
+// AttributeSets returns the curated per-domain acceptance sets. Each
+// case exercises a distinct predicate family: comparator phrases, bands,
+// discrete values, unit suffixes, exact and fuzzy categorical values.
+func AttributeSets() []AttributeSet {
+	return []AttributeSet{
+		{
+			Domain: "movies",
+			Cases: []AttributeCase{
+				{
+					Query:      "kingdom of the crystal skull 2008 adventure",
+					WantEntity: "Indiana Jones and the Kingdom of the Crystal Skull",
+					WantPredicates: []WantPredicate{
+						{Column: "year", Op: "eq", Value: 2008},
+						{Column: "genre", Op: "eq", Text: "adventure"},
+					},
+				},
+				{
+					Query:      "madagascar 2 comedy dvd",
+					WantEntity: "Madagascar: Escape 2 Africa",
+					WantPredicates: []WantPredicate{
+						{Column: "genre", Op: "eq", Text: "comedy"},
+					},
+					WantResidual: "dvd",
+				},
+				{
+					Query:      "dark knight before 2009",
+					WantEntity: "The Dark Knight",
+					WantPredicates: []WantPredicate{
+						{Column: "year", Op: "lt", Value: 2009},
+					},
+				},
+			},
+		},
+		{
+			Domain: "cameras",
+			Cases: []AttributeCase{
+				{
+					Query:      "cheap canon 40d lens under $500",
+					WantEntity: "Canon EOS 40D",
+					WantPredicates: []WantPredicate{
+						{Column: "price", Op: "lte"}, // band threshold is distribution-derived
+						{Column: "price", Op: "lt", Value: 500},
+					},
+					WantResidual: "lens",
+				},
+				{
+					Query:      "nikon d90 10mp",
+					WantEntity: "Nikon D90",
+					WantPredicates: []WantPredicate{
+						{Column: "megapixels", Op: "eq", Value: 10},
+					},
+				},
+				{
+					// "cannon" is a misspelled categorical value: the brand
+					// column resolves it through the same trigram fuzzy
+					// machinery as entity spans.
+					Query:      "sd1100 is cannon",
+					WantEntity: "Canon PowerShot SD1100 IS",
+					WantPredicates: []WantPredicate{
+						{Column: "brand", Op: "eq", Text: "canon"},
+					},
+				},
+			},
+		},
+		{
+			Domain: "software",
+			Cases: []AttributeCase{
+				{
+					Query:      "turbo tax intuit",
+					WantEntity: "TurboTax 2008",
+					WantPredicates: []WantPredicate{
+						{Column: "vendor", Op: "eq", Text: "intuit"},
+					},
+				},
+				{
+					// A multi-token categorical value.
+					Query:      "fedora 9 red hat",
+					WantEntity: "Fedora 9",
+					WantPredicates: []WantPredicate{
+						{Column: "vendor", Op: "eq", Text: "red hat"},
+					},
+				},
+			},
+		},
+	}
+}
+
+// AttributeReport is the outcome of evaluating one domain's set.
+type AttributeReport struct {
+	Domain string
+	Total  int
+	Passed int
+	// Failures describes each failed case, one line per case.
+	Failures []string
+}
+
+// Pass reports whether every case passed.
+func (r *AttributeReport) Pass() bool { return r.Passed == r.Total }
+
+// EvaluateAttributes runs one domain's acceptance set through run —
+// typically a closure over a match engine or a live /v2/match endpoint —
+// and scores each case on entity resolution, predicate extraction and
+// residual.
+func EvaluateAttributes(set AttributeSet, run func(query string) (*match.Response, error)) AttributeReport {
+	rep := AttributeReport{Domain: set.Domain, Total: len(set.Cases)}
+	for _, c := range set.Cases {
+		res, err := run(c.Query)
+		if err != nil {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%q: %v", c.Query, err))
+			continue
+		}
+		if msg := checkCase(c, res); msg != "" {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%q: %s", c.Query, msg))
+			continue
+		}
+		rep.Passed++
+	}
+	return rep
+}
+
+func checkCase(c AttributeCase, res *match.Response) string {
+	if c.WantEntity != "" {
+		if len(res.Matches) == 0 {
+			return fmt.Sprintf("no entity match, want %q", c.WantEntity)
+		}
+		if got := res.Matches[0].Canonical; got != c.WantEntity {
+			return fmt.Sprintf("entity %q, want %q", got, c.WantEntity)
+		}
+	}
+	if len(res.Attributes) != len(c.WantPredicates) {
+		return fmt.Sprintf("%d predicates %+v, want %d", len(res.Attributes), res.Attributes, len(c.WantPredicates))
+	}
+	for i, want := range c.WantPredicates {
+		got := res.Attributes[i]
+		if got.Column != want.Column || got.Op != want.Op {
+			return fmt.Sprintf("predicate %d = %s %s, want %s %s", i, got.Column, got.Op, want.Column, want.Op)
+		}
+		if want.Value != 0 && got.Value != want.Value {
+			return fmt.Sprintf("predicate %d value = %g, want %g", i, got.Value, want.Value)
+		}
+		if want.Text != "" && got.Text != want.Text {
+			return fmt.Sprintf("predicate %d text = %q, want %q", i, got.Text, want.Text)
+		}
+	}
+	if res.Residual != c.WantResidual {
+		return fmt.Sprintf("residual %q, want %q", res.Residual, c.WantResidual)
+	}
+	return ""
+}
+
+// FormatAttributeReport renders a report as the one-line summary the
+// eval harness prints per domain.
+func FormatAttributeReport(r AttributeReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "attributes[%s]: %d/%d", r.Domain, r.Passed, r.Total)
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "\n  FAIL %s", f)
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"websyn/internal/match"
+)
+
+func TestEvaluateAttributesScoring(t *testing.T) {
+	set := AttributeSet{
+		Domain: "test",
+		Cases: []AttributeCase{
+			{
+				Query:      "good",
+				WantEntity: "Entity A",
+				WantPredicates: []WantPredicate{
+					{Column: "price", Op: "lt", Value: 500},
+				},
+				WantResidual: "rest",
+			},
+			{Query: "bad-entity", WantEntity: "Entity B"},
+			{Query: "bad-predicates", WantPredicates: []WantPredicate{{Column: "year", Op: "eq"}}},
+			{Query: "error"},
+		},
+	}
+	rep := EvaluateAttributes(set, func(q string) (*match.Response, error) {
+		switch q {
+		case "good":
+			return &match.Response{
+				Matches:    []match.SpanMatch{{Canonical: "Entity A"}},
+				Attributes: []match.Predicate{{Column: "price", Op: "lt", Value: 500}},
+				Residual:   "rest",
+			}, nil
+		case "bad-entity":
+			return &match.Response{Matches: []match.SpanMatch{{Canonical: "Entity A"}}}, nil
+		case "bad-predicates":
+			return &match.Response{}, nil
+		default:
+			return nil, fmt.Errorf("boom")
+		}
+	})
+	if rep.Total != 4 || rep.Passed != 1 || len(rep.Failures) != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Pass() {
+		t.Fatal("failing report claimed pass")
+	}
+	out := FormatAttributeReport(rep)
+	if !strings.Contains(out, "attributes[test]: 1/4") || strings.Count(out, "FAIL") != 3 {
+		t.Fatalf("format = %q", out)
+	}
+}
+
+func TestAttributeSetsWellFormed(t *testing.T) {
+	sets := AttributeSets()
+	if len(sets) != 3 {
+		t.Fatalf("%d domains, want movies/cameras/software", len(sets))
+	}
+	seen := map[string]bool{}
+	for _, s := range sets {
+		if seen[s.Domain] {
+			t.Errorf("duplicate domain %q", s.Domain)
+		}
+		seen[s.Domain] = true
+		if len(s.Cases) == 0 {
+			t.Errorf("domain %q has no cases", s.Domain)
+		}
+		for _, c := range s.Cases {
+			if c.Query == "" {
+				t.Errorf("domain %q has an empty query", s.Domain)
+			}
+		}
+	}
+}

@@ -176,11 +176,13 @@ func (r *Router) Run(ctx context.Context) {
 	}
 }
 
-// Mount registers the router's HTTP API: POST /v1/match (same request
-// grammar as a replica), GET /healthz (200 while ≥1 replica is
+// Mount registers the router's HTTP API: POST /v1/match and
+// POST /v2/match (same request grammar as a replica; v2 additionally
+// returns attribute predicates), GET /healthz (200 while ≥1 replica is
 // healthy), GET /statsz.
 func (r *Router) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/match", r.handleV1Match)
+	mux.HandleFunc("POST /v2/match", r.handleV2Match)
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
 	mux.HandleFunc("GET /statsz", r.handleStatsz)
 }
@@ -189,6 +191,19 @@ func (r *Router) Mount(mux *http.ServeMux) {
 var errNoReplica = errors.New("fleet: no replica answered")
 
 func (r *Router) handleV1Match(w http.ResponseWriter, req *http.Request) {
+	r.handleMatch(w, req, false)
+}
+
+// handleV2Match is the v1 scatter with the rewrite stage switched on:
+// the router stamps Rewrite on every item before it hits the wire, so
+// replicas run attribute extraction and the merged results carry
+// predicates. Clients cannot set the flag themselves (it has no JSON
+// tag) — the endpoint is the API version.
+func (r *Router) handleV2Match(w http.ResponseWriter, req *http.Request) {
+	r.handleMatch(w, req, true)
+}
+
+func (r *Router) handleMatch(w http.ResponseWriter, req *http.Request, rewrite bool) {
 	v1req, ok := serve.DecodeV1(w, req, serve.V1BodyLimit(r.cfg.MaxBatch))
 	if !ok {
 		return
@@ -201,6 +216,11 @@ func (r *Router) handleV1Match(w http.ResponseWriter, req *http.Request) {
 	if msg != "" {
 		serve.WriteV1Error(w, status, "%s", msg)
 		return
+	}
+	if rewrite {
+		for i := range items {
+			items[i].Rewrite = true
+		}
 	}
 
 	r.requests.Add(1)

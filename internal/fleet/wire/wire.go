@@ -135,6 +135,20 @@ type Result struct {
 //	B3 — element counts use decoder.count, bounded by both the cap and
 //	     the bytes actually remaining, so a hostile length prefix can
 //	     neither over-allocate nor spin the decode loop past the frame.
+//
+// v2 field tags. The /v2/match surface extends both bodies in place —
+// appended fields, same opcodes, no frame-layer change — and both ends
+// of the hop ship from one tree, so there is no cross-version decode:
+//
+//	request:  ... explain bool | REWRITE bool (v2 switch; the router's
+//	          /v2/match handler sets it) | domains list
+//	result:   ... remainder str | RESIDUAL str (remainder minus the
+//	          spans the predicates consumed) | domain str | timings |
+//	          matches list | trace list | ATTRIBUTES list — count
+//	          (B3: decoder.count), then per predicate:
+//	            column str | op str | value f64 | text str | unit str |
+//	            span str | start, end (B2: decoder.uint scalars) |
+//	            similarity f64 | source str | domain str
 
 // AppendRequest appends the encoding of one routed match request:
 // the match.Request fields plus the fan-out domains list.
@@ -146,6 +160,7 @@ func AppendRequest(dst []byte, req match.Request, domains []string) []byte {
 	dst = binary.AppendUvarint(dst, uint64(req.MaxSpanTokens))
 	dst = appendFloat(dst, req.MinSim)
 	dst = appendBool(dst, req.Explain)
+	dst = appendBool(dst, req.Rewrite)
 	dst = binary.AppendUvarint(dst, uint64(len(domains)))
 	for _, d := range domains {
 		dst = appendString(dst, d)
@@ -164,6 +179,7 @@ func DecodeRequest(b []byte) (match.Request, []string, error) {
 	req.MaxSpanTokens = d.uint(match.MaxMaxSpanTokens)
 	req.MinSim = d.f64()
 	req.Explain = d.bool()
+	req.Rewrite = d.bool()
 	n := d.count(maxListLen)
 	var domains []string
 	if n > 0 && d.err == nil {
@@ -195,6 +211,7 @@ func AppendResult(dst []byte, res Result) []byte {
 	r := res.Response
 	dst = appendString(dst, r.Query)
 	dst = appendString(dst, r.Remainder)
+	dst = appendString(dst, r.Residual)
 	dst = appendString(dst, r.Domain)
 	dst = appendFloat(dst, r.Timing.TotalMicros)
 	dst = appendFloat(dst, r.Timing.SegmentMicros)
@@ -230,6 +247,21 @@ func AppendResult(dst []byte, res Result) []byte {
 		dst = appendString(dst, t.Detail)
 		dst = appendString(dst, t.Domain)
 	}
+	dst = binary.AppendUvarint(dst, uint64(len(r.Attributes)))
+	for i := range r.Attributes {
+		p := &r.Attributes[i]
+		dst = appendString(dst, p.Column)
+		dst = appendString(dst, p.Op)
+		dst = appendFloat(dst, p.Value)
+		dst = appendString(dst, p.Text)
+		dst = appendString(dst, p.Unit)
+		dst = appendString(dst, p.Span)
+		dst = binary.AppendUvarint(dst, uint64(p.Start))
+		dst = binary.AppendUvarint(dst, uint64(p.End))
+		dst = appendFloat(dst, p.Similarity)
+		dst = appendString(dst, p.Source)
+		dst = appendString(dst, p.Domain)
+	}
 	return dst
 }
 
@@ -249,6 +281,7 @@ func DecodeResult(b []byte) (Result, error) {
 	r := &match.Response{}
 	r.Query = d.str()
 	r.Remainder = d.str()
+	r.Residual = d.str()
 	r.Domain = d.str()
 	r.Timing.TotalMicros = d.f64()
 	r.Timing.SegmentMicros = d.f64()
@@ -294,6 +327,25 @@ func DecodeResult(b []byte) (Result, error) {
 			t.Detail = d.str()
 			t.Domain = d.str()
 			r.Trace = append(r.Trace, t)
+		}
+	}
+	np := d.count(maxListLen)
+	if np > 0 && d.err == nil {
+		r.Attributes = make([]match.Predicate, 0, min(np, 64))
+		for i := 0; i < np && d.err == nil; i++ {
+			var p match.Predicate
+			p.Column = d.str()
+			p.Op = d.str()
+			p.Value = d.f64()
+			p.Text = d.str()
+			p.Unit = d.str()
+			p.Span = d.str()
+			p.Start = d.uint(math.MaxInt32)
+			p.End = d.uint(math.MaxInt32)
+			p.Similarity = d.f64()
+			p.Source = d.str()
+			p.Domain = d.str()
+			r.Attributes = append(r.Attributes, p)
 		}
 	}
 	if err := d.finish("result"); err != nil {

@@ -69,6 +69,11 @@ func TestRequestRoundTrip(t *testing.T) {
 			Explain:       true,
 		}, nil},
 		{"federated", match.Request{Query: "canon powershot"}, []string{"movies", "cameras", "*"}},
+		{"v2-rewrite", match.Request{
+			Query:   "cheap canon 40d under $500",
+			Rewrite: true,
+			MinSim:  0.55,
+		}, []string{"cameras"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -110,6 +115,15 @@ func testResult() Result {
 			},
 			Trace: []match.TraceStep{
 				{Stage: "segment", Detail: "2 spans", Domain: "movies"},
+			},
+			Residual: "near",
+			Attributes: []match.Predicate{
+				{Column: "year", Op: "eq", Value: 2008, Span: "2008",
+					Start: 3, End: 4, Source: "value", Domain: "movies"},
+				{Column: "genre", Op: "eq", Text: "adventure", Span: "adventur",
+					Start: 4, End: 5, Similarity: 0.88, Source: "value-fuzzy"},
+				{Column: "price", Op: "lt", Value: 500, Unit: "usd",
+					Span: "under 500", Start: 5, End: 7, Source: "comparator"},
 			},
 		},
 	}
@@ -240,5 +254,22 @@ func TestLargeScalarsNearFrameEnd(t *testing.T) {
 	}
 	if m.Alternates[0].EntityID != 3_999_999 {
 		t.Fatalf("decoded alternate %+v", m.Alternates[0])
+	}
+
+	// The v2 predicate token offsets are scalars too: a last predicate
+	// with offsets beyond the trailing byte count must decode.
+	res = Result{Response: &match.Response{
+		Query: "q",
+		Attributes: []match.Predicate{
+			{Column: "price", Op: "lt", Value: 500, Start: 60_000, End: 60_002, Source: "comparator"},
+		},
+	}}
+	dec, err = DecodeResult(AppendResult(nil, res))
+	if err != nil {
+		t.Fatalf("result with large predicate offsets: %v", err)
+	}
+	p := dec.Response.Attributes[0]
+	if p.Start != 60_000 || p.End != 60_002 {
+		t.Fatalf("decoded predicate %+v", p)
 	}
 }

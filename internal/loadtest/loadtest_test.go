@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"websyn/internal/match"
+	"websyn/internal/rewrite"
 	"websyn/internal/serve"
 )
 
@@ -241,6 +242,69 @@ func TestRunAgainstServer(t *testing.T) {
 	}
 	if rep.ByClass[ClassExact] == 0 {
 		t.Fatalf("no exact queries recorded: %+v", rep.ByClass)
+	}
+}
+
+// TestWorkloadAttributesClass pins the v2 workload class: snapshots
+// without a vocabulary generate pure v1 traffic; snapshots with one add
+// attribute-shaped queries that the runner sends to /v2/match, and a
+// clean run records them without errors.
+func TestWorkloadAttributesClass(t *testing.T) {
+	w, err := FromSnapshot(testSnapshot(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries {
+		if q.Class == ClassAttributes {
+			t.Fatalf("vocabulary-less snapshot generated an attributes query: %+v", q)
+		}
+	}
+
+	snap := testSnapshot()
+	snap.Vocab = &rewrite.Vocabulary{
+		Domain: "movies",
+		Numeric: []rewrite.NumericColumn{{
+			Name: "year", Min: 2008, Max: 2008,
+			Values:      []float64{2008},
+			Comparators: []rewrite.Comparator{{Token: "before", Op: "lt"}},
+		}},
+		Categorical: []rewrite.CategoricalColumn{
+			{Name: "genre", Values: []string{"adventure", "comedy"}},
+		},
+	}
+	wa, err := FromSnapshot(snap, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := 0
+	for _, q := range wa.Queries {
+		if q.Class == ClassAttributes {
+			attrs++
+		}
+	}
+	if attrs == 0 {
+		t.Fatalf("vocabulary snapshot generated no attributes queries: %d total", len(wa.Queries))
+	}
+
+	srv := serve.NewServer(snap, serve.Config{})
+	ts := newTestHTTP(t, srv)
+	rep, err := Run(context.Background(), wa, Options{
+		URL:         ts,
+		QPS:         500,
+		Duration:    300 * time.Millisecond,
+		Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("attributes run failed: errors %d, non-200 %d", rep.Errors, rep.Non200)
+	}
+	if rep.ByClass[ClassAttributes] == 0 {
+		t.Fatalf("no attributes queries recorded: %+v", rep.ByClass)
+	}
+	if _, ok := rep.LatencyByClass[ClassAttributes]; !ok {
+		t.Fatalf("no attributes latency bucket: %+v", rep.LatencyByClass)
 	}
 }
 

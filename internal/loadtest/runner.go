@@ -77,8 +77,8 @@ type Percentiles struct {
 // error or non-200 status).
 func (r *Report) Failed() bool { return r.Errors > 0 || r.Non200 > 0 }
 
-// Run replays the workload against opt.URL's POST /v1/match at the
-// target rate until the duration elapses or ctx is cancelled, whichever
+// Run replays the workload against opt.URL's POST /v1/match (POST
+// /v2/match for the attributes class) at the target rate until the duration elapses or ctx is cancelled, whichever
 // comes first. Pacing is closed-loop with a shared schedule: workers
 // claim send slots in order and sleep until each slot's ideal time, so
 // a slow server back-pressures the generator instead of piling up
@@ -150,8 +150,18 @@ func Run(ctx context.Context, w *Workload, opt Options) (*Report, error) {
 		// Tolerate a trailing slash in the base URL: "host//v1/match"
 		// would 301 and the client would follow with a GET, turning every
 		// request into a 405.
-		endpoint = strings.TrimSuffix(opt.URL, "/") + "/v1/match"
+		base = strings.TrimSuffix(opt.URL, "/")
 	)
+	// The endpoint is per query: the attributes class exercises the v2
+	// rewrite surface, everything else stays on v1.
+	endpoints := make([]string, len(w.Queries))
+	for i, q := range w.Queries {
+		if q.Class == ClassAttributes {
+			endpoints[i] = base + "/v2/match"
+		} else {
+			endpoints[i] = base + "/v1/match"
+		}
+	}
 	for i := range states {
 		states[i] = &workerState{
 			byClass:  make(map[string][]float64),
@@ -185,7 +195,7 @@ func Run(ctx context.Context, w *Workload, opt Options) (*Report, error) {
 				}
 				i := int(n) % len(w.Queries)
 				q := w.Queries[i]
-				req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(bodies[i]))
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoints[i], bytes.NewReader(bodies[i]))
 				if err != nil {
 					errs.Add(1)
 					continue

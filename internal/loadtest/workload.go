@@ -15,16 +15,18 @@ import (
 	"sort"
 	"strings"
 
+	"websyn/internal/rewrite"
 	"websyn/internal/serve"
 	"websyn/internal/textnorm"
 )
 
 // Query classes in a workload.
 const (
-	ClassExact     = "exact"      // dictionary string verbatim (plus intent words)
-	ClassTypo      = "typo"       // one edit away from a dictionary string
-	ClassSpanFuzzy = "span-fuzzy" // concatenated / mangled span only trigrams can bridge
-	ClassNoise     = "noise"      // background traffic matching nothing
+	ClassExact      = "exact"      // dictionary string verbatim (plus intent words)
+	ClassTypo       = "typo"       // one edit away from a dictionary string
+	ClassSpanFuzzy  = "span-fuzzy" // concatenated / mangled span only trigrams can bridge
+	ClassNoise      = "noise"      // background traffic matching nothing
+	ClassAttributes = "attributes" // entity + attribute phrase, sent to /v2/match
 )
 
 // FederatedDomain is the Query.Domain value that makes the runner send
@@ -146,7 +148,8 @@ func fromSnapshot(snap *serve.Snapshot, domain string, seed uint64) (*Workload, 
 	}
 
 	w := &Workload{}
-	for _, src := range sources {
+	phrases := attributePhrases(snap.Vocab)
+	for i, src := range sources {
 		intent := intents[rng.Intn(len(intents))]
 		w.add(src+" "+intent, ClassExact)
 		if typo := mangle(rng, src); typo != "" {
@@ -154,6 +157,9 @@ func fromSnapshot(snap *serve.Snapshot, domain string, seed uint64) (*Workload, 
 		}
 		if cat := concatenate(src); cat != "" {
 			w.add(cat+" "+intents[1+rng.Intn(len(intents)-1)], ClassSpanFuzzy)
+		}
+		if len(phrases) > 0 {
+			w.add(src+" "+phrases[i%len(phrases)], ClassAttributes)
 		}
 	}
 	for _, n := range noise {
@@ -166,6 +172,41 @@ func fromSnapshot(snap *serve.Snapshot, domain string, seed uint64) (*Workload, 
 		w.Queries[i], w.Queries[j] = w.Queries[j], w.Queries[i]
 	})
 	return w, nil
+}
+
+// attributePhrases derives attribute-shaped query fragments from a
+// snapshot's vocabulary: band tokens ("cheap"), comparator phrases
+// ("under 450"), discrete values ("2008") and categorical values
+// ("canon"), so the attributes class exercises every predicate family
+// the /v2 rewrite stage parses. Deterministic: depends only on the
+// vocabulary. Returns nil for snapshots without one (their workloads
+// stay pure v1).
+func attributePhrases(v *rewrite.Vocabulary) []string {
+	if v == nil {
+		return nil
+	}
+	var out []string
+	for _, nc := range v.Numeric {
+		if len(nc.Bands) > 0 {
+			out = append(out, nc.Bands[0].Token)
+		}
+		if len(nc.Comparators) > 0 {
+			mid := (nc.Min + nc.Max) / 2
+			out = append(out, fmt.Sprintf("%s %d", nc.Comparators[0].Token, int(mid)))
+		}
+		if len(nc.Values) > 0 {
+			out = append(out, fmt.Sprintf("%d", int(nc.Values[0])))
+		}
+	}
+	for _, cc := range v.Categorical {
+		for i, val := range cc.Values {
+			if i >= 2 {
+				break
+			}
+			out = append(out, val)
+		}
+	}
+	return out
 }
 
 func (w *Workload) add(text, class string) {

@@ -184,6 +184,15 @@ func (e *Engine) MatchPrepared(req Request, sc *Scratch) (*Response, error) {
 		} else {
 			resp.Remainder = resp.Query
 		}
+		if req.Rewrite && len(sc.matches) == 0 {
+			// Same rule as the reference path: a missed whole-query fuzzy
+			// leaves every token as rewrite fodder.
+			sc.used = sc.used[:0]
+			for range sc.tokens {
+				sc.used = append(sc.used, false)
+			}
+			c.rewritePass(resp)
+		}
 		resp.Trace = c.doneTrace()
 		resp.Timing.TotalMicros = micros(time.Since(start))
 		return resp, nil
@@ -223,6 +232,9 @@ func (e *Engine) MatchPrepared(req Request, sc *Scratch) (*Response, error) {
 		}
 	}
 	resp.Remainder = unsafeString(sc.rest)
+	if req.Rewrite {
+		c.rewritePass(resp)
+	}
 	resp.Trace = c.doneTrace()
 	resp.Timing.TotalMicros = micros(time.Since(start))
 	return resp, nil
@@ -239,6 +251,13 @@ func CloneResponse(r *Response) Response {
 	out := *r
 	out.Query = cloneString(r.Query)
 	out.Remainder = cloneString(r.Remainder)
+	out.Residual = cloneString(r.Residual)
+	if r.Attributes != nil {
+		out.Attributes = append([]Predicate(nil), r.Attributes...)
+		for i := range out.Attributes {
+			out.Attributes[i].Span = cloneString(out.Attributes[i].Span)
+		}
+	}
 	if r.Matches != nil {
 		out.Matches = append([]SpanMatch(nil), r.Matches...)
 		for i := range out.Matches {

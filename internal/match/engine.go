@@ -35,6 +35,9 @@ type Engine struct {
 	// minSim is the threshold the fuzzy index was built with — the floor
 	// any Request.MinSim override is applied above.
 	minSim float64
+	// rewriter, when non-nil, parses remainder tokens into typed
+	// attribute predicates for requests with Rewrite set (see attr.go).
+	rewriter AttributeRewriter
 }
 
 // FuzzyLookup is the trigram-index capability the engine needs; both
@@ -114,6 +117,13 @@ type Request struct {
 	// stamps responses with the domain that answered. Empty means the
 	// caller did not pin a domain.
 	Domain string `json:"domain,omitempty"`
+	// Rewrite enables the structured attribute rewrite stage: after
+	// matching, remainder tokens are parsed into typed predicates
+	// (Response.Attributes) and the post-rewrite Residual is computed.
+	// Not part of the JSON request surface — the API version selects it
+	// (/v2/match sets it, /v1/match never does), which is what keeps v1
+	// responses byte-frozen.
+	Rewrite bool `json:"-"`
 }
 
 // ErrEmptyQuery is returned for requests whose Query field is empty.
@@ -167,6 +177,14 @@ type Response struct {
 	Matches []SpanMatch `json:"matches"`
 	// Remainder is the query text outside all matched spans.
 	Remainder string `json:"remainder"`
+	// Attributes are the typed predicates parsed from remainder tokens,
+	// present only for requests with Rewrite set (the /v2 surface) on an
+	// engine with an attribute rewriter.
+	Attributes []Predicate `json:"attributes,omitempty"`
+	// Residual is the query text left after both matching and attribute
+	// rewrite — Remainder minus the tokens predicates consumed. Only
+	// meaningful (and only emitted) for Rewrite requests.
+	Residual string `json:"residual,omitempty"`
 	// Trace explains every matching decision, present when
 	// Request.Explain was set.
 	Trace []TraceStep `json:"trace,omitempty"`
@@ -304,6 +322,11 @@ func (e *Engine) match(req Request, tokens []string) (Response, error) {
 		if len(resp.Matches) == 0 {
 			resp.Remainder = resp.Query
 		}
+		if req.Rewrite && len(resp.Matches) == 0 {
+			// Whole-query fuzzy consumed nothing: the full token sequence
+			// is remainder, so all of it is rewrite fodder.
+			e.rewritePass(&resp, tokens, make([]bool, len(tokens)), req, addTrace)
+		}
 		resp.Trace = trace
 		resp.Timing.TotalMicros = micros(time.Since(start))
 		return resp, nil
@@ -345,6 +368,9 @@ func (e *Engine) match(req Request, tokens []string) (Response, error) {
 		}
 	}
 	resp.Remainder = strings.Join(rest, " ")
+	if req.Rewrite {
+		e.rewritePass(&resp, tokens, used, req, addTrace)
+	}
 	resp.Trace = trace
 	resp.Timing.TotalMicros = micros(time.Since(start))
 	return resp, nil

@@ -1,0 +1,180 @@
+package rewrite
+
+import (
+	"slices"
+	"sort"
+
+	"websyn/internal/entity"
+	"websyn/internal/textnorm"
+)
+
+// Vocabulary mining: one pass over an entity catalog's structured
+// columns at dictbuild time. Numeric columns keep their value
+// distribution (range, discrete value set when small, quartile bands);
+// categorical columns keep their normalized distinct values. The
+// comparator/unit/band lexicons are attached here too, so the online
+// rewriter is pure table lookup over the serialized vocabulary.
+
+// maxDiscreteValues bounds the per-column discrete value set: columns
+// with more distinct values (street prices) are treated as continuous,
+// so bare query numbers don't accidentally parse as equality predicates.
+const maxDiscreteValues = 32
+
+// Generic comparison words, attached to every numeric column. Value fit
+// against the column range disambiguates which column a comparator
+// targets.
+var genericComparators = []Comparator{
+	{Token: "under", Op: "lt"},
+	{Token: "below", Op: "lt"},
+	{Token: "over", Op: "gt"},
+	{Token: "above", Op: "gt"},
+}
+
+// Temporal comparison words, attached to year-shaped columns only.
+var yearComparators = []Comparator{
+	{Token: "before", Op: "lt"},
+	{Token: "after", Op: "gt"},
+	{Token: "since", Op: "gte"},
+}
+
+// Price band tokens: vague-quantity words resolved against the mined
+// price distribution's quartiles.
+var (
+	cheapTokens     = []string{"cheap", "budget", "affordable"}
+	expensiveTokens = []string{"expensive", "premium", "highend"}
+)
+
+// numericSpec drives mining of one numeric column.
+type numericSpec struct {
+	name, unit string
+	unitTokens []string
+	suffixes   []string
+	yearLike   bool // attach before/after/since
+	priceBands bool // attach cheap/expensive quartile bands
+	get        func(*entity.Entity) float64
+}
+
+// categoricalSpec drives mining of one categorical column.
+type categoricalSpec struct {
+	name string
+	get  func(*entity.Entity) string
+}
+
+// domainSchema lists the columns mined per entity kind, in predicate
+// priority order.
+func domainSchema(kind entity.Kind) (num []numericSpec, cat []categoricalSpec) {
+	year := numericSpec{
+		name: "year", yearLike: true,
+		get: func(e *entity.Entity) float64 { return float64(e.Year) },
+	}
+	switch kind {
+	case entity.Movie:
+		num = []numericSpec{year}
+		cat = []categoricalSpec{{name: "genre", get: func(e *entity.Entity) string { return e.Genre }}}
+	case entity.Camera:
+		num = []numericSpec{
+			{
+				name: "price", unit: "usd", priceBands: true,
+				unitTokens: []string{"dollars", "dollar", "usd", "bucks"},
+				get:        func(e *entity.Entity) float64 { return e.PriceUSD },
+			},
+			{
+				name: "megapixels", unit: "mp",
+				unitTokens: []string{"mp", "megapixel", "megapixels"},
+				suffixes:   []string{"mp"},
+				get:        func(e *entity.Entity) float64 { return e.Megapixels },
+			},
+			{
+				name: "zoom", unit: "x",
+				unitTokens: []string{"zoom"},
+				suffixes:   []string{"x"},
+				get:        func(e *entity.Entity) float64 { return e.ZoomX },
+			},
+		}
+		cat = []categoricalSpec{{name: "brand", get: func(e *entity.Entity) string { return e.Brand }}}
+	case entity.Software:
+		num = []numericSpec{
+			year,
+			{
+				name:       "version",
+				unitTokens: []string{"version"},
+				get:        func(e *entity.Entity) float64 { return float64(e.Sequel) },
+			},
+		}
+		cat = []categoricalSpec{{name: "vendor", get: func(e *entity.Entity) string { return e.Brand }}}
+	}
+	return num, cat
+}
+
+// Mine builds the attribute vocabulary for one catalog. domain names the
+// vertical as the serving tier knows it ("movies", "cameras",
+// "software"). Columns whose values are entirely absent are dropped.
+func Mine(domain string, cat *entity.Catalog) *Vocabulary {
+	v := &Vocabulary{Domain: domain}
+	numSpecs, catSpecs := domainSchema(cat.Kind())
+	for _, spec := range numSpecs {
+		var vals []float64
+		for _, e := range cat.All() {
+			if f := spec.get(e); f != 0 {
+				vals = append(vals, f)
+			}
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		sort.Float64s(vals)
+		nc := NumericColumn{
+			Name:       spec.name,
+			Unit:       spec.unit,
+			Min:        vals[0],
+			Max:        vals[len(vals)-1],
+			UnitTokens: spec.unitTokens,
+			Suffixes:   spec.suffixes,
+		}
+		distinct := slices.Compact(slices.Clone(vals))
+		if len(distinct) <= maxDiscreteValues {
+			nc.Values = distinct
+		}
+		nc.Comparators = append(nc.Comparators, genericComparators...)
+		if spec.yearLike {
+			nc.Comparators = append(nc.Comparators, yearComparators...)
+		}
+		if spec.priceBands && nc.Min < nc.Max {
+			lo, hi := quartiles(vals)
+			for _, t := range cheapTokens {
+				nc.Bands = append(nc.Bands, Band{Token: t, Op: "lte", Value: lo})
+			}
+			for _, t := range expensiveTokens {
+				nc.Bands = append(nc.Bands, Band{Token: t, Op: "gte", Value: hi})
+			}
+		}
+		v.Numeric = append(v.Numeric, nc)
+	}
+	for _, spec := range catSpecs {
+		seen := map[string]bool{}
+		var vals []string
+		for _, e := range cat.All() {
+			n := textnorm.Normalize(spec.get(e))
+			if n == "" || seen[n] {
+				continue
+			}
+			seen[n] = true
+			vals = append(vals, n)
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		sort.Strings(vals)
+		v.Categorical = append(v.Categorical, CategoricalColumn{Name: spec.name, Values: vals})
+	}
+	if len(v.Numeric) == 0 && len(v.Categorical) == 0 {
+		return nil
+	}
+	return v
+}
+
+// quartiles returns the first and third quartile of sorted values.
+func quartiles(sorted []float64) (q1, q3 float64) {
+	n := len(sorted)
+	return sorted[n/4], sorted[(3*n)/4]
+}

@@ -1,0 +1,260 @@
+package rewrite
+
+import (
+	"reflect"
+	"testing"
+
+	"websyn/internal/entity"
+	"websyn/internal/match"
+)
+
+func minedVocab(t *testing.T, domain string, build func() (*entity.Catalog, error)) *Vocabulary {
+	t.Helper()
+	cat, err := build()
+	if err != nil {
+		t.Fatalf("catalog: %v", err)
+	}
+	v := Mine(domain, cat)
+	if v == nil {
+		t.Fatalf("Mine(%q) returned nil vocabulary", domain)
+	}
+	return v
+}
+
+func TestMineCameras(t *testing.T) {
+	v := minedVocab(t, "cameras", entity.Cameras2008)
+	if v.Domain != "cameras" {
+		t.Errorf("domain = %q", v.Domain)
+	}
+	names := []string{}
+	for _, nc := range v.Numeric {
+		names = append(names, nc.Name)
+	}
+	if !reflect.DeepEqual(names, []string{"price", "megapixels", "zoom"}) {
+		t.Fatalf("numeric columns = %v", names)
+	}
+	price := v.Numeric[0]
+	if price.Min <= 0 || price.Max <= price.Min {
+		t.Errorf("price range [%g, %g] not a spread", price.Min, price.Max)
+	}
+	if price.Values != nil {
+		t.Errorf("price should be continuous, got %d discrete values", len(price.Values))
+	}
+	if len(price.Bands) == 0 {
+		t.Errorf("price has no bands")
+	}
+	for _, b := range price.Bands {
+		if b.Token == "cheap" && (b.Op != "lte" || b.Value <= price.Min || b.Value >= price.Max) {
+			t.Errorf("cheap band %+v not an interior lte threshold", b)
+		}
+	}
+	if len(v.Categorical) != 1 || v.Categorical[0].Name != "brand" {
+		t.Fatalf("categorical = %+v", v.Categorical)
+	}
+	brands := v.Categorical[0].Values
+	found := false
+	for _, b := range brands {
+		if b == "canon" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("brand values %v missing canon", brands)
+	}
+}
+
+func TestMineMovies(t *testing.T) {
+	v := minedVocab(t, "movies", entity.Movies2008)
+	if len(v.Numeric) != 1 || v.Numeric[0].Name != "year" {
+		t.Fatalf("numeric = %+v", v.Numeric)
+	}
+	year := v.Numeric[0]
+	if !reflect.DeepEqual(year.Values, []float64{2008}) {
+		t.Errorf("year values = %v, want [2008]", year.Values)
+	}
+	hasSince := false
+	for _, c := range year.Comparators {
+		if c.Token == "since" && c.Op == "gte" {
+			hasSince = true
+		}
+	}
+	if !hasSince {
+		t.Errorf("year comparators %v missing since/gte", year.Comparators)
+	}
+	if len(v.Categorical) != 1 || v.Categorical[0].Name != "genre" {
+		t.Fatalf("categorical = %+v", v.Categorical)
+	}
+	hasAdventure := false
+	for _, g := range v.Categorical[0].Values {
+		if g == "adventure" {
+			hasAdventure = true
+		}
+	}
+	if !hasAdventure {
+		t.Errorf("genres %v missing adventure", v.Categorical[0].Values)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		domain string
+		build  func() (*entity.Catalog, error)
+	}{
+		{"movies", entity.Movies2008},
+		{"cameras", entity.Cameras2008},
+		{"software", entity.Software2008},
+	} {
+		v := minedVocab(t, tc.domain, tc.build)
+		blob := v.AppendBinary(nil)
+		got, err := DecodeBinary(blob)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.domain, err)
+		}
+		if !reflect.DeepEqual(v, got) {
+			t.Errorf("%s: round-trip mismatch\n in: %+v\nout: %+v", tc.domain, v, got)
+		}
+		// Re-encode determinism.
+		if blob2 := got.AppendBinary(nil); !reflect.DeepEqual(blob, blob2) {
+			t.Errorf("%s: re-encode differs", tc.domain)
+		}
+	}
+}
+
+func TestCodecRejectsCorrupt(t *testing.T) {
+	v := minedVocab(t, "movies", entity.Movies2008)
+	blob := v.AppendBinary(nil)
+	if _, err := DecodeBinary(blob[:len(blob)/2]); err == nil {
+		t.Errorf("truncated blob decoded without error")
+	}
+	if _, err := DecodeBinary(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Errorf("trailing garbage decoded without error")
+	}
+	if _, err := DecodeBinary([]byte{99}); err == nil {
+		t.Errorf("unknown codec version decoded without error")
+	}
+}
+
+// rewriteTokens runs the parser over a raw token list with no tokens
+// pre-consumed.
+func rewriteTokens(r *Rewriter, tokens ...string) []match.Predicate {
+	used := make([]bool, len(tokens))
+	return r.RewriteTokens(tokens, used, 0, nil)
+}
+
+func TestRewriteCameraShapes(t *testing.T) {
+	v := minedVocab(t, "cameras", entity.Cameras2008)
+	r := NewRewriter(v, 0)
+
+	// "cheap ... under 500": band + comparator, "lens" residual.
+	tokens := []string{"cheap", "lens", "under", "500"}
+	used := make([]bool, len(tokens))
+	preds := r.RewriteTokens(tokens, used, 0, nil)
+	if len(preds) != 2 {
+		t.Fatalf("predicates = %+v, want 2", preds)
+	}
+	if p := preds[0]; p.Column != "price" || p.Op != "lte" || p.Source != "band" || p.Span != "cheap" {
+		t.Errorf("band predicate = %+v", p)
+	}
+	if p := preds[1]; p.Column != "price" || p.Op != "lt" || p.Value != 500 || p.Source != "comparator" || p.Span != "under 500" {
+		t.Errorf("comparator predicate = %+v", p)
+	}
+	if used[1] {
+		t.Errorf("residual token %q consumed", tokens[1])
+	}
+	for _, i := range []int{0, 2, 3} {
+		if !used[i] {
+			t.Errorf("token %q not consumed", tokens[i])
+		}
+	}
+
+	// Fused suffix and unit-token shapes.
+	if preds := rewriteTokens(r, "10mp"); len(preds) != 1 || preds[0].Column != "megapixels" || preds[0].Op != "eq" || preds[0].Value != 10 {
+		t.Errorf("10mp = %+v", preds)
+	}
+	if preds := rewriteTokens(r, "under", "12x"); len(preds) != 1 || preds[0].Column != "zoom" || preds[0].Op != "lt" || preds[0].Value != 12 {
+		t.Errorf("under 12x = %+v", preds)
+	}
+	if preds := rewriteTokens(r, "300", "dollars"); len(preds) != 1 || preds[0].Column != "price" || preds[0].Op != "eq" || preds[0].Value != 300 {
+		t.Errorf("300 dollars = %+v", preds)
+	}
+	if preds := rewriteTokens(r, "under", "300", "dollars"); len(preds) != 1 || preds[0].Column != "price" || preds[0].Op != "lt" || preds[0].Span != "under 300 dollars" {
+		t.Errorf("under 300 dollars = %+v", preds)
+	}
+
+	// Categorical: exact and fuzzy brand.
+	if preds := rewriteTokens(r, "canon"); len(preds) != 1 || preds[0].Column != "brand" || preds[0].Text != "canon" || preds[0].Source != "value" {
+		t.Errorf("canon = %+v", preds)
+	}
+	preds = rewriteTokens(r, "cannon")
+	if len(preds) != 1 || preds[0].Column != "brand" || preds[0].Text != "canon" || preds[0].Source != "value-fuzzy" {
+		t.Fatalf("cannon = %+v", preds)
+	}
+	if preds[0].Similarity <= 0 || preds[0].Similarity >= 1 {
+		t.Errorf("cannon similarity = %g", preds[0].Similarity)
+	}
+	if preds[0].Span != "cannon" {
+		t.Errorf("cannon span = %q, want the query surface", preds[0].Span)
+	}
+}
+
+func TestRewriteMovieShapes(t *testing.T) {
+	v := minedVocab(t, "movies", entity.Movies2008)
+	r := NewRewriter(v, 0)
+
+	preds := rewriteTokens(r, "2008", "adventure")
+	if len(preds) != 2 {
+		t.Fatalf("predicates = %+v, want 2", preds)
+	}
+	if p := preds[0]; p.Column != "year" || p.Op != "eq" || p.Value != 2008 || p.Source != "value" {
+		t.Errorf("year predicate = %+v", p)
+	}
+	if p := preds[1]; p.Column != "genre" || p.Op != "eq" || p.Text != "adventure" || p.Source != "value" {
+		t.Errorf("genre predicate = %+v", p)
+	}
+
+	if preds := rewriteTokens(r, "before", "2010"); len(preds) != 1 || preds[0].Column != "year" || preds[0].Op != "lt" || preds[0].Value != 2010 {
+		t.Errorf("before 2010 = %+v", preds)
+	}
+	// A number that fits no column range parses nothing.
+	if preds := rewriteTokens(r, "under", "500"); len(preds) != 0 {
+		t.Errorf("movies under 500 = %+v, want none", preds)
+	}
+}
+
+func TestRewriteMinSimFloor(t *testing.T) {
+	v := minedVocab(t, "cameras", entity.Cameras2008)
+	r := NewRewriter(v, 0)
+	used := make([]bool, 1)
+	// A raised per-request floor suppresses the fuzzy brand hit.
+	if preds := r.RewriteTokens([]string{"cannon"}, used, 0.99, nil); len(preds) != 0 {
+		t.Errorf("cannon at min_sim 0.99 = %+v, want none", preds)
+	}
+}
+
+func TestRewriteExplain(t *testing.T) {
+	v := minedVocab(t, "cameras", entity.Cameras2008)
+	r := NewRewriter(v, 0)
+	var lines []string
+	explain := func(format string, args ...any) { lines = append(lines, format) }
+	used := make([]bool, 3)
+	r.RewriteTokens([]string{"cheap", "weird", "canon"}, used, 0, explain)
+	if len(lines) != 3 {
+		t.Fatalf("explain lines = %d, want 3 (two predicates, one residual)", len(lines))
+	}
+}
+
+func TestRewriterDeterministic(t *testing.T) {
+	v := minedVocab(t, "cameras", entity.Cameras2008)
+	a := NewRewriter(v, 0)
+	b := NewRewriter(v, 0)
+	for _, toks := range [][]string{
+		{"cheap", "cannon", "under", "500"},
+		{"10mp", "5x", "nikon"},
+	} {
+		pa := rewriteTokens(a, toks...)
+		pb := rewriteTokens(b, toks...)
+		if !reflect.DeepEqual(pa, pb) {
+			t.Errorf("nondeterministic parse of %v:\n%+v\n%+v", toks, pa, pb)
+		}
+	}
+}

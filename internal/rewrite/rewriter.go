@@ -1,0 +1,369 @@
+package rewrite
+
+import (
+	"strconv"
+	"strings"
+
+	"websyn/internal/match"
+)
+
+// Rewriter is the compiled, online form of a Vocabulary: lexicon maps
+// for comparator/band/unit tokens plus a trigram-indexed dictionary of
+// categorical values. It implements match.AttributeRewriter, is
+// immutable after construction and safe for concurrent use — the serving
+// tier builds one per generation and shares it across requests.
+type Rewriter struct {
+	v *Vocabulary
+
+	comps    map[string][]compRef // comparator token -> applicable columns
+	bands    map[string][]bandRef // band token -> resolved predicates
+	units    map[string]int       // unit token -> numeric column index
+	suffixes []suffixRef          // fused numeric suffixes, longest first
+
+	// Categorical value matching: a token-trie dictionary for exact
+	// (possibly multi-token) values and the same trigram machinery the
+	// entity matcher uses for fuzzy ones, so "cannon" still resolves to
+	// brand=canon.
+	dict         *match.Dictionary
+	fuzzy        *match.FuzzyIndex
+	maxValueSpan int
+	minSim       float64
+}
+
+type compRef struct {
+	col int
+	op  string
+}
+
+type bandRef struct {
+	col   int
+	op    string
+	value float64
+}
+
+type suffixRef struct {
+	suffix string
+	col    int
+}
+
+// catIDStride packs (column index, value index) into the dictionary's
+// integer entity ID: id = col*catIDStride + value.
+const catIDStride = 1 << 20
+
+const (
+	// defaultValueMinSim is the fuzzy categorical acceptance floor when
+	// the caller passes none — matching the package-wide trigram default.
+	defaultValueMinSim = 0.55
+	// minFuzzyValueLen is the shortest token offered to the trigram
+	// index; shorter tokens carry too few grams to rank meaningfully.
+	minFuzzyValueLen = 4
+	// maxParseDigits bounds numeric token width — longer digit runs are
+	// identifiers, not quantities.
+	maxParseDigits = 10
+)
+
+// NewRewriter compiles a vocabulary. minSim is the fuzzy categorical
+// acceptance floor; <= 0 falls back to the package default.
+func NewRewriter(v *Vocabulary, minSim float64) *Rewriter {
+	if minSim <= 0 {
+		minSim = defaultValueMinSim
+	}
+	r := &Rewriter{
+		v:      v,
+		comps:  map[string][]compRef{},
+		bands:  map[string][]bandRef{},
+		units:  map[string]int{},
+		minSim: minSim,
+		dict:   match.NewDictionary(),
+	}
+	for ci := range v.Numeric {
+		col := &v.Numeric[ci]
+		for _, c := range col.Comparators {
+			r.comps[c.Token] = append(r.comps[c.Token], compRef{col: ci, op: c.Op})
+		}
+		for _, b := range col.Bands {
+			r.bands[b.Token] = append(r.bands[b.Token], bandRef{col: ci, op: b.Op, value: b.Value})
+		}
+		for _, u := range col.UnitTokens {
+			if _, dup := r.units[u]; !dup {
+				r.units[u] = ci
+			}
+		}
+		for _, s := range col.Suffixes {
+			r.suffixes = append(r.suffixes, suffixRef{suffix: s, col: ci})
+		}
+	}
+	// Longest suffix first, so a hypothetical "mpx" would never be
+	// shadowed by "x".
+	for i := 1; i < len(r.suffixes); i++ {
+		for j := i; j > 0 && len(r.suffixes[j].suffix) > len(r.suffixes[j-1].suffix); j-- {
+			r.suffixes[j], r.suffixes[j-1] = r.suffixes[j-1], r.suffixes[j]
+		}
+	}
+	for ci := range v.Categorical {
+		col := &v.Categorical[ci]
+		for vi, val := range col.Values {
+			r.dict.Add(val, match.Entry{EntityID: ci*catIDStride + vi, Score: 1, Source: col.Name})
+			if n := 1 + strings.Count(val, " "); n > r.maxValueSpan {
+				r.maxValueSpan = n
+			}
+		}
+	}
+	if r.dict.Len() > 0 {
+		r.fuzzy = r.dict.NewFuzzyIndex(minSim)
+	}
+	return r
+}
+
+// Vocabulary returns the compiled vocabulary.
+func (r *Rewriter) Vocabulary() *Vocabulary { return r.v }
+
+// RewriteTokens implements match.AttributeRewriter: one left-to-right
+// pass over the unused tokens, emitting predicates and marking every
+// consumed token in used. See the interface contract for aliasing rules —
+// every Span is freshly built, Text/Column/Op/Unit are vocabulary-owned.
+func (r *Rewriter) RewriteTokens(tokens []string, used []bool, minSim float64, explain func(format string, args ...any)) []match.Predicate {
+	var out []match.Predicate
+	for i := 0; i < len(tokens); i++ {
+		if used[i] {
+			continue
+		}
+		if p, end, ok := r.parseAt(tokens, used, i, minSim); ok {
+			for j := i; j < end; j++ {
+				used[j] = true
+			}
+			if explain != nil {
+				explainPredicate(explain, &p)
+			}
+			out = append(out, p)
+			i = end - 1
+			continue
+		}
+		if explain != nil {
+			explain("token %q: no attribute parse, stays residual", tokens[i])
+		}
+	}
+	return out
+}
+
+// parseAt tries every predicate shape at token i, returning the
+// predicate and the exclusive end of the consumed window.
+func (r *Rewriter) parseAt(tokens []string, used []bool, i int, minSim float64) (match.Predicate, int, bool) {
+	tok := tokens[i]
+	// Comparator word followed by a quantity: "under 500", "before 2010",
+	// "under 10mp", "under 500 dollars".
+	if refs, ok := r.comps[tok]; ok && i+1 < len(tokens) && !used[i+1] {
+		if p, end, ok2 := r.parseComparator(tokens, used, i, refs); ok2 {
+			return p, end, true
+		}
+	}
+	// Band word: "cheap", "premium". First fitting column (vocabulary
+	// order) wins.
+	if brs, ok := r.bands[tok]; ok && len(brs) > 0 {
+		b := brs[0]
+		col := &r.v.Numeric[b.col]
+		return match.Predicate{
+			Column: col.Name, Op: b.op, Value: b.value, Unit: col.Unit,
+			Span: cloneJoin(tokens[i : i+1]), Start: i, End: i + 1, Source: "band",
+		}, i + 1, true
+	}
+	// Quantity shapes: fused suffix ("10mp"), number + unit token
+	// ("500 dollars"), bare discrete value ("2008").
+	if num, sfxCol, fused, isNum := r.parseQuantity(tok); isNum {
+		if fused {
+			col := &r.v.Numeric[sfxCol]
+			return match.Predicate{
+				Column: col.Name, Op: "eq", Value: num, Unit: col.Unit,
+				Span: cloneJoin(tokens[i : i+1]), Start: i, End: i + 1, Source: "unit",
+			}, i + 1, true
+		}
+		if i+1 < len(tokens) && !used[i+1] {
+			if ci, ok := r.units[tokens[i+1]]; ok {
+				col := &r.v.Numeric[ci]
+				return match.Predicate{
+					Column: col.Name, Op: "eq", Value: num, Unit: col.Unit,
+					Span: cloneJoin(tokens[i : i+2]), Start: i, End: i + 2, Source: "unit",
+				}, i + 2, true
+			}
+		}
+		if ci, ok := r.discreteFit(num); ok {
+			col := &r.v.Numeric[ci]
+			return match.Predicate{
+				Column: col.Name, Op: "eq", Value: num, Unit: col.Unit,
+				Span: cloneJoin(tokens[i : i+1]), Start: i, End: i + 1, Source: "value",
+			}, i + 1, true
+		}
+	}
+	// Categorical value: widest exact window first, then a single-token
+	// fuzzy resolution through the trigram index.
+	if r.dict.Len() > 0 {
+		run := i
+		for run < len(tokens) && !used[run] && run-i < r.maxValueSpan {
+			run++
+		}
+		for l := run - i; l >= 1; l-- {
+			span := cloneJoin(tokens[i : i+l])
+			if entries := r.dict.Lookup(span); len(entries) > 0 {
+				name, val := r.catValue(entries[0].EntityID)
+				return match.Predicate{
+					Column: name, Op: "eq", Text: val,
+					Span: span, Start: i, End: i + l, Source: "value",
+				}, i + l, true
+			}
+		}
+		if r.fuzzy != nil && len(tok) >= minFuzzyValueLen {
+			if hits := r.fuzzy.Lookup(tok, 1); len(hits) > 0 && len(hits[0].Entries) > 0 {
+				if h := hits[0]; minSim <= 0 || h.Similarity >= minSim {
+					name, val := r.catValue(h.Entries[0].EntityID)
+					return match.Predicate{
+						Column: name, Op: "eq", Text: val, Similarity: h.Similarity,
+						Span: cloneJoin(tokens[i : i+1]), Start: i, End: i + 1, Source: "value-fuzzy",
+					}, i + 1, true
+				}
+			}
+		}
+	}
+	return match.Predicate{}, 0, false
+}
+
+// parseComparator resolves a comparator word against the quantity that
+// follows it. Column selection: a fused suffix or trailing unit token
+// pins the column; otherwise the first comparator column (vocabulary
+// order) whose widened value range fits the number wins.
+func (r *Rewriter) parseComparator(tokens []string, used []bool, i int, refs []compRef) (match.Predicate, int, bool) {
+	num, sfxCol, fused, isNum := r.parseQuantity(tokens[i+1])
+	if !isNum {
+		return match.Predicate{}, 0, false
+	}
+	end := i + 2
+	col := -1
+	if fused {
+		col = sfxCol
+	} else if end < len(tokens) && !used[end] {
+		if ci, ok := r.units[tokens[end]]; ok {
+			col = ci
+			end++
+		}
+	}
+	var op string
+	if col >= 0 {
+		for _, ref := range refs {
+			if ref.col == col {
+				op = ref.op
+				break
+			}
+		}
+		if op == "" {
+			return match.Predicate{}, 0, false
+		}
+	} else {
+		for _, ref := range refs {
+			if r.rangeFits(ref.col, num) {
+				col, op = ref.col, ref.op
+				break
+			}
+		}
+		if col < 0 {
+			return match.Predicate{}, 0, false
+		}
+	}
+	nc := &r.v.Numeric[col]
+	return match.Predicate{
+		Column: nc.Name, Op: op, Value: num, Unit: nc.Unit,
+		Span: cloneJoin(tokens[i:end]), Start: i, End: end, Source: "comparator",
+	}, end, true
+}
+
+// parseQuantity parses a quantity token: a pure digit run ("500") or a
+// digit run fused with a known unit suffix ("10mp", "3x").
+func (r *Rewriter) parseQuantity(tok string) (num float64, suffixCol int, fused, ok bool) {
+	for _, ref := range r.suffixes {
+		if body, cut := strings.CutSuffix(tok, ref.suffix); cut && body != "" {
+			if f, digits := parseDigits(body); digits {
+				return f, ref.col, true, true
+			}
+		}
+	}
+	if f, digits := parseDigits(tok); digits {
+		return f, 0, false, true
+	}
+	return 0, 0, false, false
+}
+
+// parseDigits parses a bounded pure-digit token.
+func parseDigits(s string) (float64, bool) {
+	if s == "" || len(s) > maxParseDigits {
+		return 0, false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	return f, err == nil
+}
+
+// rangeFits reports whether num plausibly targets the column: within the
+// mined range widened by 2x on each side, absorbing constraints slightly
+// outside the catalog's own spread ("under $3000" on a $2200-max feed).
+func (r *Rewriter) rangeFits(col int, num float64) bool {
+	c := &r.v.Numeric[col]
+	return num >= c.Min/2 && num <= c.Max*2
+}
+
+// discreteFit finds the first numeric column whose discrete value set
+// contains num exactly.
+func (r *Rewriter) discreteFit(num float64) (int, bool) {
+	for ci := range r.v.Numeric {
+		for _, v := range r.v.Numeric[ci].Values {
+			if v == num {
+				return ci, true
+			}
+		}
+	}
+	return -1, false
+}
+
+// catValue decodes a categorical dictionary entity ID.
+func (r *Rewriter) catValue(id int) (column, value string) {
+	col := &r.v.Categorical[id/catIDStride]
+	return col.Name, col.Values[id%catIDStride]
+}
+
+// explainPredicate emits one trace line per accepted predicate.
+func explainPredicate(explain func(format string, args ...any), p *match.Predicate) {
+	if p.Text != "" {
+		if p.Source == "value-fuzzy" {
+			explain("span %q [%d,%d) -> %s = %q (sim %.3f, %s)", p.Span, p.Start, p.End, p.Column, p.Text, p.Similarity, p.Source)
+		} else {
+			explain("span %q [%d,%d) -> %s = %q (%s)", p.Span, p.Start, p.End, p.Column, p.Text, p.Source)
+		}
+		return
+	}
+	explain("span %q [%d,%d) -> %s %s %g%s (%s)", p.Span, p.Start, p.End, p.Column, p.Op, p.Value, unitSuffix(p.Unit), p.Source)
+}
+
+func unitSuffix(unit string) string {
+	if unit == "" {
+		return ""
+	}
+	return " " + unit
+}
+
+// cloneJoin joins tokens with single spaces into a freshly allocated
+// string — never aliasing the inputs, which may live in a match arena.
+func cloneJoin(tokens []string) string {
+	n := 0
+	for _, t := range tokens {
+		n += len(t) + 1
+	}
+	b := make([]byte, 0, n)
+	for i, t := range tokens {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, t...)
+	}
+	return string(b)
+}

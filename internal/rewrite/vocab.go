@@ -1,0 +1,295 @@
+// Package rewrite turns the unmatched remainder of a query into typed
+// attribute predicates against the entity table's columns — the
+// structured-query-rewrite stage the paper's introduction motivates
+// ("cheap canon 40d lens under $500" is an entity mention plus a price
+// constraint, not an entity mention plus noise).
+//
+// A per-domain Vocabulary is mined at dictbuild time from the entity
+// catalog (mine.go): numeric columns yield ranges, discrete value sets,
+// unit/comparator lexicons and distribution bands; categorical columns
+// yield value dictionaries. The vocabulary serializes into the WSNP v4
+// snapshot section and compiles at load time into a Rewriter
+// (rewriter.go) that the match engine consults post-match on remainder
+// tokens. Categorical values are matched through the same trigram fuzzy
+// machinery as entities, so "cannon" still hits brand=canon.
+package rewrite
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Vocabulary is one domain's attribute vocabulary: everything the
+// rewriter needs to parse remainder tokens into predicates, in a pure
+// data form that serializes into the snapshot.
+type Vocabulary struct {
+	// Domain is the vertical the vocabulary was mined from ("movies",
+	// "cameras", "software").
+	Domain string
+	// Numeric columns, in priority order: when a bare comparator value
+	// fits several columns' ranges, the earliest fitting column wins.
+	Numeric []NumericColumn
+	// Categorical columns; values are matched exactly and (single-token
+	// values) through the trigram index.
+	Categorical []CategoricalColumn
+}
+
+// NumericColumn describes one numeric entity-table column.
+type NumericColumn struct {
+	// Name is the column name emitted in predicates ("price", "year").
+	Name string
+	// Unit is the canonical unit tag stamped on predicates ("usd",
+	// "mp", "x"); empty for unitless columns.
+	Unit string
+	// Min and Max span the mined value distribution.
+	Min, Max float64
+	// Values holds the sorted distinct column values when the column is
+	// discrete (few distinct values, e.g. year); nil for continuous
+	// columns. A bare query number equal to a member parses as an
+	// equality predicate.
+	Values []float64
+	// UnitTokens are standalone tokens recognized as this column's unit
+	// ("dollars", "usd", "megapixels"). A number followed by one parses
+	// as an equality predicate.
+	UnitTokens []string
+	// Suffixes are fused numeric suffixes ("mp", "x"): a token like
+	// "10mp" parses as an equality predicate on this column.
+	Suffixes []string
+	// Bands are vague-quantity tokens resolved against the value
+	// distribution ("cheap" -> price <= first quartile).
+	Bands []Band
+	// Comparators are the comparison words that can target this column
+	// ("under" -> lt; year additionally "before"/"after"/"since").
+	Comparators []Comparator
+}
+
+// Band is one vague-quantity token with its resolved predicate shape.
+type Band struct {
+	Token string  // query token ("cheap")
+	Op    string  // "lte" or "gte"
+	Value float64 // distribution-derived threshold
+}
+
+// Comparator is one comparison word.
+type Comparator struct {
+	Token string // query token ("under")
+	Op    string // "lt", "lte", "gt" or "gte"
+}
+
+// CategoricalColumn describes one categorical entity-table column.
+type CategoricalColumn struct {
+	// Name is the column name emitted in predicates ("brand", "genre").
+	Name string
+	// Values are the normalized distinct column values, sorted.
+	Values []string
+}
+
+// Codec limits. The vocabulary rides inside a WSNP snapshot; its blob is
+// length-prefixed there, and these bounds keep a corrupt prefix from
+// driving allocations.
+const (
+	vocabCodecVersion = 1
+	maxVocabString    = 1 << 12
+	maxVocabList      = 1 << 16
+)
+
+// AppendBinary serializes the vocabulary, appending to dst. The format
+// is a version byte followed by uvarint-framed strings, lists and
+// big-endian float64s — the same primitive grammar as the surrounding
+// snapshot, kept self-contained so the snapshot codec treats the
+// vocabulary as one opaque section.
+func (v *Vocabulary) AppendBinary(dst []byte) []byte {
+	dst = append(dst, vocabCodecVersion)
+	dst = appendString(dst, v.Domain)
+	dst = binary.AppendUvarint(dst, uint64(len(v.Numeric)))
+	for i := range v.Numeric {
+		nc := &v.Numeric[i]
+		dst = appendString(dst, nc.Name)
+		dst = appendString(dst, nc.Unit)
+		dst = appendFloat(dst, nc.Min)
+		dst = appendFloat(dst, nc.Max)
+		dst = binary.AppendUvarint(dst, uint64(len(nc.Values)))
+		for _, f := range nc.Values {
+			dst = appendFloat(dst, f)
+		}
+		dst = appendStrings(dst, nc.UnitTokens)
+		dst = appendStrings(dst, nc.Suffixes)
+		dst = binary.AppendUvarint(dst, uint64(len(nc.Bands)))
+		for _, b := range nc.Bands {
+			dst = appendString(dst, b.Token)
+			dst = appendString(dst, b.Op)
+			dst = appendFloat(dst, b.Value)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(nc.Comparators)))
+		for _, c := range nc.Comparators {
+			dst = appendString(dst, c.Token)
+			dst = appendString(dst, c.Op)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(v.Categorical)))
+	for i := range v.Categorical {
+		cc := &v.Categorical[i]
+		dst = appendString(dst, cc.Name)
+		dst = appendStrings(dst, cc.Values)
+	}
+	return dst
+}
+
+// DecodeBinary parses a vocabulary serialized by AppendBinary. The whole
+// input must be consumed.
+func DecodeBinary(b []byte) (*Vocabulary, error) {
+	d := &vocabDecoder{b: b}
+	if ver := d.byte(); ver != vocabCodecVersion {
+		return nil, fmt.Errorf("rewrite: unsupported vocabulary codec version %d", ver)
+	}
+	v := &Vocabulary{Domain: d.str()}
+	// Zero-length lists stay nil throughout, so decode(encode(v)) is
+	// deeply equal to v, not merely equivalent.
+	nNum := d.count()
+	if nNum > 0 {
+		v.Numeric = make([]NumericColumn, 0, min(nNum, 16))
+	}
+	for i := 0; i < nNum && d.err == nil; i++ {
+		nc := NumericColumn{
+			Name: d.str(),
+			Unit: d.str(),
+			Min:  d.f64(),
+			Max:  d.f64(),
+		}
+		nVal := d.count()
+		if nVal > 0 {
+			nc.Values = make([]float64, 0, min(nVal, 64))
+		}
+		for j := 0; j < nVal && d.err == nil; j++ {
+			nc.Values = append(nc.Values, d.f64())
+		}
+		nc.UnitTokens = d.strs()
+		nc.Suffixes = d.strs()
+		nBand := d.count()
+		if nBand > 0 {
+			nc.Bands = make([]Band, 0, min(nBand, 16))
+		}
+		for j := 0; j < nBand && d.err == nil; j++ {
+			nc.Bands = append(nc.Bands, Band{Token: d.str(), Op: d.str(), Value: d.f64()})
+		}
+		nCmp := d.count()
+		if nCmp > 0 {
+			nc.Comparators = make([]Comparator, 0, min(nCmp, 16))
+		}
+		for j := 0; j < nCmp && d.err == nil; j++ {
+			nc.Comparators = append(nc.Comparators, Comparator{Token: d.str(), Op: d.str()})
+		}
+		v.Numeric = append(v.Numeric, nc)
+	}
+	nCat := d.count()
+	if nCat > 0 {
+		v.Categorical = make([]CategoricalColumn, 0, min(nCat, 16))
+	}
+	for i := 0; i < nCat && d.err == nil; i++ {
+		v.Categorical = append(v.Categorical, CategoricalColumn{Name: d.str(), Values: d.strs()})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("rewrite: %d trailing bytes after vocabulary", len(d.b))
+	}
+	return v, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendStrings(dst []byte, ss []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = appendString(dst, s)
+	}
+	return dst
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+// vocabDecoder is a sticky-error cursor over the vocabulary blob. Every
+// length is checked against both its cap and the remaining bytes, so a
+// corrupt prefix cannot drive allocations or reads past the input.
+type vocabDecoder struct {
+	b   []byte
+	err error
+}
+
+func (d *vocabDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("rewrite: "+format, args...)
+	}
+}
+
+func (d *vocabDecoder) byte() byte {
+	if d.err != nil || len(d.b) == 0 {
+		d.fail("truncated vocabulary")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *vocabDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *vocabDecoder) count() int {
+	n := d.uvarint()
+	if n > maxVocabList || n > uint64(len(d.b)) {
+		d.fail("count %d exceeds bounds", n)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *vocabDecoder) str() string {
+	n := d.uvarint()
+	if n > maxVocabString || n > uint64(len(d.b)) {
+		d.fail("string length %d exceeds bounds", n)
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *vocabDecoder) strs() []string {
+	n := d.count()
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, min(n, 64))
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, d.str())
+	}
+	return out
+}
+
+func (d *vocabDecoder) f64() float64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}

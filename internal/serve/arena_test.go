@@ -50,6 +50,38 @@ func TestDoViewMatchesDo(t *testing.T) {
 	}
 }
 
+// TestDoViewMatchesDoRewrite extends the differential to v2 requests:
+// the arena path's rewrite stage (matchCtx.rewritePass) must produce
+// responses identical to the allocating path's, attributes and residual
+// included.
+func TestDoViewMatchesDoRewrite(t *testing.T) {
+	for _, cache := range []int{-1, 64} {
+		snap := testSnapshot()
+		snap.Vocab = testVocabulary()
+		s := NewServer(snap, Config{CacheSize: cache})
+		for _, q := range []string{
+			"indiana jones 4 2008 adventure tickets",
+			"madagascar 2 before 2009 comedy",
+			"recent adventur indy 4", // band + fuzzy genre
+			"nothing structured at all",
+		} {
+			req := match.Request{Query: q, Mode: match.ModeSpan, TopK: 3, Explain: true, Rewrite: true}
+			want, errWant := s.Do(req)
+			var got match.Response
+			errGot := s.DoView(req, func(res *match.Response, _ bool) {
+				got = match.CloneResponse(res)
+			})
+			if errWant != nil || errGot != nil {
+				t.Fatalf("cache=%d %q: Do=%v DoView=%v", cache, q, errWant, errGot)
+			}
+			want.Timing, got.Timing = match.Timing{}, match.Timing{}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("cache=%d %q: rewrite DoView diverged from Do:\n got %+v\nwant %+v", cache, q, got, want)
+			}
+		}
+	}
+}
+
 // TestArenaScratchAcrossInstall hammers the uncached (arena-backed)
 // DoView path from several goroutines while the main goroutine swaps
 // generations. Scratch arenas are pooled per generation, so no request

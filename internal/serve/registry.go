@@ -47,8 +47,11 @@ type Registry struct {
 
 	v1Reqs    atomic.Uint64
 	v1Queries atomic.Uint64
+	v2Reqs    atomic.Uint64
+	v2Queries atomic.Uint64
 	fanouts   atomic.Uint64
 	v1Lat     latencyRecorder
+	v2Lat     latencyRecorder
 }
 
 // NewRegistry returns an empty registry; cfg applies to every domain
@@ -180,9 +183,10 @@ func (reg *Registry) Handler() http.Handler {
 // Mount registers the multi-domain HTTP API:
 //
 //	POST /v1/match           — domain-routed and federated matching
-//	GET  /match?q=           — legacy: default domain (or ?domain=<name>)
-//	POST /match/batch        — legacy: default domain (or ?domain=<name>)
-//	GET  /fuzzy?q=           — legacy: default domain (or ?domain=<name>)
+//	POST /v2/match           — v1 plus attribute predicates + residual
+//	GET  /match?q=           — deprecated: default domain (or ?domain=<name>)
+//	POST /match/batch        — deprecated: default domain (or ?domain=<name>)
+//	GET  /fuzzy?q=           — deprecated: default domain (or ?domain=<name>)
 //	GET  /synonyms?u=        — legacy: default domain (or ?domain=<name>)
 //	GET  /statsz             — registry counters + per-domain stats
 //	GET  /admin/snapshot     — all domains' provenance (or ?domain=<name>)
@@ -192,9 +196,10 @@ func (reg *Registry) Handler() http.Handler {
 // by the reload subsystem; see internal/serve/reload.Group.Mount.
 func (reg *Registry) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/match", reg.handleV1Match)
-	mux.HandleFunc("GET /match", reg.delegate((*Server).handleMatch))
-	mux.HandleFunc("POST /match/batch", reg.delegate((*Server).handleBatch))
-	mux.HandleFunc("GET /fuzzy", reg.delegate((*Server).handleFuzzy))
+	mux.HandleFunc("POST /v2/match", reg.handleV2Match)
+	mux.HandleFunc("GET /match", deprecated(reg.delegate((*Server).handleMatch)))
+	mux.HandleFunc("POST /match/batch", deprecated(reg.delegate((*Server).handleBatch)))
+	mux.HandleFunc("GET /fuzzy", deprecated(reg.delegate((*Server).handleFuzzy)))
 	mux.HandleFunc("GET /synonyms", reg.delegate((*Server).handleSynonyms))
 	mux.HandleFunc("GET /statsz", reg.handleStatsz)
 	mux.HandleFunc("GET /admin/snapshot", reg.handleAdminSnapshot)
@@ -351,6 +356,7 @@ func (reg *Registry) federate(targets []target, it match.Request) V1Result {
 	out := match.Response{Query: parts[0].res.Query}
 	allCached := true
 	remainders := make(map[string]string, len(parts))
+	stamped := make([]match.Response, len(parts))
 	for idx, p := range parts {
 		name := targets[idx].name
 		sp := stampResponse(p.res, name)
@@ -359,6 +365,7 @@ func (reg *Registry) federate(targets []target, it match.Request) V1Result {
 		out.Timing.SegmentMicros += sp.Timing.SegmentMicros
 		out.Timing.FuzzyMicros += sp.Timing.FuzzyMicros
 		remainders[name] = sp.Remainder
+		stamped[idx] = sp
 		allCached = allCached && p.cached
 	}
 	sort.SliceStable(out.Matches, func(i, j int) bool {
@@ -374,11 +381,27 @@ func (reg *Registry) federate(targets []target, it match.Request) V1Result {
 		}
 		return a.Start < b.Start
 	})
+	// Attributes and residual follow the remainder rule: the winning
+	// domain — the vertical that produced the best span match — speaks
+	// for the structured part of the query too. Predicates from the
+	// other verticals' vocabularies are dropped, never merged: "2008"
+	// must not surface as a camera price band just because the cameras
+	// domain also ran. With no match anywhere, the first fan-out target
+	// (the default domain on an implicit fan) answers.
+	winner := stamped[0]
 	if len(out.Matches) > 0 {
+		for idx := range stamped {
+			if targets[idx].name == out.Matches[0].Domain {
+				winner = stamped[idx]
+				break
+			}
+		}
 		out.Remainder = remainders[out.Matches[0].Domain]
 	} else {
 		out.Remainder = parts[0].res.Remainder
 	}
+	out.Attributes = winner.Attributes
+	out.Residual = winner.Residual
 	out.Timing.TotalMicros = float64(time.Since(t0).Nanoseconds()) / 1e3
 	return V1Result{Response: &out, Cached: allCached}
 }
@@ -397,6 +420,9 @@ func stampResponse(res match.Response, domain string) match.Response {
 	for i := range res.Trace {
 		res.Trace[i].Domain = domain
 	}
+	for i := range res.Attributes {
+		res.Attributes[i].Domain = domain
+	}
 	return res
 }
 
@@ -412,13 +438,18 @@ type RegistryStats struct {
 	Requests      struct {
 		// V1 counts POST /v1/match requests; V1Queries the items they
 		// carried; FanoutQueries the items answered by a multi-domain
-		// federated merge.
+		// federated merge. V2/V2Queries count POST /v2/match traffic,
+		// omitted (zero) until the first v2 request.
 		V1            uint64 `json:"v1"`
 		V1Queries     uint64 `json:"v1_queries"`
+		V2            uint64 `json:"v2,omitempty"`
+		V2Queries     uint64 `json:"v2_queries,omitempty"`
 		FanoutQueries uint64 `json:"fanout_queries"`
 	} `json:"requests"`
 	Latency struct {
 		V1 LatencyStats `json:"v1"`
+		// V2 appears once /v2/match has served a request.
+		V2 *LatencyStats `json:"v2,omitempty"`
 	} `json:"latency"`
 	Domains map[string]Stats `json:"domains"`
 }
@@ -431,8 +462,14 @@ func (reg *Registry) Stats() RegistryStats {
 	st.DomainCount = len(reg.names)
 	st.Requests.V1 = reg.v1Reqs.Load()
 	st.Requests.V1Queries = reg.v1Queries.Load()
+	st.Requests.V2 = reg.v2Reqs.Load()
+	st.Requests.V2Queries = reg.v2Queries.Load()
 	st.Requests.FanoutQueries = reg.fanouts.Load()
 	st.Latency.V1 = reg.v1Lat.snapshot()
+	if st.Requests.V2 > 0 {
+		v2 := reg.v2Lat.snapshot()
+		st.Latency.V2 = &v2
+	}
 	st.Domains = make(map[string]Stats, len(reg.names))
 	for name, srv := range reg.domains {
 		st.Domains[name] = srv.Stats()

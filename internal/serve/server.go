@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"websyn/internal/match"
+	"websyn/internal/rewrite"
 	"websyn/internal/textnorm"
 )
 
@@ -155,6 +156,7 @@ type Server struct {
 	matchLat latencyRecorder
 	batchLat latencyRecorder
 	v1Lat    latencyRecorder
+	v2Lat    latencyRecorder
 
 	matchReqs    atomic.Uint64
 	batchReqs    atomic.Uint64
@@ -163,6 +165,8 @@ type Server struct {
 	synReqs      atomic.Uint64
 	v1Reqs       atomic.Uint64
 	v1Queries    atomic.Uint64
+	v2Reqs       atomic.Uint64
+	v2Queries    atomic.Uint64
 	// routedQueries counts queries delivered to this server by a domain
 	// Registry (exact routes and federated fan-out legs alike); always
 	// zero on a standalone single-snapshot server.
@@ -240,12 +244,19 @@ func (s *Server) Prepare(snap *Snapshot, meta SnapshotMeta) (*Generation, error)
 	if fuzzy == nil {
 		fuzzy = snap.Dict.NewShardedFuzzyIndex(minSim, cfg.FuzzyShards)
 	}
+	engine := match.NewEngine(snap.Dict, fuzzy, snap.Canonicals, minSim)
+	if snap.Vocab != nil {
+		// The attribute rewriter only runs on requests that opt in
+		// (Rewrite, set by the /v2 surface), so attaching it cannot
+		// change a /v1 response.
+		engine.SetRewriter(rewrite.NewRewriter(snap.Vocab, minSim))
+	}
 	g := &generation{
 		dataset:    snap.Dataset,
 		meta:       meta,
 		dict:       snap.Dict,
 		fuzzy:      fuzzy,
-		engine:     match.NewEngine(snap.Dict, fuzzy, snap.Canonicals, minSim),
+		engine:     engine,
 		canonicals: snap.Canonicals,
 		byNorm:     make(map[string]int, len(snap.Canonicals)),
 		synonyms:   snap.Synonyms,
@@ -315,6 +326,11 @@ func requestKey(req match.Request, norm string) string {
 	b.WriteByte('|')
 	if req.Explain {
 		b.WriteByte('e')
+	}
+	if req.Rewrite {
+		// /v2 responses carry attributes; they must not share cache
+		// entries with the /v1 shape of the same query.
+		b.WriteByte('r')
 	}
 	b.WriteByte('|')
 	b.WriteString(norm)
@@ -457,6 +473,9 @@ func detachResponse(r match.Response) match.Response {
 	if r.Trace != nil {
 		r.Trace = append([]match.TraceStep(nil), r.Trace...)
 	}
+	if r.Attributes != nil {
+		r.Attributes = append([]match.Predicate(nil), r.Attributes...)
+	}
 	return r
 }
 
@@ -586,9 +605,11 @@ func (s *Server) MatchBatch(queries []string) []MatchResult {
 //
 //	POST /v1/match          — unified match API: single + batch, all
 //	                          modes, explain traces (see docs/API.md)
-//	GET  /match?q=<query>   — legacy: segment one query
-//	POST /match/batch       — legacy: segment many queries (JSON body)
-//	GET  /fuzzy?q=<query>   — legacy: whole-string fuzzy lookup
+//	POST /v2/match          — v1 plus the structured rewrite stage:
+//	                          typed attribute predicates + residual
+//	GET  /match?q=<query>   — deprecated: segment one query
+//	POST /match/batch       — deprecated: segment many queries (JSON body)
+//	GET  /fuzzy?q=<query>   — deprecated: whole-string fuzzy lookup
 //	GET  /synonyms?u=<name> — mined synonyms of a canonical string
 //	GET  /statsz            — cache, dictionary and latency stats
 //	GET  /admin/snapshot    — generation, snapshot provenance, swap count
@@ -604,11 +625,15 @@ func (s *Server) Handler() http.Handler {
 
 // Mount registers the server's endpoints on an existing mux, so callers
 // composing extra routes (the reload admin surface) share one router.
+// The pre-v1 adapters (/match, /match/batch, /fuzzy) are mounted behind
+// the deprecation shim: same bytes, plus Deprecation/Sunset headers
+// pointing clients at the versioned surface.
 func (s *Server) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/match", s.handleV1Match)
-	mux.HandleFunc("GET /match", s.handleMatch)
-	mux.HandleFunc("POST /match/batch", s.handleBatch)
-	mux.HandleFunc("GET /fuzzy", s.handleFuzzy)
+	mux.HandleFunc("POST /v2/match", s.handleV2Match)
+	mux.HandleFunc("GET /match", deprecated(s.handleMatch))
+	mux.HandleFunc("POST /match/batch", deprecated(s.handleBatch))
+	mux.HandleFunc("GET /fuzzy", deprecated(s.handleFuzzy))
 	mux.HandleFunc("GET /synonyms", s.handleSynonyms)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /admin/snapshot", s.handleAdminSnapshot)
@@ -778,6 +803,11 @@ type Stats struct {
 		Synonyms     uint64 `json:"synonyms"`
 		V1           uint64 `json:"v1"`
 		V1Queries    uint64 `json:"v1_queries"`
+		// V2/V2Queries count POST /v2/match traffic; omitted (zero)
+		// until the first v2 request, so the legacy /statsz shape is
+		// unchanged for v1-only deployments.
+		V2        uint64 `json:"v2,omitempty"`
+		V2Queries uint64 `json:"v2_queries,omitempty"`
 		// RoutedQueries counts queries a domain Registry delivered to
 		// this server; omitted (zero) on standalone servers, so the
 		// legacy /statsz shape is unchanged.
@@ -787,6 +817,8 @@ type Stats struct {
 		Match LatencyStats `json:"match"`
 		Batch LatencyStats `json:"batch"`
 		V1    LatencyStats `json:"v1"`
+		// V2 appears once /v2/match has served a request.
+		V2 *LatencyStats `json:"v2,omitempty"`
 	} `json:"latency"`
 }
 
@@ -813,10 +845,16 @@ func (s *Server) Stats() Stats {
 	st.Requests.Synonyms = s.synReqs.Load()
 	st.Requests.V1 = s.v1Reqs.Load()
 	st.Requests.V1Queries = s.v1Queries.Load()
+	st.Requests.V2 = s.v2Reqs.Load()
+	st.Requests.V2Queries = s.v2Queries.Load()
 	st.Requests.RoutedQueries = s.routedQueries.Load()
 	st.Latency.Match = s.matchLat.snapshot()
 	st.Latency.Batch = s.batchLat.snapshot()
 	st.Latency.V1 = s.v1Lat.snapshot()
+	if st.Requests.V2 > 0 {
+		v2 := s.v2Lat.snapshot()
+		st.Latency.V2 = &v2
+	}
 	return st
 }
 

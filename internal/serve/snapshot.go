@@ -37,6 +37,7 @@ import (
 	"sort"
 
 	"websyn/internal/match"
+	"websyn/internal/rewrite"
 )
 
 // Snapshot bundles the online tier's read-only state: the compiled match
@@ -62,6 +63,11 @@ type Snapshot struct {
 	// (version 2 snapshots). When nil — a version 1 snapshot, or a
 	// builder that skipped it — servers rebuild the index from Dict.
 	Fuzzy *match.PackedFuzzy
+	// Vocab is the domain's attribute vocabulary for the structured
+	// rewrite stage (version 4 snapshots). When nil — an older snapshot,
+	// or a builder without entity-table access — the /v2 surface still
+	// serves, with empty attribute lists and residual == remainder.
+	Vocab *rewrite.Vocabulary
 	// Version is the file layout version this snapshot was read from;
 	// 0 for snapshots built in-process (never serialized). Writers
 	// ignore it — WriteTo always emits the current SnapshotVersion.
@@ -85,22 +91,30 @@ type Snapshot struct {
 //	  match.PackedFuzzy.WriteBinary; version 3: the aligned raw slab
 //	  layout of match.PackedFuzzy.WriteRaw, which a memory-mapped reader
 //	  aliases in place (see OpenSnapshotMapped),
+//	[version >= 4] attribute-vocabulary presence byte (0 or 1), then when
+//	  present: blob length, then the rewrite.Vocabulary binary form
+//	  (internal/rewrite's self-contained codec),
 //	CRC-32 (IEEE) of everything above (fixed 4 bytes, big endian).
 //
 // The version byte is bumped on any incompatible layout change; readers
 // reject versions they don't know, but version 1 files (no fuzzy
 // section) stay readable — servers rebuild the index from the
-// dictionary — and version 2 files decode as before. The trailing
-// checksum catches truncated or corrupted files before a server boots
-// on bad data.
+// dictionary — and version 2/3 files decode as before, simply without a
+// vocabulary. The trailing checksum catches truncated or corrupted
+// files before a server boots on bad data.
 
 var snapshotMagic = [4]byte{'W', 'S', 'N', 'P'}
 
 // SnapshotVersion is the current snapshot layout version. Version 2
 // added the embedded packed fuzzy index; version 3 stores it as aligned
 // fixed-width slabs so OpenSnapshotMapped can serve it straight from
-// the page cache.
-const SnapshotVersion = 3
+// the page cache; version 4 appends the attribute vocabulary behind the
+// fuzzy section.
+const SnapshotVersion = 4
+
+// maxVocabBlob bounds the serialized attribute vocabulary; a larger
+// length prefix means a corrupt file and must not drive an allocation.
+const maxVocabBlob = 1 << 24
 
 // crcWriter hashes every byte it forwards.
 type crcWriter struct {
@@ -244,6 +258,25 @@ func (s *Snapshot) writeTo(w io.Writer, version byte) (int64, error) {
 					return cw.n, err
 				}
 			} else if err := s.Fuzzy.WriteBinary(cw); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+
+	if version >= 4 {
+		if s.Vocab == nil {
+			if _, err := cw.Write([]byte{0}); err != nil {
+				return cw.n, err
+			}
+		} else {
+			if _, err := cw.Write([]byte{1}); err != nil {
+				return cw.n, err
+			}
+			blob := s.Vocab.AppendBinary(nil)
+			if err := writeUvarint(uint64(len(blob))); err != nil {
+				return cw.n, err
+			}
+			if _, err := cw.Write(blob); err != nil {
 				return cw.n, err
 			}
 		}
@@ -462,6 +495,33 @@ func readSnapshotFrom(cr *snapReader, mapped []byte, pin any) (*Snapshot, error)
 			}
 		default:
 			return nil, fmt.Errorf("serve: bad fuzzy-index presence byte %d", present)
+		}
+	}
+
+	if ver >= 4 {
+		present, err := cr.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("serve: reading vocabulary presence: %w", err)
+		}
+		switch present {
+		case 0:
+		case 1:
+			n, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("serve: reading vocabulary length: %w", err)
+			}
+			if n > maxVocabBlob {
+				return nil, fmt.Errorf("serve: vocabulary length %d exceeds limit", n)
+			}
+			blob := make([]byte, n)
+			if _, err := io.ReadFull(cr, blob); err != nil {
+				return nil, fmt.Errorf("serve: reading vocabulary: %w", err)
+			}
+			if snap.Vocab, err = rewrite.DecodeBinary(blob); err != nil {
+				return nil, fmt.Errorf("serve: decoding vocabulary: %w", err)
+			}
+		default:
+			return nil, fmt.Errorf("serve: bad vocabulary presence byte %d", present)
 		}
 	}
 

@@ -27,6 +27,26 @@ func writeTestSnapshotFile(t *testing.T, snap *Snapshot, version byte) (string, 
 	return path, buf.Bytes()
 }
 
+// TestOpenSnapshotMappedVocabulary pins the v4 section on the mmap
+// path: the vocabulary sits after the aligned fuzzy slabs, and the
+// mapped reader must decode it identically to the streaming reader.
+func TestOpenSnapshotMappedVocabulary(t *testing.T) {
+	snap := testSnapshot()
+	snap.Vocab = testVocabulary()
+	path, _ := writeTestSnapshotFile(t, snap, SnapshotVersion)
+
+	got, err := OpenSnapshotMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Fuzzy.Mapped() {
+		t.Errorf("fuzzy index not mapped with vocabulary section present")
+	}
+	if !reflect.DeepEqual(got.Vocab, snap.Vocab) {
+		t.Errorf("mapped vocabulary diverged:\n got %+v\nwant %+v", got.Vocab, snap.Vocab)
+	}
+}
+
 func TestOpenSnapshotMapped(t *testing.T) {
 	snap := testSnapshot()
 	path, raw := writeTestSnapshotFile(t, snap, SnapshotVersion)

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"websyn/internal/match"
+	"websyn/internal/rewrite"
 )
 
 // testSnapshot builds a small but structured snapshot: several entities,
@@ -38,6 +39,26 @@ func testSnapshot() *Snapshot {
 			"madagascar escape 2 africa":                         {"madagascar 2"},
 		},
 		Dict: d,
+	}
+}
+
+// testVocabulary is a small but structurally complete attribute
+// vocabulary: both column kinds, every lexicon family populated.
+func testVocabulary() *rewrite.Vocabulary {
+	return &rewrite.Vocabulary{
+		Domain: "movies",
+		Numeric: []rewrite.NumericColumn{{
+			Name: "year", Min: 2008, Max: 2008,
+			Values:     []float64{2008},
+			UnitTokens: []string{"year"},
+			Comparators: []rewrite.Comparator{
+				{Token: "before", Op: "lt"}, {Token: "since", Op: "gte"},
+			},
+			Bands: []rewrite.Band{{Token: "recent", Op: "gte", Value: 2008}},
+		}},
+		Categorical: []rewrite.CategoricalColumn{
+			{Name: "genre", Values: []string{"action", "adventure", "comedy"}},
+		},
 	}
 }
 
@@ -134,6 +155,63 @@ func TestSnapshotReadsVersion1(t *testing.T) {
 		if !reflect.DeepEqual(a, b) {
 			t.Errorf("fuzzy Lookup(%q) diverged between v1 rebuild and v2 embedded:\n v1 %+v\n v2 %+v", q, a, b)
 		}
+	}
+}
+
+// TestSnapshotVocabularyRoundTrip pins the v4 section: an attached
+// vocabulary survives the write/read cycle intact, and a snapshot
+// without one reads back with Vocab nil (presence byte 0).
+func TestSnapshotVocabularyRoundTrip(t *testing.T) {
+	snap := testSnapshot()
+	snap.Vocab = testVocabulary()
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Vocab, snap.Vocab) {
+		t.Errorf("vocabulary diverged after round-trip:\n got %+v\nwant %+v", got.Vocab, snap.Vocab)
+	}
+
+	bare := testSnapshot()
+	buf.Reset()
+	if _, err := bare.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Vocab != nil {
+		t.Errorf("nil vocabulary came back non-nil: %+v", got.Vocab)
+	}
+}
+
+// TestSnapshotWritesVersion3 pins the crossgrade path: WriteToVersion(3)
+// must still emit a file older readers accept, dropping the vocabulary
+// section — the deployment story for mixed-version fleets.
+func TestSnapshotWritesVersion3(t *testing.T) {
+	snap := testSnapshot()
+	snap.Vocab = testVocabulary()
+	var buf bytes.Buffer
+	if _, err := snap.WriteToVersion(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	if v := buf.Bytes()[4]; v != 3 {
+		t.Fatalf("version byte %d, want 3", v)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("v3 crossgrade snapshot rejected: %v", err)
+	}
+	if got.Vocab != nil {
+		t.Errorf("v3 snapshot produced a vocabulary: %+v", got.Vocab)
+	}
+	if got.Dict.Len() != snap.Dict.Len() {
+		t.Fatalf("Dict.Len %d, want %d", got.Dict.Len(), snap.Dict.Len())
 	}
 }
 

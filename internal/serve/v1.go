@@ -160,13 +160,11 @@ func v1Items(req V1Request, maxBatch int) (items []match.Request, status int, ms
 	return items, 0, ""
 }
 
-// doBatch answers an expanded item list as one v1 request: counted once,
-// timed once, the whole batch on one generation — a hot swap mid-request
-// cannot answer some items from the old dictionary and some from the new.
-func (s *Server) doBatch(items []match.Request) []V1Result {
-	s.v1Reqs.Add(1)
-	s.v1Queries.Add(uint64(len(items)))
-	t0 := time.Now()
+// doItems answers an expanded item list on the worker pool, the whole
+// batch on one generation — a hot swap mid-request cannot answer some
+// items from the old dictionary and some from the new. Counting and
+// timing belong to the per-version wrappers (doBatch, doBatchV2).
+func (s *Server) doItems(items []match.Request) []V1Result {
 	g := s.gen.Load()
 	results := make([]V1Result, len(items))
 	s.runPool(len(items), func(i int) {
@@ -177,6 +175,16 @@ func (s *Server) doBatch(items []match.Request) []V1Result {
 		}
 		results[i] = V1Result{Response: &res, Cached: cached}
 	})
+	return results
+}
+
+// doBatch answers an expanded item list as one v1 request: counted once,
+// timed once.
+func (s *Server) doBatch(items []match.Request) []V1Result {
+	s.v1Reqs.Add(1)
+	s.v1Queries.Add(uint64(len(items)))
+	t0 := time.Now()
+	results := s.doItems(items)
 	s.v1Lat.observe(time.Since(t0))
 	return results
 }

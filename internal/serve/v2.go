@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"websyn/internal/match"
+)
+
+// POST /v2/match — the attribute-aware successor of /v1/match. The
+// request grammar is identical (single query or batch, the same tuning
+// fields, the same domain routing); the difference is the response: v2
+// runs the structured rewrite stage over the tokens the entity match
+// left behind, so each result additionally carries
+//
+//	"attributes": typed predicates parsed from the remainder
+//	              ({column, op, value|text, unit, span, source, ...}),
+//	"residual":   the remainder minus the spans the predicates consumed.
+//
+// "cheap canon 40d lens under $500" thus resolves to the Canon 40D
+// entity plus price<=q1 (band "cheap") and price<500 (comparator
+// "under 500"), with residual "lens". Every other field is bit-for-bit
+// the v1 shape, which is what makes the migration mechanical; see
+// docs/API.md#v1v2-migration.
+//
+// v1 stays frozen: the rewrite stage only runs when the request arrived
+// through /v2, so /v1/match responses are byte-identical with or
+// without a vocabulary loaded.
+
+// Deprecation metadata stamped on the pre-v1 adapter endpoints (/match,
+// /match/batch, /fuzzy). The body bytes are untouched — existing
+// clients keep working — but conforming clients see the sunset horizon
+// and the successor surface.
+const (
+	// legacyDeprecation is the RFC 9745 Deprecation header value: the
+	// moment the legacy surface was declared deprecated
+	// (2026-08-01T00:00:00Z), as a unix timestamp.
+	legacyDeprecation = "@1785542400"
+	// legacySunset is the RFC 8594 Sunset header value: the earliest
+	// date the legacy endpoints may be removed.
+	legacySunset = "Tue, 01 Jun 2027 00:00:00 GMT"
+	// legacySuccessor points clients at the versioned replacement.
+	legacySuccessor = `</v2/match>; rel="successor-version"`
+)
+
+// deprecated wraps a legacy handler with the deprecation shim: identical
+// response bytes, plus the Deprecation/Sunset/Link header triple.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		hdr := w.Header()
+		hdr.Set("Deprecation", legacyDeprecation)
+		hdr.Set("Sunset", legacySunset)
+		hdr.Set("Link", legacySuccessor)
+		h(w, r)
+	}
+}
+
+// markRewrite switches an expanded item list onto the v2 path. Rewrite
+// is not a client-settable field (it has no JSON tag), so this is the
+// only place a single-server request acquires it: the API version is
+// the switch.
+func markRewrite(items []match.Request) {
+	for i := range items {
+		items[i].Rewrite = true
+	}
+}
+
+// doBatchV2 answers an expanded item list as one v2 request: counted
+// and timed on the v2 meters, executed by the same pool as v1.
+func (s *Server) doBatchV2(items []match.Request) []V1Result {
+	s.v2Reqs.Add(1)
+	s.v2Queries.Add(uint64(len(items)))
+	t0 := time.Now()
+	results := s.doItems(items)
+	s.v2Lat.observe(time.Since(t0))
+	return results
+}
+
+func (s *Server) handleV2Match(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeV1(w, r, s.bodyLimit())
+	if !ok {
+		return
+	}
+	items, status, msg := v1Items(req, s.cfg.MaxBatch)
+	if msg != "" {
+		writeV1Error(w, status, "%s", msg)
+		return
+	}
+	// Same single-dictionary stance as v1: domain routing needs a
+	// multi-domain deployment.
+	if len(req.Domains) > 0 {
+		writeV1Error(w, http.StatusBadRequest, "domains requires a multi-domain server (matchd -snapshot name=path)")
+		return
+	}
+	for _, it := range items {
+		if it.Domain != "" {
+			writeV1Error(w, http.StatusBadRequest, "domain %q: domain routing requires a multi-domain server (matchd -snapshot name=path)", it.Domain)
+			return
+		}
+	}
+	markRewrite(items)
+	writeJSON(w, V1Response{Count: len(items), Results: s.doBatchV2(items)})
+}
+
+func (reg *Registry) handleV2Match(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeV1(w, r, v1BodyLimit(reg.cfg.MaxBatch))
+	if !ok {
+		return
+	}
+	if req.Domain != "" && len(req.Domains) > 0 {
+		writeV1Error(w, http.StatusBadRequest, "domain and domains are mutually exclusive")
+		return
+	}
+	items, status, msg := v1Items(req, reg.cfg.MaxBatch)
+	if msg != "" {
+		writeV1Error(w, status, "%s", msg)
+		return
+	}
+	fan := reg.all()
+	explicit := len(req.Domains) > 0
+	if explicit {
+		var err error
+		if fan, err = reg.resolve(req.Domains); err != nil {
+			writeV1Error(w, http.StatusBadRequest, "%s", err)
+			return
+		}
+	}
+	markRewrite(items)
+
+	reg.v2Reqs.Add(1)
+	reg.v2Queries.Add(uint64(len(items)))
+	t0 := time.Now()
+	results := make([]V1Result, len(items))
+	runPool(reg.cfg.BatchWorkers, len(items), func(i int) {
+		results[i] = reg.routeItem(fan, items[i], explicit)
+	})
+	reg.v2Lat.observe(time.Since(t0))
+	writeJSON(w, V1Response{Count: len(results), Results: results})
+}

@@ -2,8 +2,10 @@ package websyn
 
 import (
 	"io"
+	"strings"
 
 	"websyn/internal/match"
+	"websyn/internal/rewrite"
 	"websyn/internal/serve"
 	"websyn/internal/serve/reload"
 )
@@ -117,9 +119,10 @@ func MineSnapshot(ds Dataset, cfg MinerConfig, seed uint64, minSim float64) (*Sn
 
 // BuildSnapshot compiles mined results into a serving snapshot: the
 // dictionary via BuildDictionary, the entity table, the per-entity
-// synonym listing, and the packed fuzzy index precomputed offline so
-// servers boot it without re-gramming the dictionary. minSim <= 0 means
-// DefaultFuzzyMinSim.
+// synonym listing, the packed fuzzy index precomputed offline so
+// servers boot it without re-gramming the dictionary, and the attribute
+// vocabulary mined from the catalog's structured columns for the /v2
+// rewrite stage. minSim <= 0 means DefaultFuzzyMinSim.
 func (s *Simulation) BuildSnapshot(results []*MineResult, minSim float64) *Snapshot {
 	if minSim <= 0 {
 		minSim = DefaultFuzzyMinSim
@@ -132,6 +135,7 @@ func (s *Simulation) BuildSnapshot(results []*MineResult, minSim float64) *Snaps
 		Synonyms:   make(map[string][]string, len(results)),
 		Dict:       dict,
 		Fuzzy:      dict.NewFuzzyIndex(minSim).Packed(),
+		Vocab:      rewrite.Mine(strings.ToLower(s.Options.Dataset.String()), s.Catalog),
 	}
 	for _, r := range results {
 		snap.Synonyms[r.Norm] = r.Synonyms
