@@ -298,6 +298,86 @@ func BenchmarkServeMatch(b *testing.B) {
 	})
 }
 
+// BenchmarkServeMatchParallel drives the single-query serve path from
+// all CPUs at once (b.RunParallel) over the same skewed query mix as
+// BenchmarkServeMatch. "cached" prewarms every query and then measures
+// pure hit-path throughput under contention — the lock-striped CLOCK
+// cache takes only a shard read-lock and an atomic reference-bit store
+// per hit, so this sub-benchmark is gated at 0 allocs/op. "uncached"
+// disables the cache and measures contended arena-pool throughput.
+func BenchmarkServeMatchParallel(b *testing.B) {
+	snap := movieSnapshot(b)
+	queries := serveQueries(b, 200)
+
+	b.Run("cached", func(b *testing.B) {
+		s := NewMatchServer(snap, ServeConfig{CacheSize: 4096})
+		for _, q := range queries {
+			if err := s.DoView(MatchRequest{Query: q}, func(*MatchResponse, bool) {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				err := s.DoView(MatchRequest{Query: queries[i%len(queries)]}, func(*MatchResponse, bool) {})
+				if err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+	b.Run("uncached", func(b *testing.B) {
+		s := NewMatchServer(snap, ServeConfig{CacheSize: -1})
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				err := s.DoView(MatchRequest{Query: queries[i%len(queries)]}, func(*MatchResponse, bool) {})
+				if err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+}
+
+// BenchmarkRegistryFederateParallel measures the federated fan-out path
+// under request-level concurrency: a two-domain registry (the movie
+// snapshot registered twice) answers domainless queries, so every
+// request runs the inline ≤4-target fan-out, the merge sort, and the
+// provenance stamping. Caches are prewarmed, so the number isolates the
+// federation overhead itself — pooled scratch, no per-query goroutines.
+func BenchmarkRegistryFederateParallel(b *testing.B) {
+	snap := movieSnapshot(b)
+	queries := serveQueries(b, 200)
+	reg := NewRegistry(ServeConfig{CacheSize: 4096})
+	for _, name := range []string{"movies", "shadow"} {
+		if _, err := reg.Add(name, snap, SnapshotMeta{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, q := range queries {
+		if r := reg.DoItem(MatchRequest{Query: q}, nil); r.Error != "" {
+			b.Fatal(r.Error)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if r := reg.DoItem(MatchRequest{Query: queries[i%len(queries)]}, nil); r.Error != "" {
+				b.Fatal(r.Error)
+			}
+			i++
+		}
+	})
+}
+
 // BenchmarkServeBatch contrasts sequential and pooled batch matching:
 // the /match/batch worker pool's throughput win on a 256-query request.
 // The cache is disabled so the benchmark measures segmentation

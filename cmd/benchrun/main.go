@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	benchrun [-bench regex] [-count 3] [-pkg .] [-out bench/BENCH_<date>.json]
+//	benchrun [-bench regex] [-count 3] [-pkg .,./internal/serve]
+//	         [-out bench/BENCH_<date>.json]
 //	         [-baseline BENCH_baseline.json] [-threshold 0.25]
 //	         [-write-baseline path]
 //
@@ -41,9 +42,17 @@ import (
 
 // GatedBenchmarks is the default benchmark set: the latency-critical
 // serving path (whole-string fuzzy lookup, single-query match, batch
-// match, the unified engine across exact/typo/span-fuzzy queries, and
-// the snapshot boot paths — streamed decode vs mmap).
-const GatedBenchmarks = "BenchmarkFuzzyLookup|BenchmarkServeMatch|BenchmarkServeBatch|BenchmarkEngineMatch|BenchmarkSnapshotOpen"
+// match, the unified engine across exact/typo/span-fuzzy queries, the
+// snapshot boot paths — streamed decode vs mmap) plus the concurrency
+// suite (parallel single-query match, parallel federation, and the
+// contended-cache microbenchmark). BenchmarkServeMatch also prefixes
+// BenchmarkServeMatchParallel, whose cached sub-benchmark carries a
+// zero-alloc baseline the gate treats as an absolute invariant.
+const GatedBenchmarks = "BenchmarkFuzzyLookup|BenchmarkServeMatch|BenchmarkServeBatch|BenchmarkEngineMatch|BenchmarkSnapshotOpen|BenchmarkRegistryFederateParallel|BenchmarkCacheContended"
+
+// GatedPackages is the default -pkg value: the root serving facade plus
+// internal/serve, home of the contended-cache microbenchmark.
+const GatedPackages = ".,./internal/serve"
 
 // Result is one benchmark's aggregated measurement.
 type Result struct {
@@ -69,7 +78,7 @@ func main() {
 	var (
 		bench     = flag.String("bench", GatedBenchmarks, "benchmark regex passed to go test -bench")
 		count     = flag.Int("count", 3, "runs per benchmark; the fastest is recorded")
-		pkg       = flag.String("pkg", ".", "package to benchmark")
+		pkg       = flag.String("pkg", GatedPackages, "comma-separated packages to benchmark")
 		out       = flag.String("out", "", "trajectory file to write (default bench/BENCH_<date>.json; empty string with -write-baseline skips it)")
 		baseline  = flag.String("baseline", "", "baseline file to gate against (empty = no gate)")
 		threshold = flag.Float64("threshold", 0.25, "maximum tolerated fractional ns/op regression")
@@ -148,11 +157,18 @@ func stripCPUSuffix(name string) string {
 	return name
 }
 
-// run executes the benchmarks and aggregates per-benchmark minima.
+// run executes the benchmarks and aggregates per-benchmark minima. pkg
+// is comma-separated; all packages go into one `go test` invocation, so
+// benchmark names must stay unique across them.
 func run(bench, pkg string, count int, timeout time.Duration) (map[string]Result, error) {
 	args := []string{
 		"test", "-run", "^$", "-bench", bench, "-benchmem",
-		"-count", strconv.Itoa(count), "-timeout", timeout.String(), pkg,
+		"-count", strconv.Itoa(count), "-timeout", timeout.String(),
+	}
+	for _, p := range strings.Split(pkg, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			args = append(args, p)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "benchrun: go %s\n", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)

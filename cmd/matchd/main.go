@@ -48,9 +48,12 @@
 //
 //	matchd -dataset movies -write-snapshot dict.snap
 //
-// Serving knobs: [-addr :8080] [-cache 4096] [-batch-workers N]
-// [-max-batch 1024] [-shards N] [-fuzzy-limit 5] [-min-sim 0.55]
-// [-drain-timeout 15s] [-mmap]
+// Serving knobs: [-addr :8080] [-cache 4096] [-cache-shards N]
+// [-batch-workers N] [-max-batch 1024] [-shards N] [-fuzzy-limit 5]
+// [-min-sim 0.55] [-drain-timeout 15s] [-mmap] [-pprof]
+//
+// -pprof mounts /debug/pprof/ with mutex and block profiling on, the
+// lock-contention debugging surface (docs/PERFORMANCE.md).
 //
 // -mmap memory-maps each snapshot file instead of decoding it onto the
 // heap: the fuzzy posting slabs are served straight from the page
@@ -116,6 +119,7 @@ func main() {
 		icr            = flag.Float64("icr", 0.1, "ICR threshold γ (mining)")
 		seed           = flag.Uint64("seed", 0, "simulation seed (0 = default)")
 		cacheSize      = flag.Int("cache", 0, "request-cache capacity in entries, per domain (0 = default 4096, negative = disabled)")
+		cacheShards    = flag.Int("cache-shards", 0, "request-cache lock stripes, rounded down to a power of two (0 = one per CPU, min 8 entries per shard)")
 		batchWorkers   = flag.Int("batch-workers", 0, "worker-pool size for batch requests (0 = GOMAXPROCS)")
 		maxBatch       = flag.Int("max-batch", 0, "max queries per batch request (0 = default 1024)")
 		shards         = flag.Int("shards", 0, "fuzzy-index shard count (0 = GOMAXPROCS)")
@@ -128,6 +132,7 @@ func main() {
 		fleetAddr      = flag.String("fleet-addr", "", "also serve the fleet wire protocol on this address (replica mode, see cmd/router)")
 		blobDir        = flag.String("blob-dir", "", "content-addressed blob directory to pull snapshots from (requires -snapshot; see cmd/router -publish)")
 		pullInterval   = flag.Duration("pull-interval", 2*time.Second, "blob-store pointer poll period with -blob-dir (0 = POST /admin/pull only)")
+		pprofEnable    = flag.Bool("pprof", false, "mount /debug/pprof/ with mutex and block profiling enabled (exposes process internals; keep off public listeners)")
 	)
 	flag.Parse()
 
@@ -138,6 +143,7 @@ func main() {
 
 	cfg := websyn.ServeConfig{
 		CacheSize:    *cacheSize,
+		CacheShards:  *cacheShards,
 		BatchWorkers: *batchWorkers,
 		MaxBatch:     *maxBatch,
 		FuzzyShards:  *shards,
@@ -217,6 +223,11 @@ func main() {
 		mux = http.NewServeMux()
 		s.Mount(mux)
 		backend = s
+	}
+
+	if *pprofEnable {
+		websyn.MountProfiling(mux)
+		log.Printf("pprof: /debug/pprof/ mounted with mutex and block profiling")
 	}
 
 	// Replica mode: the same backend answers the compact wire protocol

@@ -23,6 +23,9 @@
 //	                       with the domain pointer flipped last
 //	                       (requires -blob-dir and replica admin URLs)
 //
+// -pprof mounts /debug/pprof/ with mutex and block profiling on, the
+// lock-contention debugging surface (docs/PERFORMANCE.md).
+//
 // Reliability: replicas are actively health-checked (-health-interval)
 // and ejected after -fail-after consecutive failures; while ejected
 // they only receive half-open probes, and -recover-after consecutive
@@ -80,6 +83,7 @@ func main() {
 		blobDir        = flag.String("blob-dir", "", "content-addressed snapshot blob directory (enables /admin/publish)")
 		publishTimeout = flag.Duration("publish-timeout", 60*time.Second, "per-replica convergence budget during a publish")
 		drainTimeout   = flag.Duration("drain-timeout", 10*time.Second, "how long to drain in-flight requests on shutdown")
+		pprofEnable    = flag.Bool("pprof", false, "mount /debug/pprof/ with mutex and block profiling enabled (exposes process internals; keep off public listeners)")
 	)
 	flag.Parse()
 
@@ -128,6 +132,10 @@ func main() {
 
 	mux := http.NewServeMux()
 	rt.Mount(mux)
+	if *pprofEnable {
+		serve.MountProfiling(mux)
+		log.Printf("pprof: /debug/pprof/ mounted with mutex and block profiling")
+	}
 	if store != nil {
 		coord := &fleet.Coordinator{Store: store, Replicas: rt.AdminURLs(), StepTimeout: *publishTimeout}
 		mux.HandleFunc("POST /admin/publish", func(w http.ResponseWriter, r *http.Request) {

@@ -10,9 +10,11 @@ import (
 // ShardedFuzzyIndex partitions the packed trigram index across
 // independent shards. Each shard owns a disjoint subset of the dictionary
 // strings with its own posting slabs, so a lookup touches several small
-// gram tables instead of one large one and the verification work fans out
-// across cores. Under concurrent serving load the shards also keep
-// lookups from contending on a single set of posting lists in cache.
+// gram tables instead of one large one, shard construction parallelizes
+// at build time, and under concurrent serving load lookups spread their
+// working sets instead of contending on a single set of posting lists
+// in cache. Lookups themselves scan the shards sequentially —
+// request-level concurrency owns the cores (see Lookup).
 type ShardedFuzzyIndex struct {
 	dict   *Dictionary
 	shards []*FuzzyIndex
@@ -79,10 +81,15 @@ func (sfi *ShardedFuzzyIndex) Len() int {
 }
 
 // Lookup finds the dictionary strings globally similar to the query,
-// best first, up to limit (0 = no limit). Shards are scanned in
-// parallel and their candidates merged through one top-k selection;
-// results are identical to an unsharded FuzzyIndex.Lookup at the same
-// threshold.
+// best first, up to limit (0 = no limit). Shards are scanned
+// sequentially into one candidate buffer: a single lookup's per-shard
+// scan is a few microseconds, far too small to amortize a
+// goroutine-per-shard fan-out (the old parallel dispatch measured
+// slower than the flat index), and under serving load the
+// request-level worker pool already owns the cores — parallelism
+// belongs across lookups, not inside one. The merged top-k selection is
+// order-independent (hitBetter is a total order), so results are
+// identical to an unsharded FuzzyIndex.Lookup at the same threshold.
 func (sfi *ShardedFuzzyIndex) Lookup(query string, limit int) []FuzzyHit {
 	norm := textnorm.Normalize(query)
 	if norm == "" {
@@ -93,22 +100,8 @@ func (sfi *ShardedFuzzyIndex) Lookup(query string, limit int) []FuzzyHit {
 		return exactFallback(sfi.dict, norm)
 	}
 	var cands []scoredHit
-	if len(sfi.shards) == 1 {
-		cands = sfi.shards[0].scan(qGrams, len(qGrams), qTotal, nil)
-	} else {
-		parts := make([][]scoredHit, len(sfi.shards))
-		var wg sync.WaitGroup
-		for i, sh := range sfi.shards {
-			wg.Add(1)
-			go func(i int, sh *FuzzyIndex) {
-				defer wg.Done()
-				parts[i] = sh.scan(qGrams, len(qGrams), qTotal, nil)
-			}(i, sh)
-		}
-		wg.Wait()
-		for _, p := range parts {
-			cands = append(cands, p...)
-		}
+	for _, sh := range sfi.shards {
+		cands = sh.scan(qGrams, len(qGrams), qTotal, cands)
 	}
 	return materializeHits(sfi.dict, selectTop(cands, limit))
 }

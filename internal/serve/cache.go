@@ -1,128 +1,249 @@
 package serve
 
 import (
-	"container/list"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"websyn/internal/match"
 )
 
-// lruCache is a fixed-capacity LRU request cache over engine responses,
+// requestCache is a fixed-capacity request cache over engine responses,
 // keyed on the full match.Request (mode, top-k, thresholds, explain,
-// normalized query — see requestKey). It is safe for concurrent use;
-// hit/miss counters are maintained for /statsz.
-type lruCache struct {
-	mu    sync.Mutex
+// normalized query — see appendRequestKey). It is lock-striped: the key
+// hash picks one of a power-of-two number of shards, each with its own
+// lock, map and CLOCK ring, so concurrent requests for different keys
+// never serialize on one mutex. Within a shard, eviction is CLOCK
+// (second chance): a hit only sets an atomic reference bit under a read
+// lock — no list surgery, no write lock — and a full shard evicts the
+// first entry the clock hand finds with its bit clear, clearing bits as
+// it sweeps. Entries are immutable once published (Put replaces, never
+// mutates), so a value read under the read lock stays valid after it.
+//
+// Hit/miss/eviction counters are per shard (summed for /statsz), so the
+// hot path never bounces one shared counter cache line across cores.
+type requestCache struct {
+	shards []cacheShard
+	mask   uint64 // len(shards) - 1; len is a power of two
+	cap    int    // total configured capacity, for /statsz
+}
+
+// cacheShard is one stripe: a map for lookup and a CLOCK ring for
+// eviction over the same entries.
+type cacheShard struct {
+	mu    sync.RWMutex
 	cap   int
-	ll    *list.List               // front = most recently used
-	items map[string]*list.Element // key -> element whose Value is *cacheEntry
+	items map[string]*clockEntry
+	ring  []*clockEntry
+	hand  int
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
+
+	// Pad shards apart so one shard's lock and counters cannot false-share
+	// a cache line with its neighbor's.
+	_ [24]byte
 }
 
-type cacheEntry struct {
-	key string
-	val match.Response
+// clockEntry is one cached response. The entry is immutable after
+// publication except for ref, the CLOCK reference bit: Get sets it,
+// the sweeping hand clears it.
+type clockEntry struct {
+	key  string
+	val  match.Response
+	slot int // index in the shard's ring, for in-place replacement
+	ref  atomic.Bool
 }
 
-// newLRU returns a cache holding at most capacity entries. capacity <= 0
-// returns nil — a nil *lruCache is a valid always-miss cache, which is
-// how caching is disabled.
-func newLRU(capacity int) *lruCache {
+// cacheShardCount resolves the shard count for a capacity: requested <=
+// 0 picks one shard per CPU (GOMAXPROCS), capped so every shard holds
+// at least 8 entries; an explicit request is honored up to one entry
+// per shard. The result is always a power of two (rounded down), so
+// shard selection is a mask, not a modulo.
+func cacheShardCount(requested, capacity int) int {
+	n := requested
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		for n > 1 && capacity/n < 8 {
+			n /= 2
+		}
+	}
+	if n > capacity {
+		n = capacity
+	}
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+// newRequestCache returns a cache holding at most capacity entries
+// across cacheShardCount(shards, capacity) stripes. capacity <= 0
+// returns nil — a nil *requestCache is a valid always-miss cache, which
+// is how caching is disabled.
+func newRequestCache(capacity, shards int) *requestCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &lruCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element, capacity),
+	n := cacheShardCount(shards, capacity)
+	perShard := (capacity + n - 1) / n
+	c := &requestCache{shards: make([]cacheShard, n), mask: uint64(n - 1), cap: capacity}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.cap = perShard
+		sh.items = make(map[string]*clockEntry, perShard)
+		sh.ring = make([]*clockEntry, 0, perShard)
 	}
+	return c
 }
 
-// Get returns the cached response for key, marking it most recently
-// used. The returned value shares its slices with the cache entry:
-// callers must treat it as read-only (Server.Do detaches before handing
-// a response to library callers; the HTTP tier only marshals it).
-func (c *lruCache) Get(key string) (match.Response, bool) {
+// cacheKeyHash is FNV-1a over the key bytes — cheap, allocation-free,
+// and well mixed in the low bits the shard mask keeps.
+//
+//websyn:hotpath
+func cacheKeyHash(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// Get returns the cached response for key, setting its reference bit.
+// The pointer aims straight into the cache entry — no copy, so a hit
+// allocates nothing. Entries are immutable and individually heap-owned
+// (eviction only drops the shard's references), so the pointed-to value
+// stays valid after Get returns; callers must treat it as strictly
+// read-only (Server.Do detaches before handing a response to library
+// callers; the HTTP tier only marshals it). The key is borrowed for the
+// duration of the call, never retained — callers may pass a stack
+// buffer.
+//
+//websyn:hotpath
+func (c *requestCache) Get(key []byte) (*match.Response, bool) {
 	if c == nil {
-		return match.Response{}, false
+		return nil, false
 	}
-	c.mu.Lock()
-	el, ok := c.items[key]
-	var val match.Response
-	if ok {
-		c.ll.MoveToFront(el)
-		// Copy under the lock: Put may update this entry in place.
-		val = el.Value.(*cacheEntry).val
+	sh := &c.shards[cacheKeyHash(key)&c.mask]
+	sh.mu.RLock()
+	e := sh.items[string(key)] // compiler elides the []byte->string copy
+	sh.mu.RUnlock()
+	if e == nil {
+		sh.misses.Add(1)
+		return nil, false
 	}
-	c.mu.Unlock()
-	if !ok {
-		c.misses.Add(1)
-		return match.Response{}, false
-	}
-	c.hits.Add(1)
-	return val, true
+	e.ref.Store(true)
+	sh.hits.Add(1)
+	return &e.val, true
 }
 
-// Put stores the response under key, evicting the least recently used
-// entry when full. The value's slices are retained: callers must not
-// mutate them afterwards.
-func (c *lruCache) Put(key string, val match.Response) {
+// Put stores the response under key, evicting by CLOCK second chance
+// when the shard is full. The value's slices are retained: callers must
+// not mutate them afterwards. The key bytes are copied.
+func (c *requestCache) Put(key []byte, val match.Response) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).val = val
-		c.ll.MoveToFront(el)
+	sh := &c.shards[cacheKeyHash(key)&c.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.items[string(key)]; ok {
+		// Replace, never mutate: a concurrent Get may hold old.val.
+		e := &clockEntry{key: old.key, val: val, slot: old.slot}
+		e.ref.Store(true)
+		sh.ring[old.slot] = e
+		sh.items[e.key] = e
 		return
 	}
-	if c.ll.Len() >= c.cap {
-		oldest := c.ll.Back()
-		if oldest != nil {
-			c.ll.Remove(oldest)
-			delete(c.items, oldest.Value.(*cacheEntry).key)
-			c.evictions.Add(1)
+	e := &clockEntry{key: string(key), val: val}
+	if len(sh.ring) < sh.cap {
+		e.slot = len(sh.ring)
+		sh.ring = append(sh.ring, e)
+		sh.items[e.key] = e
+		return
+	}
+	// Second chance: sweep the hand, clearing reference bits, until an
+	// unreferenced entry turns up. Concurrent Gets can re-set bits the
+	// hand just cleared, so bound the sweep at two full revolutions and
+	// then evict whatever the hand rests on.
+	for spins := 0; ; spins++ {
+		victim := sh.ring[sh.hand]
+		if !victim.ref.Load() || spins >= 2*len(sh.ring) {
+			delete(sh.items, victim.key)
+			sh.evictions.Add(1)
+			e.slot = sh.hand
+			sh.ring[sh.hand] = e
+			sh.items[e.key] = e
+			sh.hand = (sh.hand + 1) % len(sh.ring)
+			return
 		}
+		victim.ref.Store(false)
+		sh.hand = (sh.hand + 1) % len(sh.ring)
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
 }
 
-// Len returns the current number of cached entries.
-func (c *lruCache) Len() int {
+// Len returns the current number of cached entries across all shards.
+func (c *requestCache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.ring)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // CacheStats is the cache section of /statsz.
 type CacheStats struct {
-	Capacity  int     `json:"capacity"`
-	Size      int     `json:"size"`
-	Hits      uint64  `json:"hits"`
-	Misses    uint64  `json:"misses"`
-	Evictions uint64  `json:"evictions"`
-	HitRate   float64 `json:"hit_rate"`
+	Capacity int `json:"capacity"`
+	Size     int `json:"size"`
+	// Shards is the number of lock stripes; ShardSizes the entry count
+	// per stripe (index = shard). Both are omitted when caching is
+	// disabled.
+	Shards     int    `json:"shards,omitempty"`
+	ShardSizes []int  `json:"shard_sizes,omitempty"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Evictions  uint64 `json:"evictions"`
+	// SingleflightHits counts requests served by another in-flight
+	// request's engine run instead of their own; SingleflightShared
+	// counts engine runs whose result was handed to at least one such
+	// waiter. Both stay zero until a concurrent duplicate miss occurs.
+	SingleflightHits   uint64  `json:"singleflight_hits,omitempty"`
+	SingleflightShared uint64  `json:"singleflight_shared,omitempty"`
+	HitRate            float64 `json:"hit_rate"`
 }
 
 // Stats returns a point-in-time view of the cache counters.
-func (c *lruCache) Stats() CacheStats {
+func (c *requestCache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
 	s := CacheStats{
-		Capacity:  c.cap,
-		Size:      c.Len(),
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
+		Capacity:   c.cap,
+		Shards:     len(c.shards),
+		ShardSizes: make([]int, len(c.shards)),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		s.ShardSizes[i] = len(sh.ring)
+		sh.mu.RUnlock()
+		s.Size += s.ShardSizes[i]
+		s.Hits += sh.hits.Load()
+		s.Misses += sh.misses.Load()
+		s.Evictions += sh.evictions.Load()
 	}
 	if total := s.Hits + s.Misses; total > 0 {
 		s.HitRate = float64(s.Hits) / float64(total)

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"websyn/internal/match"
+)
+
+// BenchmarkCacheContended hammers the request cache from all CPUs with
+// a Get-dominant mix (one Put per 64 operations, as a warm production
+// cache sees). The sub-benchmarks contrast a single stripe — every hit
+// serializes on one RWMutex — against the auto per-CPU stripe count,
+// which is the scaling win the lock-striped layout exists for.
+func BenchmarkCacheContended(b *testing.B) {
+	const (
+		capacity = 1024
+		keyCount = 512
+	)
+	keys := make([][]byte, keyCount)
+	vals := make([]match.Response, keyCount)
+	for i := range keys {
+		k := "bench-key-" + strconv.Itoa(i)
+		keys[i] = []byte(k)
+		vals[i] = match.Response{Query: k}
+	}
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{
+		{"shards-1", 1},
+		{"shards-auto", 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			c := newRequestCache(capacity, tc.shards)
+			for i := range keys {
+				c.Put(keys[i], vals[i])
+			}
+			var seq atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Offset each goroutine's walk so they contend on
+				// different keys most of the time, as real traffic does.
+				i := int(seq.Add(1)) * 7919
+				for pb.Next() {
+					k := keys[i%keyCount]
+					if _, ok := c.Get(k); !ok || i%64 == 0 {
+						c.Put(k, vals[i%keyCount])
+					}
+					i++
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether this test binary was built with -race.
+// Allocation-budget tests skip under race: the instrumentation disables
+// the inlining (map-access string elision, mid-stack visit calls) the
+// zero-alloc paths rely on, so allocs/op is not meaningful there. The
+// non-race CI job and the bench gate hold the budget.
+const raceEnabled = true

@@ -52,17 +52,24 @@ type Registry struct {
 	fanouts   atomic.Uint64
 	v1Lat     latencyRecorder
 	v2Lat     latencyRecorder
+
+	// fedPool recycles the per-request scratch of federated fan-outs
+	// (see fedScratch), so steady-state federation does not allocate
+	// bookkeeping per query.
+	fedPool sync.Pool
 }
 
 // NewRegistry returns an empty registry; cfg applies to every domain
 // Server subsequently built by Add, and to the registry's own batch
 // fan-out pool.
 func NewRegistry(cfg Config) *Registry {
-	return &Registry{
+	reg := &Registry{
 		cfg:     cfg.withDefaults(),
 		start:   time.Now(),
 		domains: make(map[string]*Server),
 	}
+	reg.fedPool.New = func() any { return new(fedScratch) }
+	return reg
 }
 
 // validDomainName rejects names the routing grammar reserves: "*" is
@@ -317,56 +324,110 @@ func (reg *Registry) routeOne(t target, it match.Request, stamp bool) V1Result {
 	return V1Result{Response: &res, Cached: cached}
 }
 
-// federate fans one item out across the targets in parallel and merges
-// the per-domain responses into one: span matches from every domain,
+// fedLeg is one domain's answer inside a federated fan-out. The
+// response may share slices with that domain's request cache:
+// read-only.
+type fedLeg struct {
+	res    match.Response
+	cached bool
+	err    error
+}
+
+// fedScratch is the pooled per-request bookkeeping of a federated
+// fan-out. It is cleared before going back to the pool so a parked
+// scratch never pins a retired generation's cached responses.
+type fedScratch struct {
+	legs []fedLeg
+}
+
+// inlineFanout is the fan-out width up to which federate runs the legs
+// inline on the calling worker instead of dispatching to the pool: a
+// cached per-domain match is about a microsecond, far below the cost of
+// waking pool workers, and the caller is already one of the batch
+// pool's workers (handleV1Match fans items out through runPool).
+const inlineFanout = 4
+
+// federate fans one item out across the targets and merges the
+// per-domain responses into one: span matches from every domain,
 // ordered by score (best evidence first, regardless of vertical), each
 // stamped with the domain that produced it. The federated remainder is
 // the winning domain's — the leftover text as seen by the vertical with
 // the strongest match — or the full query when nothing matched anywhere.
+//
+// Domain stamping happens while copying each leg's matches into the
+// merged response, so the per-domain responses — which may be shared
+// with their domain's request cache — are never written to, and the old
+// detach-then-stamp double copy is gone. Per-query bookkeeping (the leg
+// table) comes from the registry's scratch pool.
 func (reg *Registry) federate(targets []target, it match.Request) V1Result {
 	reg.fanouts.Add(1)
 	t0 := time.Now()
-	type part struct {
-		res    match.Response
-		cached bool
-		err    error
+	fs := reg.fedPool.Get().(*fedScratch)
+	legs := fs.legs
+	if cap(legs) < len(targets) {
+		legs = make([]fedLeg, len(targets))
+	} else {
+		legs = legs[:len(targets)]
 	}
-	parts := make([]part, len(targets))
-	var wg sync.WaitGroup
-	for idx := range targets {
-		wg.Add(1)
-		go func(idx int) {
-			defer wg.Done()
-			t := targets[idx]
+	defer func() {
+		for i := range legs {
+			legs[i] = fedLeg{}
+		}
+		fs.legs = legs[:0]
+		reg.fedPool.Put(fs)
+	}()
+
+	if len(targets) <= inlineFanout {
+		for i := range targets {
+			t := targets[i]
 			t.srv.routedQueries.Add(1)
-			res, cached, err := t.srv.do(it)
-			parts[idx] = part{res, cached, err}
-		}(idx)
+			legs[i].res, legs[i].cached, legs[i].err = t.srv.do(it)
+		}
+	} else {
+		runPool(reg.cfg.BatchWorkers, len(targets), func(i int) {
+			t := targets[i]
+			t.srv.routedQueries.Add(1)
+			legs[i].res, legs[i].cached, legs[i].err = t.srv.do(it)
+		})
 	}
-	wg.Wait()
 
 	// Request validation is domain-independent: an invalid item fails
 	// identically everywhere, so the first leg's error speaks for all.
-	for _, p := range parts {
-		if p.err != nil {
-			return V1Result{Error: p.err.Error()}
+	for i := range legs {
+		if legs[i].err != nil {
+			return V1Result{Error: legs[i].err.Error()}
 		}
 	}
 
-	out := match.Response{Query: parts[0].res.Query}
+	out := match.Response{Query: legs[0].res.Query}
+	nMatches, nTrace := 0, 0
+	for i := range legs {
+		nMatches += len(legs[i].res.Matches)
+		nTrace += len(legs[i].res.Trace)
+	}
+	if nMatches > 0 {
+		out.Matches = make([]match.SpanMatch, 0, nMatches)
+	}
+	if nTrace > 0 {
+		out.Trace = make([]match.TraceStep, 0, nTrace)
+	}
 	allCached := true
-	remainders := make(map[string]string, len(parts))
-	stamped := make([]match.Response, len(parts))
-	for idx, p := range parts {
-		name := targets[idx].name
-		sp := stampResponse(p.res, name)
-		out.Matches = append(out.Matches, sp.Matches...)
-		out.Trace = append(out.Trace, sp.Trace...)
-		out.Timing.SegmentMicros += sp.Timing.SegmentMicros
-		out.Timing.FuzzyMicros += sp.Timing.FuzzyMicros
-		remainders[name] = sp.Remainder
-		stamped[idx] = sp
-		allCached = allCached && p.cached
+	for i := range legs {
+		leg := &legs[i]
+		name := targets[i].name
+		mb := len(out.Matches)
+		out.Matches = append(out.Matches, leg.res.Matches...)
+		for j := mb; j < len(out.Matches); j++ {
+			out.Matches[j].Domain = name
+		}
+		tb := len(out.Trace)
+		out.Trace = append(out.Trace, leg.res.Trace...)
+		for j := tb; j < len(out.Trace); j++ {
+			out.Trace[j].Domain = name
+		}
+		out.Timing.SegmentMicros += leg.res.Timing.SegmentMicros
+		out.Timing.FuzzyMicros += leg.res.Timing.FuzzyMicros
+		allCached = allCached && leg.cached
 	}
 	sort.SliceStable(out.Matches, func(i, j int) bool {
 		a, b := out.Matches[i], out.Matches[j]
@@ -388,42 +449,26 @@ func (reg *Registry) federate(targets []target, it match.Request) V1Result {
 	// must not surface as a camera price band just because the cameras
 	// domain also ran. With no match anywhere, the first fan-out target
 	// (the default domain on an implicit fan) answers.
-	winner := stamped[0]
+	winner := 0
 	if len(out.Matches) > 0 {
-		for idx := range stamped {
-			if targets[idx].name == out.Matches[0].Domain {
-				winner = stamped[idx]
+		for i := range targets {
+			if targets[i].name == out.Matches[0].Domain {
+				winner = i
 				break
 			}
 		}
-		out.Remainder = remainders[out.Matches[0].Domain]
-	} else {
-		out.Remainder = parts[0].res.Remainder
 	}
-	out.Attributes = winner.Attributes
-	out.Residual = winner.Residual
+	out.Remainder = legs[winner].res.Remainder
+	if attrs := legs[winner].res.Attributes; len(attrs) > 0 {
+		out.Attributes = make([]match.Predicate, len(attrs))
+		copy(out.Attributes, attrs)
+		for j := range out.Attributes {
+			out.Attributes[j].Domain = targets[winner].name
+		}
+	}
+	out.Residual = legs[winner].res.Residual
 	out.Timing.TotalMicros = float64(time.Since(t0).Nanoseconds()) / 1e3
 	return V1Result{Response: &out, Cached: allCached}
-}
-
-// stampResponse detaches a (possibly cache-shared) response and tags it
-// and every match and trace step with its domain of origin. The detach
-// is load-bearing: the cache retains the original slices, and a
-// federated merge must never write domain tags into another request's
-// cached entry.
-func stampResponse(res match.Response, domain string) match.Response {
-	res = detachResponse(res)
-	res.Domain = domain
-	for i := range res.Matches {
-		res.Matches[i].Domain = domain
-	}
-	for i := range res.Trace {
-		res.Trace[i].Domain = domain
-	}
-	for i := range res.Attributes {
-		res.Attributes[i].Domain = domain
-	}
-	return res
 }
 
 // RegistryStats is the JSON shape of the registry's GET /statsz: the

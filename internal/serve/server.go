@@ -9,7 +9,6 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,9 +21,13 @@ import (
 // Config tunes a Server. The zero value picks sensible production
 // defaults; see each field.
 type Config struct {
-	// CacheSize is the LRU request-cache capacity in entries. 0 means
-	// DefaultCacheSize; negative disables caching.
+	// CacheSize is the request-cache capacity in entries (across all
+	// shards). 0 means DefaultCacheSize; negative disables caching.
 	CacheSize int
+	// CacheShards is the number of lock stripes the request cache is
+	// split into, rounded down to a power of two. 0 means one shard per
+	// CPU (GOMAXPROCS), capped so each shard holds at least 8 entries.
+	CacheShards int
 	// BatchWorkers bounds the worker pool batch requests fan out on.
 	// 0 means GOMAXPROCS.
 	BatchWorkers int
@@ -94,7 +97,12 @@ type generation struct {
 	canonicals []string       // entity ID -> canonical string
 	byNorm     map[string]int // canonical norm -> entity ID
 	synonyms   map[string][]string
-	cache      *lruCache
+	cache      *requestCache
+	// flight collapses concurrent identical cache misses into one
+	// engine run. Like the cache it is generation-scoped: a stale
+	// generation's in-flight result can never satisfy a request pinned
+	// to a fresh one.
+	flight flightGroup
 	// scratch pools the per-request match arenas. It lives on the
 	// generation, not the server, so a request pinned to an old
 	// generation can never hand its scratch — and the engine-owned
@@ -260,7 +268,7 @@ func (s *Server) Prepare(snap *Snapshot, meta SnapshotMeta) (*Generation, error)
 		canonicals: snap.Canonicals,
 		byNorm:     make(map[string]int, len(snap.Canonicals)),
 		synonyms:   snap.Synonyms,
-		cache:      newLRU(cfg.CacheSize),
+		cache:      newRequestCache(cfg.CacheSize, cfg.CacheShards),
 	}
 	for id, c := range snap.Canonicals {
 		g.byNorm[textnorm.Normalize(c)] = id
@@ -301,40 +309,39 @@ func (s *Server) Generation() (id, swaps uint64) {
 // so long-lived callers should re-fetch per request.
 func (s *Server) Engine() *match.Engine { return s.gen.Load().engine }
 
-// requestKey is the cache key of a defaulted request: every field that
-// shapes the response, plus the normalized query (so "Indy 4" and
-// "indy   4" share an entry; norm is the arena's space-joined token
-// sequence). Built with one allocation — this runs on the cache-hit
-// fast path.
+// appendRequestKey appends the cache key of a defaulted request to
+// dst: every field that shapes the response, plus the normalized query
+// (so "Indy 4" and "indy   4" share an entry; norm is the arena's
+// space-joined token sequence). Append-style so the cache-hit fast
+// path builds the key into a stack buffer with zero allocations — the
+// cache and flight group borrow the bytes and copy only when they must
+// retain them (a miss).
 //
 //websyn:hotpath
-func requestKey(req match.Request, norm string) string {
-	var b strings.Builder
-	b.Grow(len(string(req.Mode)) + len(norm) + 32)
-	b.WriteString(string(req.Mode))
-	b.WriteByte('|')
-	b.WriteString(strconv.Itoa(req.TopK))
-	b.WriteByte('|')
+func appendRequestKey(dst []byte, req match.Request, norm string) []byte {
+	dst = append(dst, string(req.Mode)...)
+	dst = append(dst, '|')
+	dst = strconv.AppendInt(dst, int64(req.TopK), 10)
+	dst = append(dst, '|')
 	if req.MinSim == 0 {
-		b.WriteByte('0')
+		dst = append(dst, '0')
 	} else {
-		var buf [24]byte
-		b.Write(strconv.AppendFloat(buf[:0], req.MinSim, 'g', -1, 64))
+		dst = strconv.AppendFloat(dst, req.MinSim, 'g', -1, 64)
 	}
-	b.WriteByte('|')
-	b.WriteString(strconv.Itoa(req.MaxSpanTokens))
-	b.WriteByte('|')
+	dst = append(dst, '|')
+	dst = strconv.AppendInt(dst, int64(req.MaxSpanTokens), 10)
+	dst = append(dst, '|')
 	if req.Explain {
-		b.WriteByte('e')
+		dst = append(dst, 'e')
 	}
 	if req.Rewrite {
 		// /v2 responses carry attributes; they must not share cache
 		// entries with the /v1 shape of the same query.
-		b.WriteByte('r')
+		dst = append(dst, 'r')
 	}
-	b.WriteByte('|')
-	b.WriteString(norm)
-	return b.String()
+	dst = append(dst, '|')
+	dst = append(dst, norm...)
+	return dst
 }
 
 // doGenView answers one request on a pinned generation through the
@@ -347,9 +354,17 @@ func requestKey(req match.Request, norm string) string {
 // doGenView returns.
 //
 // This is the allocation-free steady state: with caching disabled, a
-// request performs zero heap allocations end to end; with caching on,
-// the only per-request allocations are the cache key and — on a miss —
-// the one stable clone the cache retains.
+// request performs zero heap allocations end to end; with caching on, a
+// hit builds its key in a stack buffer and allocates nothing, and the
+// only per-miss allocations are the retained key copies and the one
+// stable clone the cache keeps.
+//
+// Misses are collapsed through the generation's flight group: of K
+// concurrent identical uncached requests, exactly one (the leader) runs
+// the engine; the rest block until the leader publishes its clone and
+// share it. The leader stores the clone in the cache before finishing,
+// so a request arriving after the flight ends hits the cache instead of
+// starting a new run.
 //
 //websyn:hotpath
 func (s *Server) doGenView(g *generation, req match.Request, visit func(res *match.Response, cached, stable bool)) error {
@@ -368,17 +383,30 @@ func (s *Server) doGenView(g *generation, req match.Request, visit func(res *mat
 		visit(res, false, false)
 		return nil
 	}
-	key := requestKey(req, sc.Norm())
+	var kb [192]byte
+	key := appendRequestKey(kb[:0], req, sc.Norm())
 	if res, ok := g.cache.Get(key); ok {
-		visit(&res, true, true)
+		visit(res, true, true)
+		return nil
+	}
+	c, leader := g.flight.join(key)
+	if !leader {
+		res, err := c.wait()
+		if err != nil {
+			return err
+		}
+		g.flight.hits.Add(1)
+		visit(&res, false, true)
 		return nil
 	}
 	res, err := g.engine.MatchPrepared(req, sc)
 	if err != nil {
+		g.flight.finish(c, match.Response{}, err)
 		return err
 	}
 	stable := match.CloneResponse(res)
 	g.cache.Put(key, stable)
+	g.flight.finish(c, stable, nil)
 	visit(&stable, false, true)
 	return nil
 }
@@ -838,6 +866,8 @@ func (s *Server) Stats() Stats {
 	st.Dictionary.FuzzyStrings = g.fuzzy.Len()
 	st.Dictionary.FuzzyShards = g.fuzzy.Shards()
 	st.Cache = g.cache.Stats()
+	st.Cache.SingleflightHits = g.flight.hits.Load()
+	st.Cache.SingleflightShared = g.flight.shared.Load()
 	st.Requests.Match = s.matchReqs.Load()
 	st.Requests.Batch = s.batchReqs.Load()
 	st.Requests.BatchQueries = s.batchQueries.Load()

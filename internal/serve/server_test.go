@@ -265,6 +265,21 @@ func TestHTTPStatsz(t *testing.T) {
 	if st.Cache.Hits < 2 {
 		t.Errorf("cache hits %d, want >= 2", st.Cache.Hits)
 	}
+	if st.Cache.Shards < 1 || len(st.Cache.ShardSizes) != st.Cache.Shards {
+		t.Errorf("cache shard stats: %+v", st.Cache)
+	}
+	sum := 0
+	for _, n := range st.Cache.ShardSizes {
+		sum += n
+	}
+	if sum != st.Cache.Size {
+		t.Errorf("shard sizes sum %d, size %d", sum, st.Cache.Size)
+	}
+	// Sequential requests never collapse: the singleflight counters must
+	// exist in the payload but stay zero here.
+	if st.Cache.SingleflightHits != 0 || st.Cache.SingleflightShared != 0 {
+		t.Errorf("singleflight counters moved on sequential traffic: %+v", st.Cache)
+	}
 	if st.Latency.Match.Count != 3 || st.Latency.Match.MeanMicros <= 0 {
 		t.Errorf("match latency: %+v", st.Latency.Match)
 	}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"websyn/internal/match"
+)
+
+// flightGroup collapses concurrent identical cache misses into one
+// engine run. It is scoped per generation (like the request cache), so
+// a request pinned to an old generation can never be handed a result
+// computed against a new dictionary, or vice versa.
+//
+// The API is split into join/finish instead of taking a compute
+// callback so the hot path (doGenView, //websyn:hotpath) stays free of
+// capturing closures: the first caller to join a key becomes the
+// leader, runs the engine itself, and must call finish exactly once;
+// every later caller joining before finish blocks on wait and receives
+// the leader's result.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+
+	// hits counts requests served by another request's engine run
+	// (followers); shared counts leader runs that had at least one
+	// follower. Reported under /statsz cache as singleflight_hits and
+	// singleflight_shared.
+	hits   atomic.Uint64
+	shared atomic.Uint64
+}
+
+// flightCall is one in-flight computation.
+type flightCall struct {
+	key     string
+	done    chan struct{}
+	waiters atomic.Int32
+	res     match.Response
+	err     error
+}
+
+// join registers interest in key. leader reports whether the caller
+// owns the computation: a leader must call finish exactly once; a
+// follower waits on the returned call. The key bytes are only retained
+// by a leader (copied into the call), so callers may pass a stack
+// buffer.
+func (fg *flightGroup) join(key []byte) (c *flightCall, leader bool) {
+	fg.mu.Lock()
+	if fg.m == nil {
+		fg.m = make(map[string]*flightCall)
+	}
+	if c = fg.m[string(key)]; c != nil {
+		c.waiters.Add(1)
+		fg.mu.Unlock()
+		return c, false
+	}
+	c = &flightCall{key: string(key), done: make(chan struct{})}
+	fg.m[c.key] = c
+	fg.mu.Unlock()
+	return c, true
+}
+
+// finish publishes the leader's result and releases every follower.
+// The call is unregistered before done is closed, so a request arriving
+// after finish starts a fresh flight (and, on the success path, finds
+// the response already cached — the leader stores it before finishing).
+func (fg *flightGroup) finish(c *flightCall, res match.Response, err error) {
+	c.res, c.err = res, err
+	fg.mu.Lock()
+	delete(fg.m, c.key)
+	fg.mu.Unlock()
+	// No follower can join past this point (the call is unregistered),
+	// so the waiter count is final.
+	if c.waiters.Load() > 0 {
+		fg.shared.Add(1)
+	}
+	close(c.done)
+}
+
+// wait blocks until the leader finishes and returns its result. The
+// response shares its slices with the cache entry the leader stored:
+// read-only, stable heap memory.
+func (c *flightCall) wait() (match.Response, error) {
+	<-c.done
+	return c.res, c.err
+}

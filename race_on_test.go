@@ -1,0 +1,10 @@
+//go:build race
+
+package websyn
+
+// raceEnabled reports whether this test binary was built with -race.
+// Allocation-budget tests skip under race: the instrumentation disables
+// the inlining the zero-alloc paths rely on, so allocs/op is not
+// meaningful there. The non-race CI job and the bench gate hold the
+// budget.
+const raceEnabled = true

@@ -2,6 +2,7 @@ package websyn
 
 import (
 	"io"
+	"net/http"
 	"strings"
 
 	"websyn/internal/match"
@@ -70,6 +71,12 @@ func NewReloader(s *MatchServer, cfg ReloadConfig) (*Reloader, error) {
 // NewRegistry builds an empty multi-domain registry; register each
 // vertical's snapshot with Registry.Add.
 func NewRegistry(cfg ServeConfig) *Registry { return serve.NewRegistry(cfg) }
+
+// MountProfiling registers the net/http/pprof handlers under
+// /debug/pprof/ with mutex and block profiling enabled — the contention
+// debugging surface behind matchd/router -pprof. Not part of the
+// default Mount: pprof exposes process internals, so listeners opt in.
+func MountProfiling(mux *http.ServeMux) { serve.MountProfiling(mux) }
 
 // NewReloadGroup builds an empty per-domain reload watcher group.
 func NewReloadGroup() *ReloadGroup { return reload.NewGroup() }
